@@ -1,0 +1,71 @@
+package sogre
+
+// One benchmark per paper table and figure (DESIGN.md §3). Each bench
+// regenerates its experiment at the Quick scale through the shared
+// drivers in internal/experiments; cmd/sogre-suite runs the same
+// drivers at full scale and records results in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ByID(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1Collection regenerates the collection statistics
+// (paper Table 1).
+func BenchmarkTable1Collection(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Datasets regenerates the GNN dataset statistics
+// (paper Table 2).
+func BenchmarkTable2Datasets(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3GNNSpeedup regenerates the revised-reordered GNN
+// speedups (paper Table 3).
+func BenchmarkTable3GNNSpeedup(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4Lossless regenerates the default-reordered control
+// (paper Table 4).
+func BenchmarkTable4Lossless(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5Accuracy regenerates the reorder-vs-prune accuracy
+// comparison (paper Table 5). This trains 4 models x 8 datasets x 3
+// settings, so it is the slowest bench.
+func BenchmarkTable5Accuracy(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkTable6Distributed regenerates the distributed OGBN
+// evaluation (paper Table 6).
+func BenchmarkTable6Distributed(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkTable7ReorderQuality regenerates the 1:2:4 reordering
+// quality table (paper Table 7).
+func BenchmarkTable7ReorderQuality(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkTable8SuccessRate regenerates the V:N:M success-rate table
+// (paper Table 8).
+func BenchmarkTable8SuccessRate(b *testing.B) { benchExperiment(b, "table8") }
+
+// BenchmarkFigure4SpMMSweep regenerates the SpMM speedup sweep (paper
+// Figure 4).
+func BenchmarkFigure4SpMMSweep(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkAblations runs the design-choice ablations of DESIGN.md §4.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkJigsawBaseline runs the SOGRE-vs-Jigsaw comparison
+// (paper Section 6).
+func BenchmarkJigsawBaseline(b *testing.B) { benchExperiment(b, "baseline") }

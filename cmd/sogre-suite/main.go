@@ -1,0 +1,105 @@
+// Command sogre-suite regenerates the paper's tables and figures from
+// the synthetic substrates (DESIGN.md §3) and optionally emits the
+// markdown sections EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	sogre-suite [-experiment all|table1..table8|figure4|ablation|baseline]
+//	            [-scale quick|default|full] [-markdown] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (all, table1..table8, figure4, ablation, baseline, predictor, large, memory, training)")
+	scale := flag.String("scale", "default", "workload scale: quick, default, or full")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	out := flag.String("out", "", "write output to file instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "default":
+		cfg = experiments.Default()
+	case "full":
+		cfg = experiments.Default()
+		cfg.Collection = datasets.CollectionSpec{Scale: 0.1, Seed: 20250705, MaxN: 8192}
+		cfg.GNNOpt = datasets.GenOptions{Scale: 0.15, Seed: 7, MaxClasses: 10}
+		cfg.OGBNScale = 0.02
+	default:
+		fmt.Fprintf(os.Stderr, "sogre-suite: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-suite: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	emit := func(t *experiments.Table) {
+		switch {
+		case *jsonOut:
+			data, err := t.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sogre-suite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, string(data))
+		case *markdown:
+			fmt.Fprintln(w, t.Markdown())
+		default:
+			fmt.Fprintln(w, t.String())
+		}
+	}
+
+	if *exp == "all" {
+		// Stream plain-text tables as they complete; for markdown and
+		// JSON, collect and emit at the end.
+		var stream io.Writer
+		if !*markdown && !*jsonOut {
+			stream = w
+		}
+		tables, err := experiments.RunAll(cfg, stream)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-suite: %v\n", err)
+			os.Exit(1)
+		}
+		if *markdown || *jsonOut {
+			for _, t := range tables {
+				emit(t)
+			}
+		}
+		return
+	}
+	t, err := experiments.ByID(*exp, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-suite: %v (valid: %v)\n", err, experiments.IDs)
+		os.Exit(2)
+	}
+	emit(t)
+}

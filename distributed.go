@@ -1,0 +1,85 @@
+package sogre
+
+import (
+	"repro/internal/distributed"
+	"repro/internal/graph"
+)
+
+// The distributed API mirrors the paper's Section 5.2 pipeline for
+// graphs too large for one device: neighbor-sampled subgraphs are
+// reordered offline and executed on a pool of workers.
+
+// SamplerConfig controls neighbor sampling (PyG NeighborSampler
+// analog).
+type SamplerConfig = distributed.SamplerConfig
+
+// PipelineConfig controls the distributed run (worker count, sample
+// count, feature width, sampler).
+type PipelineConfig = distributed.PipelineConfig
+
+// PipelineResult aggregates a distributed run: per-layer and
+// end-to-end speedups of the SPTC path over the CSR baseline.
+type PipelineResult = distributed.Result
+
+// RunDistributed executes the sample -> reorder -> multi-worker SGC
+// pipeline on the graph and reports aggregate speedups (a Table-6
+// column).
+func RunDistributed(name string, g *Graph, cfg PipelineConfig) (*PipelineResult, error) {
+	return distributed.Run(name, g, cfg)
+}
+
+// TrainSampledConfig controls sampled (mini-batch) SGC training.
+type TrainSampledConfig = distributed.TrainSampledConfig
+
+// TrainSampledResult reports a sampled training run.
+type TrainSampledResult = distributed.TrainSampledResult
+
+// TrainSampledSGC trains a shared SGC classifier over neighbor-sampled
+// subgraphs of a large graph, with each sample's aggregation running
+// on the configured engine (SOGRE-reordered SPTC or CSR baseline);
+// both engines converge to the same classifier.
+func TrainSampledSGC(g *Graph, x *Dense, labels []int, classes int, test []int, cfg TrainSampledConfig) (*TrainSampledResult, error) {
+	return distributed.TrainSampledSGC(g, x, labels, classes, test, cfg)
+}
+
+// PartitionedSpMM computes C = A x B for a graph too large for one
+// device by the paper's Section 4.4 recipe: partition, reorder each
+// piece independently, run the SPTC kernel per piece, reorder partial
+// results back, and accumulate cross-partition contributions. The
+// result equals the direct global SpMM exactly.
+func PartitionedSpMM(g *Graph, b *Dense, maxN int, p Pattern, opt ReorderOptions) (*Dense, []*ReorderResult, error) {
+	return distributed.PartitionedSpMM(g, b, maxN, p, opt)
+}
+
+// Generators re-exported for examples and downstream experimentation.
+
+// GenerateBanded returns a banded graph (PDE/mesh-like structure).
+func GenerateBanded(n, band int, p float64, seed int64) *Graph {
+	return graph.Banded(n, band, p, seed)
+}
+
+// GenerateErdosRenyi returns a uniform random graph G(n, p).
+func GenerateErdosRenyi(n int, p float64, seed int64) *Graph {
+	return graph.ErdosRenyi(n, p, seed)
+}
+
+// GenerateBarabasiAlbert returns a heavy-tailed preferential-attachment
+// graph.
+func GenerateBarabasiAlbert(n, m int, seed int64) *Graph {
+	return graph.BarabasiAlbert(n, m, seed)
+}
+
+// GenerateSBM returns a planted-partition community graph and its
+// community labels.
+func GenerateSBM(sizes []int, pIn, pOut float64, seed int64) (*Graph, []int) {
+	return graph.SBM(sizes, pIn, pOut, seed)
+}
+
+// GenerateGrid returns a rows x cols grid graph.
+func GenerateGrid(rows, cols int) *Graph { return graph.Grid2D(rows, cols) }
+
+// GenerateUltraSparse returns a scattered ultra-sparse graph (the
+// regime where SPTC execution can lose to CSR).
+func GenerateUltraSparse(n int, frac float64, seed int64) *Graph {
+	return graph.UltraSparse(n, frac, seed)
+}

@@ -1,0 +1,53 @@
+// partitioned: the paper's Section 4.4 recipe for graphs beyond one
+// device's operand limit — partition, reorder each piece independently
+// (offline), execute SPTC SpMM per piece, reorder partial results back
+// and accumulate with the cross-partition contributions. The composed
+// result equals the direct global SpMM exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sogre "repro"
+)
+
+func main() {
+	// A 10K-vertex banded graph standing in for a matrix too large for
+	// the ~45K x 45K caps of cusparseLt/Spatha (scaled down to keep the
+	// demo instant).
+	g := sogre.GenerateBanded(10000, 3, 0.8, 11)
+	fmt.Printf("graph: n=%d, %d edges\n", g.N(), g.NumUndirectedEdges())
+
+	b := sogre.NewDense(g.N(), 64)
+	b.Randomize(1, 3)
+
+	p := sogre.NM(2, 4)
+	c, results, err := sogre.PartitionedSpMM(g, b, 2048, p, sogre.ReorderOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitions: %d (max 2048 vertices each)\n", len(results))
+	totalInit, totalFinal := 0, 0
+	for i, r := range results {
+		fmt.Printf("  partition %d: %d violations -> %d (%.1f%% improvement)\n",
+			i, r.InitialPScore, r.FinalPScore, r.ImprovementRate()*100)
+		totalInit += r.InitialPScore
+		totalFinal += r.FinalPScore
+	}
+	fmt.Printf("overall: %d -> %d violations\n", totalInit, totalFinal)
+
+	// Validate against the direct global SpMM.
+	direct := sogre.SpMMCSR(sogre.CSRFromGraph(g), b)
+	var maxDiff float64
+	for i := range c.Data {
+		d := float64(c.Data[i] - direct.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max |partitioned - direct| = %g — reorder-back accumulation is exact\n", maxDiff)
+}

@@ -1,0 +1,103 @@
+package sogre
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestReorderLargeFacade(t *testing.T) {
+	g := GenerateBanded(600, 2, 0.9, 4)
+	res, err := ReorderLarge(g, LargeOptions{MaxN: 200, Pattern: NM(2, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Perm) != g.N() {
+		t.Fatalf("perm length %d", len(res.Perm))
+	}
+	pg, err := g.ApplyPermutation(res.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyIsomorphism(g, pg, res.Perm); err != nil {
+		t.Errorf("large reorder not an isomorphism: %v", err)
+	}
+}
+
+func TestFormatPredictorFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in short mode")
+	}
+	var graphs []*Graph
+	for i := int64(0); i < 8; i++ {
+		graphs = append(graphs, GenerateBanded(128+int(i)*16, 2, 0.8, i))
+		graphs = append(graphs, GenerateUltraSparse(256, 0.05, i))
+	}
+	m, err := TrainFormatPredictor(graphs, AutoOptions{MaxM: 8, MaxV: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PredictFormat(m, GenerateBanded(160, 2, 0.8, 99))
+	if err := p.Validate(); err != nil {
+		t.Errorf("predicted invalid pattern: %v", err)
+	}
+}
+
+func TestSymmetryFacade(t *testing.T) {
+	g := GenerateGrid(8, 8)
+	mst, total := Kruskal(g, nil)
+	if len(mst) != 63 { // spanning tree of connected 64-vertex graph
+		t.Errorf("MST edges = %d, want 63", len(mst))
+	}
+	if total != 63 {
+		t.Errorf("unit-weight MST total = %v", total)
+	}
+	side := SpectralBisection(g, 200, 1)
+	if CutSize(g, side) <= 0 {
+		t.Error("degenerate bisection")
+	}
+	if GraphFingerprint(g) == 0 {
+		t.Error("fingerprint degenerate")
+	}
+}
+
+func TestBitMatrixFacade(t *testing.T) {
+	g := GenerateErdosRenyi(32, 0.2, 3)
+	bm := AdjacencyBits(g)
+	if bm.N() != 32 || !bm.IsSymmetric() {
+		t.Error("AdjacencyBits wrong")
+	}
+	if bm.NNZ() != g.NumEdges() {
+		t.Errorf("NNZ %d != arcs %d", bm.NNZ(), g.NumEdges())
+	}
+}
+
+func TestPruneToConformFacade(t *testing.T) {
+	g := graph.BarabasiAlbert(64, 4, 1)
+	a := CSRFromGraph(g)
+	pruned, stats, err := PruneToConform(a, NM(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compress(pruned, NM(2, 4)); err != nil {
+		t.Errorf("pruned matrix not compressible: %v", err)
+	}
+	if stats.TotalNNZ != a.NNZ() {
+		t.Error("stats total wrong")
+	}
+}
+
+func TestRunDistributedFacade(t *testing.T) {
+	g := GenerateBanded(1200, 2, 0.9, 6)
+	res, err := RunDistributed("facade", g, PipelineConfig{
+		Workers: 2, Samples: 2, Features: 16, Classes: 4,
+		Sampler: SamplerConfig{Seeds: 20, Fanout: []int{4}, Seed: 1},
+		AutoOpt: AutoOptions{MaxM: 4, MaxV: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LYRSpeedup <= 0 {
+		t.Error("no speedup recorded")
+	}
+}

@@ -1,0 +1,88 @@
+package sogre
+
+import (
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/framework"
+	"repro/internal/gnn"
+)
+
+// The GNN-level API mirrors the paper's evaluation harness: prepare a
+// dataset once (offline reordering + pruning), then run any of the four
+// models under any of the four settings.
+
+// ModelKind names the four paper models: GCN, SAGE, Cheb, SGC.
+type ModelKind = gnn.ModelKind
+
+// The four GNN models of the paper's evaluation.
+const (
+	GCN  = gnn.KindGCN
+	SAGE = gnn.KindSAGE
+	Cheb = gnn.KindCheb
+	SGC  = gnn.KindSGC
+)
+
+// Setting is one of the paper's four evaluation configurations.
+type Setting = framework.Setting
+
+// The four settings of Section 5.1.
+const (
+	DefaultOriginal  = framework.DefaultOriginal
+	DefaultReordered = framework.DefaultReordered
+	RevisedPruned    = framework.RevisedPruned
+	RevisedReordered = framework.RevisedReordered
+)
+
+// Flavor selects the framework baseline being modeled (PYG or DGL).
+type Flavor = framework.Flavor
+
+// Framework flavors.
+const (
+	PYG = framework.PYG
+	DGL = framework.DGL
+)
+
+// Dataset is a node-classification dataset (graph, features, labels,
+// split).
+type Dataset = datasets.Dataset
+
+// GenerateDataset synthesizes the named Table-2 dataset analog
+// ("Cora", "Citeseer", ...) at the given scale.
+func GenerateDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	return datasets.ByName(name, datasets.GenOptions{Scale: scale, Seed: seed, MaxClasses: 12})
+}
+
+// DatasetNames lists the available Table-2 dataset analogs.
+func DatasetNames() []string {
+	out := make([]string, len(datasets.GNNDatasetMetas))
+	for i, m := range datasets.GNNDatasetMetas {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Engine is the prepared per-dataset evaluation harness.
+type Engine = framework.Prep
+
+// EngineReport is a timed run's outcome.
+type EngineReport = framework.Report
+
+// RunConfig controls a timed inference run.
+type RunConfig = framework.RunConfig
+
+// NewEngine prepares a dataset for evaluation: it auto-selects the
+// best V:N:M format via SOGRE reordering (offline) and builds the
+// reordered and pruned dataset variants.
+func NewEngine(ds *Dataset, opt core.AutoOptions) (*Engine, error) {
+	return framework.Prepare(ds, opt)
+}
+
+// Speedup compares a run against a baseline run: LYR is the
+// aggregation (per-layer) speedup, ALL the end-to-end speedup, both on
+// modeled cycles.
+func Speedup(baseline, run *EngineReport) (lyr, all float64) {
+	return framework.Speedup(baseline, run)
+}
+
+// TrainConfig controls GNN training.
+type TrainConfig = gnn.TrainConfig

@@ -1,0 +1,347 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	m := New(130) // spans three words per row
+	pts := [][2]int{{0, 0}, {0, 129}, {129, 0}, {63, 64}, {64, 63}, {128, 128}}
+	for _, p := range pts {
+		m.Set(p[0], p[1])
+	}
+	for _, p := range pts {
+		if !m.Get(p[0], p[1]) {
+			t.Errorf("Get(%d,%d) = false after Set", p[0], p[1])
+		}
+	}
+	if got := m.NNZ(); got != len(pts) {
+		t.Errorf("NNZ = %d, want %d", got, len(pts))
+	}
+	for _, p := range pts {
+		m.Clear(p[0], p[1])
+		if m.Get(p[0], p[1]) {
+			t.Errorf("Get(%d,%d) = true after Clear", p[0], p[1])
+		}
+	}
+	if got := m.NNZ(); got != 0 {
+		t.Errorf("NNZ after clearing all = %d, want 0", got)
+	}
+}
+
+func TestFromRowsAndString(t *testing.T) {
+	m, err := FromRows(
+		"0110",
+		"1001",
+		"1000",
+		"0100",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 4 {
+		t.Fatalf("N = %d, want 4", m.N())
+	}
+	if !m.Get(0, 1) || !m.Get(0, 2) || m.Get(0, 0) || m.Get(0, 3) {
+		t.Error("row 0 bits wrong")
+	}
+	want := "0110\n1001\n1000\n0100\n"
+	if got := m.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows("01", "0"); err == nil {
+		t.Error("want error for ragged rows")
+	}
+	if _, err := FromRows("0x", "00"); err == nil {
+		t.Error("want error for invalid character")
+	}
+}
+
+func TestSegmentEncoding(t *testing.T) {
+	// Row 0 = 1100 0101 -> segment 0 (M=4) is "1100" = 0b1100 = 12,
+	// segment 1 is "0101" = 5.
+	m, err := FromRows(
+		"11000101",
+		"00000000",
+		"10000000",
+		"00000001",
+		"00000000",
+		"00000000",
+		"00000000",
+		"00000000",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Segment(0, 0, 4); got != 0b1100 {
+		t.Errorf("Segment(0,0,4) = %04b, want 1100", got)
+	}
+	if got := m.Segment(0, 1, 4); got != 0b0101 {
+		t.Errorf("Segment(0,1,4) = %04b, want 0101", got)
+	}
+	if got := m.Segment(2, 0, 8); got != 0b10000000 {
+		t.Errorf("Segment(2,0,8) = %08b, want 10000000", got)
+	}
+	if got := m.Segment(3, 0, 8); got != 0b00000001 {
+		t.Errorf("Segment(3,0,8) = %08b, want 00000001", got)
+	}
+	if got := m.SegmentPop(0, 0, 4); got != 2 {
+		t.Errorf("SegmentPop(0,0,4) = %d, want 2", got)
+	}
+	if got := m.NumSegments(4); got != 2 {
+		t.Errorf("NumSegments(4) = %d, want 2", got)
+	}
+	if got := m.NumSegments(3); got != 3 {
+		t.Errorf("NumSegments(3) = %d, want 3", got)
+	}
+}
+
+func TestSegmentUnalignedMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100
+	m := New(n)
+	for k := 0; k < 600; k++ {
+		m.Set(rng.Intn(n), rng.Intn(n))
+	}
+	for _, M := range []int{4, 8, 16, 32, 64} {
+		for i := 0; i < n; i++ {
+			for s := 0; s < m.NumSegments(M); s++ {
+				var want uint64
+				for c := 0; c < M; c++ {
+					want <<= 1
+					if col := s*M + c; col < n && m.Get(i, col) {
+						want |= 1
+					}
+				}
+				if got := m.Segment(i, s, M); got != want {
+					t.Fatalf("Segment(%d,%d,M=%d) = %b, want %b", i, s, M, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapSymPreservesSymmetryAndGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 70
+	m := New(n)
+	for k := 0; k < 300; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("setup: matrix not symmetric")
+	}
+	nnz := m.NNZ()
+	for k := 0; k < 50; k++ {
+		m.SwapSym(rng.Intn(n), rng.Intn(n))
+	}
+	if !m.IsSymmetric() {
+		t.Error("SwapSym broke symmetry")
+	}
+	if m.NNZ() != nnz {
+		t.Errorf("SwapSym changed NNZ: %d -> %d", nnz, m.NNZ())
+	}
+}
+
+func TestSwapSymMatchesPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 33
+	m := New(n)
+	for k := 0; k < 120; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	u, v := 4, 20
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[u], perm[v] = perm[v], perm[u]
+	want := m.Permute(perm)
+	got := m.Clone()
+	got.SwapSym(u, v)
+	if !got.Equal(want) {
+		t.Error("SwapSym result differs from equivalent Permute")
+	}
+}
+
+func TestPermuteIdentityAndInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	m := New(n)
+	for k := 0; k < 200; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	id := make([]int, n)
+	for i := range id {
+		id[i] = i
+	}
+	if !m.Permute(id).Equal(m) {
+		t.Error("identity permutation changed matrix")
+	}
+	perm := rng.Perm(n)
+	p := m.Permute(perm)
+	// Invert: inv[perm[i]] = i, so Permuting p by inv recovers m.
+	inv := make([]int, n)
+	for i, o := range perm {
+		inv[o] = i
+	}
+	if !p.Permute(inv).Equal(m) {
+		t.Error("permute then inverse-permute did not recover matrix")
+	}
+	if p.NNZ() != m.NNZ() {
+		t.Error("permutation changed NNZ")
+	}
+	if !p.IsSymmetric() {
+		t.Error("permutation broke symmetry")
+	}
+}
+
+func TestPermutePreservesDegreesProperty(t *testing.T) {
+	// Property: the multiset of row popcounts is invariant under
+	// symmetric permutation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		m := New(n)
+		for k := 0; k < n*3; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			m.Set(i, j)
+			m.Set(j, i)
+		}
+		perm := rng.Perm(n)
+		p := m.Permute(perm)
+		for newI, old := range perm {
+			if p.RowNNZ(newI) != m.RowNNZ(old) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnsUsed(t *testing.T) {
+	m, err := FromRows(
+		"10100000",
+		"10000000",
+		"00100001",
+		"00000000",
+		"00000000",
+		"00000000",
+		"00000000",
+		"00000000",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile rows 0..3, segment 0, M=8: columns 0 and 2 used (rows 0-2).
+	used := m.ColumnsUsed(0, 0, 8, 4)
+	if used != (1|1<<2)|(1<<7) {
+		t.Errorf("ColumnsUsed = %08b, want cols {0,2,7}", used)
+	}
+	// Rows 4..7 are all zero.
+	if got := m.ColumnsUsed(4, 0, 8, 4); got != 0 {
+		t.Errorf("ColumnsUsed empty tile = %b, want 0", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m, _ := FromRows(
+		"010",
+		"101",
+		"010",
+	)
+	if !m.IsSymmetric() {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	m.Set(0, 2)
+	if m.IsSymmetric() {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestParallelRowsCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		seen := make([]bool, n)
+		ParallelRows(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i] = true // ranges are disjoint; no race
+			}
+		})
+		for i, s := range seen {
+			if !s {
+				t.Errorf("n=%d: row %d not covered", n, i)
+			}
+		}
+	}
+}
+
+func TestParallelReduceInt(t *testing.T) {
+	got := ParallelReduceInt(1000, func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	})
+	want := 1000 * 999 / 2
+	if got != want {
+		t.Errorf("ParallelReduceInt = %d, want %d", got, want)
+	}
+	if got := ParallelReduceInt(0, func(lo, hi int) int { return 1 }); got != 0 {
+		t.Errorf("empty reduce = %d, want 0", got)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := New(10)
+	if m.Density() != 0 {
+		t.Error("empty density != 0")
+	}
+	m.Set(0, 0)
+	if got, want := m.Density(), 0.01; got != want {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+	if New(0).Density() != 0 {
+		t.Error("0x0 density != 0")
+	}
+}
+
+func BenchmarkSegmentAligned(b *testing.B) {
+	m := New(4096)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 40960; k++ {
+		m.Set(rng.Intn(4096), rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Segment(i%4096, (i/7)%(4096/8), 8)
+	}
+}
+
+func BenchmarkSwapSym(b *testing.B) {
+	m := New(4096)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 40960; k++ {
+		i, j := rng.Intn(4096), rng.Intn(4096)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SwapSym(i%4096, (i*31)%4096)
+	}
+}

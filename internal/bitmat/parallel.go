@@ -1,0 +1,83 @@
+package bitmat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelRows invokes fn(lo, hi) over a partition of [0, n) rows, one
+// goroutine per available CPU. It is the CPU analog of launching one
+// warp per row block on a GPU: every SOGRE kernel that walks rows
+// independently funnels through this helper.
+func ParallelRows(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelReduceInt runs fn over row ranges in parallel and sums the
+// per-range results.
+func ParallelReduceInt(n int, fn func(lo, hi int) int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	results := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		launched++
+		go func(idx, lo, hi int) {
+			defer wg.Done()
+			results[idx] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < launched; i++ {
+		total += results[i]
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+// Package bsr implements the Block Sparse Row format the paper's CUDA
+// library stores adjacency matrices in (Listing 1): the matrix is a
+// grid of M-by-M blocks, and only blocks containing nonzeros are
+// stored, indexed CSR-style by block row. The package also provides the
+// bit-string encoding routine of Listing 1 — locating a segment vector
+// through the block index via binary search and packing its M values
+// into a binary string.
+package bsr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitmat"
+)
+
+// Matrix is a square binary matrix in BSR form with M-by-M blocks.
+type Matrix struct {
+	N int // matrix dimension
+	M int // block size
+	// RowPtr/ColInd index nonzero blocks per block row, as in CSR.
+	RowPtr []int32
+	ColInd []int32
+	// Val stores each block's M*M binary values row-major (paper's
+	// bsrval array), one block after another.
+	Val []uint8
+}
+
+// NumBlockRows returns ceil(N/M).
+func (b *Matrix) NumBlockRows() int { return (b.N + b.M - 1) / b.M }
+
+// NumBlocks returns the number of stored nonzero blocks.
+func (b *Matrix) NumBlocks() int { return len(b.ColInd) }
+
+// FromBitMatrix converts a bit matrix into BSR form with block size M.
+func FromBitMatrix(m *bitmat.Matrix, M int) (*Matrix, error) {
+	if M < 1 || M > 64 {
+		return nil, fmt.Errorf("bsr: block size %d out of range [1, 64]", M)
+	}
+	n := m.N()
+	nb := (n + M - 1) / M
+	out := &Matrix{N: n, M: M, RowPtr: make([]int32, nb+1)}
+	for br := 0; br < nb; br++ {
+		// Which block columns have any nonzero in this block row?
+		cols := map[int32]bool{}
+		for r := br * M; r < (br+1)*M && r < n; r++ {
+			for s := 0; s < m.NumSegments(M); s++ {
+				if m.SegmentPop(r, s, M) > 0 {
+					cols[int32(s)] = true
+				}
+			}
+		}
+		sorted := make([]int32, 0, len(cols))
+		for c := range cols {
+			sorted = append(sorted, c)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, bc := range sorted {
+			out.ColInd = append(out.ColInd, bc)
+			block := make([]uint8, M*M)
+			for dr := 0; dr < M; dr++ {
+				r := br*M + dr
+				if r >= n {
+					break
+				}
+				for dc := 0; dc < M; dc++ {
+					c := int(bc)*M + dc
+					if c < n && m.Get(r, c) {
+						block[dr*M+dc] = 1
+					}
+				}
+			}
+			out.Val = append(out.Val, block...)
+		}
+		out.RowPtr[br+1] = int32(len(out.ColInd))
+	}
+	return out, nil
+}
+
+// ToBitMatrix expands the BSR matrix back to a bit matrix.
+func (b *Matrix) ToBitMatrix() *bitmat.Matrix {
+	m := bitmat.New(b.N)
+	nb := b.NumBlockRows()
+	for br := 0; br < nb; br++ {
+		for bi := b.RowPtr[br]; bi < b.RowPtr[br+1]; bi++ {
+			bc := int(b.ColInd[bi])
+			block := b.Val[int(bi)*b.M*b.M : (int(bi)+1)*b.M*b.M]
+			for dr := 0; dr < b.M; dr++ {
+				r := br*b.M + dr
+				if r >= b.N {
+					break
+				}
+				for dc := 0; dc < b.M; dc++ {
+					c := bc*b.M + dc
+					if c < b.N && block[dr*b.M+dc] != 0 {
+						m.Set(r, c)
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// FindBlock is the binarySearchInd of Listing 1: it locates the stored
+// block with block-column blockCol within block row blockRow, returning
+// its index into Val (block units) or -1 if the block is all zero.
+func (b *Matrix) FindBlock(blockRow, blockCol int) int {
+	lo, hi := int(b.RowPtr[blockRow]), int(b.RowPtr[blockRow+1])
+	i := lo + sort.Search(hi-lo, func(i int) bool { return b.ColInd[lo+i] >= int32(blockCol) })
+	if i < hi && b.ColInd[i] == int32(blockCol) {
+		return i
+	}
+	return -1
+}
+
+// EncodeSegment reproduces Listing 1: it returns the binary-string
+// encoding of the M-element segment vector at matrix row `row` and
+// segment (block column) `seg`. Bit M-1 (most significant) holds the
+// leftmost column of the window, exactly as the left-shifting loop of
+// the listing produces. A missing block yields 0.
+func (b *Matrix) EncodeSegment(row, seg int) uint64 {
+	id := b.FindBlock(row/b.M, seg)
+	if id == -1 {
+		return 0
+	}
+	var val uint64
+	lane := row % b.M
+	base := id*b.M*b.M + lane*b.M
+	for i := 0; i < b.M; i++ {
+		val = (val << 1) | uint64(b.Val[base+i])
+	}
+	return val
+}

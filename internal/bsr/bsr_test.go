@@ -1,0 +1,121 @@
+package bsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func randomMatrix(n int, nnz int, seed int64) *bitmat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := bitmat.New(n)
+	for k := 0; k < nnz; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	return m
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, M := range []int{4, 8, 16} {
+		m := randomMatrix(50, 200, int64(M))
+		b, err := FromBitMatrix(m, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := b.ToBitMatrix()
+		if !back.Equal(m) {
+			t.Errorf("M=%d: BSR round trip changed matrix", M)
+		}
+	}
+}
+
+func TestBlockSparsity(t *testing.T) {
+	// A matrix with one nonzero stores exactly one block.
+	m := bitmat.New(16)
+	m.Set(5, 9)
+	b, err := FromBitMatrix(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBlocks() != 1 {
+		t.Errorf("NumBlocks = %d, want 1", b.NumBlocks())
+	}
+	if b.NumBlockRows() != 4 {
+		t.Errorf("NumBlockRows = %d, want 4", b.NumBlockRows())
+	}
+	if got := b.FindBlock(1, 2); got != 0 {
+		t.Errorf("FindBlock(1,2) = %d, want 0", got)
+	}
+	if got := b.FindBlock(0, 0); got != -1 {
+		t.Errorf("FindBlock(0,0) = %d, want -1", got)
+	}
+}
+
+func TestEncodeSegmentMatchesBitmat(t *testing.T) {
+	m := randomMatrix(64, 300, 7)
+	for _, M := range []int{4, 8} {
+		b, err := FromBitMatrix(m, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < 64; row++ {
+			for seg := 0; seg < 64/M; seg++ {
+				want := m.Segment(row, seg, M)
+				if got := b.EncodeSegment(row, seg); got != want {
+					t.Fatalf("M=%d EncodeSegment(%d,%d) = %b, want %b", M, row, seg, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeSegmentMissingBlock(t *testing.T) {
+	m := bitmat.New(8)
+	m.Set(0, 0)
+	b, err := FromBitMatrix(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.EncodeSegment(0, 1); got != 0 {
+		t.Errorf("missing block encoding = %b, want 0", got)
+	}
+	if got := b.EncodeSegment(0, 0); got != 0b1000 {
+		t.Errorf("EncodeSegment(0,0) = %04b, want 1000", got)
+	}
+}
+
+func TestFromBitMatrixRejectsBadBlockSize(t *testing.T) {
+	m := bitmat.New(8)
+	for _, M := range []int{0, 65, -1} {
+		if _, err := FromBitMatrix(m, M); err == nil {
+			t.Errorf("M=%d: want error", M)
+		}
+	}
+}
+
+func TestNonDivisibleDimension(t *testing.T) {
+	// n = 10 with M = 4 leaves ragged edge blocks.
+	m := randomMatrix(10, 30, 3)
+	b, err := FromBitMatrix(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ToBitMatrix().Equal(m) {
+		t.Error("ragged round trip changed matrix")
+	}
+}
+
+func BenchmarkEncodeSegment(b *testing.B) {
+	m := randomMatrix(1024, 8192, 1)
+	bm, err := FromBitMatrix(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.EncodeSegment(i%1024, (i/3)%128)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/pattern"
+)
+
+// AutoResult reports the best-format search of Section 5: the chosen
+// V:N:M pattern, its reordering result, and the formats attempted.
+type AutoResult struct {
+	Best  *Result
+	Tried []pattern.VNM
+}
+
+// AutoOptions configures the format search.
+type AutoOptions struct {
+	Reorder Options
+	// N is the horizontal budget; fixed to 2 by SPTC hardware. Zero
+	// means 2.
+	N int
+	// MaxM caps the M doubling sweep (inclusive). Zero means 32.
+	MaxM int
+	// MaxV caps the V doubling sweep (inclusive). Zero means 32.
+	MaxV int
+}
+
+func (o AutoOptions) withDefaults() AutoOptions {
+	if o.N == 0 {
+		o.N = 2
+	}
+	if o.MaxM == 0 {
+		o.MaxM = 32
+	}
+	if o.MaxV == 0 {
+		o.MaxV = 32
+	}
+	return o
+}
+
+// AutoReorder implements the paper's format-selection procedure
+// (Section 5): it determines the best V:N:M by trying 1:N:M forms with
+// M starting at 4 and doubling for as long as the matrix can still be
+// reordered to conform; it then fixes M and grows V from 1 upward
+// (doubling, up to 32), keeping the largest conforming V. Larger M
+// packs more compression per nonzero and larger V yields more
+// meta-block reuse, so the largest conforming values are preferred.
+//
+// If even 1:N:4 cannot be made fully conforming, the 1:N:4 best-effort
+// result is returned (Best.Conforming() will be false); callers can
+// still run pruned/hybrid execution on it.
+func AutoReorder(m *bitmat.Matrix, opt AutoOptions) (*AutoResult, error) {
+	opt = opt.withDefaults()
+	auto := &AutoResult{}
+	// Phase 1: grow M while the graph still conforms after reordering.
+	var best *Result
+	for M := 4; M <= opt.MaxM; M *= 2 {
+		p := pattern.NM(opt.N, M)
+		res, err := Reorder(m, p, opt.Reorder)
+		if err != nil {
+			return nil, err
+		}
+		auto.Tried = append(auto.Tried, p)
+		if res.Conforming() {
+			best = res
+		} else {
+			if best == nil {
+				best = res // best effort at the loosest format
+			}
+			break
+		}
+	}
+	if !best.Conforming() {
+		auto.Best = best
+		return auto, nil
+	}
+	// Phase 2: fix M, grow V while still conforming.
+	bestM := best.Pattern.M
+	for V := 2; V <= opt.MaxV; V *= 2 {
+		p := pattern.New(V, opt.N, bestM)
+		res, err := Reorder(m, p, opt.Reorder)
+		if err != nil {
+			return nil, err
+		}
+		auto.Tried = append(auto.Tried, p)
+		if !res.Conforming() {
+			break
+		}
+		best = res
+	}
+	auto.Best = best
+	return auto, nil
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the SOGRE
+// dual-level N:M-sparsity-oriented graph reordering algorithm
+// (Section 4). Stage-1 reduces vertical-constraint violations at the
+// meta-block level via Hamming-distance position encoding and row
+// sorting (Algorithm 2); Stage-2 reduces horizontal-constraint
+// violations at the segment-vector level via greedy vertex-pair
+// swapping (Algorithm 3); the two stages alternate under the iterative
+// driver of Algorithm 1.
+//
+// All reorderings are symmetric vertex renumberings: the adjacency
+// matrix stays symmetric and the graph semantics are untouched — the
+// optimization is lossless.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitmat"
+	"repro/internal/hamming"
+	"repro/internal/pattern"
+)
+
+// rowCode is the sparse Hamming-position encoding of one matrix row:
+// only segments holding at least one nonzero are materialized; absent
+// segments implicitly carry the code of the all-zero vector
+// (hamming.SignedCode(0, n) == 1). The paper notes this sparsity is
+// what makes the sort fast in practice ("many segment vectors are zero
+// vectors and are left out of the sorting operation").
+type rowCode struct {
+	row  int
+	segs []int32 // indices of nonzero segments, ascending
+	code []int64 // parallel signed Hamming position codes
+}
+
+const zeroVectorCode = int64(1) // hamming.SignedCode(0, n) for any n >= 0
+
+// encodeRows computes the Stage-1 encoding of every row in parallel
+// (Algorithm 2 steps i–ii). When negate is false the special negation
+// of horizontally-invalid vectors (lines 9–10) is skipped — an ablation
+// knob. When plainBits is true, raw segment bits replace the Hamming
+// position code (ablation: plain lexicographic bit sort).
+func encodeRows(m *bitmat.Matrix, p pattern.VNM, negate, plainBits bool) []rowCode {
+	n := m.N()
+	segs := m.NumSegments(p.M)
+	codes := make([]rowCode, n)
+	bitmat.ParallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rc := rowCode{row: i}
+			for s := 0; s < segs; s++ {
+				bits := m.Segment(i, s, p.M)
+				if bits == 0 {
+					continue
+				}
+				var c int64
+				if plainBits {
+					c = int64(bits) + 1
+					if negate && !p.VectorValid(bits) {
+						c = -c
+					}
+				} else if negate {
+					c = hamming.SignedCode(bits, p.N)
+				} else {
+					c = int64(hamming.PositionCode(bits)) + 1
+				}
+				rc.segs = append(rc.segs, int32(s))
+				rc.code = append(rc.code, c)
+			}
+			codes[i] = rc
+		}
+	})
+	return codes
+}
+
+// lessRowCode compares two sparse row encodings lexicographically over
+// the full dense vector they represent (absent segments read as
+// zeroVectorCode).
+func lessRowCode(a, b *rowCode) bool {
+	ia, ib := 0, 0
+	for ia < len(a.segs) || ib < len(b.segs) {
+		var sa, sb int32 = 1 << 30, 1 << 30
+		if ia < len(a.segs) {
+			sa = a.segs[ia]
+		}
+		if ib < len(b.segs) {
+			sb = b.segs[ib]
+		}
+		switch {
+		case sa == sb:
+			if a.code[ia] != b.code[ib] {
+				return a.code[ia] < b.code[ib]
+			}
+			ia++
+			ib++
+		case sa < sb:
+			// a has an explicit (nonzero) segment where b has the zero
+			// vector: compare a's code with zeroVectorCode.
+			if a.code[ia] != zeroVectorCode {
+				return a.code[ia] < zeroVectorCode
+			}
+			ia++
+		default:
+			if b.code[ib] != zeroVectorCode {
+				return zeroVectorCode < b.code[ib]
+			}
+			ib++
+		}
+	}
+	return false
+}
+
+// Stage1Result reports one Stage-1 run.
+type Stage1Result struct {
+	Iterations     int
+	InitialMBScore int
+	FinalMBScore   int
+}
+
+// Stage1 runs Algorithm 2: iteratively encode rows with Hamming
+// position codes, sort, and apply the sorted order as a symmetric
+// permutation, until the vertical-constraint violation count (MBScore)
+// reaches zero, stops improving, or maxIter passes elapse.
+//
+// The matrix m is permuted in place (replaced via pointer) and perm is
+// updated so that perm[newPos] = original vertex. Returns statistics.
+func Stage1(m **bitmat.Matrix, perm []int, p pattern.VNM, maxIter int, negate, plainBits bool) Stage1Result {
+	res := Stage1Result{}
+	cur := *m
+	res.InitialMBScore = pattern.MBScore(cur, p)
+	score := res.InitialMBScore
+	res.FinalMBScore = score
+	for iter := 0; iter < maxIter && score > 0; iter++ {
+		codes := encodeRows(cur, p, negate, plainBits)
+		order := make([]int, cur.N())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return lessRowCode(&codes[order[a]], &codes[order[b]])
+		})
+		if isIdentity(order) {
+			break
+		}
+		next := cur.Permute(order)
+		nextScore := pattern.MBScore(next, p)
+		res.Iterations++
+		if nextScore >= score {
+			// No progress; keep the better (original) ordering and stop.
+			if nextScore > score {
+				break
+			}
+			// Equal score: accept once (it may unblock Stage-2), but
+			// don't loop forever.
+			applyOrder(perm, order)
+			cur = next
+			score = nextScore
+			break
+		}
+		applyOrder(perm, order)
+		cur = next
+		score = nextScore
+	}
+	*m = cur
+	res.FinalMBScore = score
+	return res
+}
+
+// applyOrder composes a new ordering into the running permutation:
+// position i of the new numbering holds what was at position order[i].
+func applyOrder(perm []int, order []int) {
+	old := append([]int(nil), perm...)
+	for i, o := range order {
+		perm[i] = old[o]
+	}
+}
+
+func isIdentity(order []int) bool {
+	for i, o := range order {
+		if i != o {
+			return false
+		}
+	}
+	return true
+}

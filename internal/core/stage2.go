@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/bitmat"
+	"repro/internal/pattern"
+)
+
+// Stage2Result reports one Stage-2 (Algorithm 3) run.
+type Stage2Result struct {
+	Iterations        int // outer passes over the priority list
+	PrimaryTreatments int // number of primary-segment treatments
+	Swaps             int // vertex pairs swapped
+	InitialPScore     int
+	FinalPScore       int
+}
+
+// stage2Opts carries the ablation knobs of Algorithm 3 (DESIGN.md §4).
+type stage2Opts struct {
+	immediateSwaps          bool // apply each swap as found instead of batching
+	requirePositiveGain     bool // freshtop must have gain > 0 (footnote 1 ablation)
+	disableSparsestFallback bool // skip the |I| == 1 sparsest-segment step
+}
+
+// segEntry is an element of the priority list I.
+type segEntry struct {
+	id     int
+	pscore int
+}
+
+// popCache lazily materializes, per pass, the per-row popcounts of each
+// segment's vectors. In the default deferred-swap mode the matrix does
+// not change during a pass, so entries stay valid for the whole pass.
+type popCache struct {
+	m    *bitmat.Matrix
+	M    int
+	segs map[int][]uint8
+}
+
+func newPopCache(m *bitmat.Matrix, M int) *popCache {
+	return &popCache{m: m, M: M, segs: make(map[int][]uint8)}
+}
+
+func (c *popCache) get(seg int) []uint8 {
+	if p, ok := c.segs[seg]; ok {
+		return p
+	}
+	n := c.m.N()
+	p := make([]uint8, n)
+	bitmat.ParallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p[i] = uint8(c.m.SegmentPop(i, seg, c.M))
+		}
+	})
+	c.segs[seg] = p
+	return p
+}
+
+func (c *popCache) invalidate() {
+	c.segs = make(map[int][]uint8)
+}
+
+// Stage2 runs Algorithm 3: greedy vertex-pair swapping between the
+// worst ("primary") segment and successive "target" segments, with
+// deferred batch application of the recorded swaps (detail iv). The
+// matrix is permuted in place and perm updated so that perm[newPos] =
+// original vertex.
+func Stage2(m **bitmat.Matrix, perm []int, p pattern.VNM, maxIter int, opts stage2Opts) Stage2Result {
+	cur := *m
+	res := Stage2Result{InitialPScore: pattern.PScore(cur, p)}
+	prev := res.InitialPScore
+	res.FinalPScore = prev
+	for iter := 0; iter < maxIter; iter++ {
+		scores := pattern.SegmentPScores(cur, p)
+		list := buildPriorityList(scores)
+		if len(list) == 0 {
+			break
+		}
+		res.Iterations++
+		used := make([]bool, cur.N())
+		cache := newPopCache(cur, p.M)
+		var swaps [][2]int
+		if len(list) == 1 {
+			if opts.disableSparsestFallback {
+				break
+			}
+			// Detail (ii): pair the lone unhealthy segment with the
+			// sparsest segment, taking only beneficial swaps.
+			swaps = sparsestFallback(cur, p, list[0], used, cache, opts.immediateSwaps, perm)
+			res.PrimaryTreatments++
+		} else {
+			swaps = greedyPass(cur, p, list, used, cache, &res, opts, perm)
+		}
+		if !opts.immediateSwaps {
+			for _, sw := range swaps {
+				cur.SwapSym(sw[0], sw[1])
+				perm[sw[0]], perm[sw[1]] = perm[sw[1]], perm[sw[0]]
+			}
+		}
+		res.Swaps += len(swaps)
+		now := pattern.PScore(cur, p)
+		if now == 0 {
+			res.FinalPScore = 0
+			break
+		}
+		if len(swaps) == 0 || now >= prev {
+			// No further progress possible with this greedy pass.
+			res.FinalPScore = now
+			break
+		}
+		prev = now
+		res.FinalPScore = now
+	}
+	*m = cur
+	return res
+}
+
+// buildPriorityList returns unhealthy segments sorted by descending
+// PScore (Algorithm 3 lines 1–2: healthy segments are excluded).
+func buildPriorityList(scores []int) []segEntry {
+	var list []segEntry
+	for id, s := range scores {
+		if s > 0 {
+			list = append(list, segEntry{id: id, pscore: s})
+		}
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].pscore != list[b].pscore {
+			return list[a].pscore > list[b].pscore
+		}
+		return list[a].id < list[b].id
+	})
+	return list
+}
+
+// greedyPass implements the |I| > 1 branch (Algorithm 3 lines 8–20).
+func greedyPass(cur *bitmat.Matrix, p pattern.VNM, list []segEntry, used []bool, cache *popCache, res *Stage2Result, opts stage2Opts, perm []int) [][2]int {
+	var swaps [][2]int
+	for len(list) > 1 {
+		prim := list[0]
+		list = list[1:]
+		res.PrimaryTreatments++
+		primUsed := 0
+		width := segWidth(cur, p, prim.id)
+	targets:
+		for t := 0; t < len(list); t++ {
+			targ := &list[t]
+			if allColumnsUsed(cur, p, targ.id, used) {
+				continue
+			}
+			u, v, gainPrim, gainTarg, ok := bestFreshPair(cur, p, prim.id, targ.id, used, cache, opts.requirePositiveGain)
+			if !ok {
+				continue
+			}
+			used[u], used[v] = true, true
+			if opts.immediateSwaps {
+				cur.SwapSym(u, v)
+				perm[u], perm[v] = perm[v], perm[u]
+				cache.invalidate()
+			}
+			swaps = append(swaps, [2]int{u, v})
+			primUsed++
+			prim.pscore -= gainPrim
+			targ.pscore -= gainTarg
+			if targ.pscore <= 0 {
+				// Lines 17–18: target healed; remove from I.
+				list = append(list[:t], list[t+1:]...)
+				t--
+			}
+			if prim.pscore <= 0 || primUsed >= width {
+				break targets
+			}
+		}
+		// Detail (iii): a treated primary is never reconsidered this
+		// pass (it was popped and is not re-appended).
+	}
+	return swaps
+}
+
+// sparsestFallback implements the |I| == 1 branch (Algorithm 3 lines
+// 5–6): swap the unhealthy segment's vertices with those of the
+// sparsest segment, only accepting beneficial (positive-gain) swaps.
+func sparsestFallback(cur *bitmat.Matrix, p pattern.VNM, prim segEntry, used []bool, cache *popCache, immediate bool, perm []int) [][2]int {
+	nnz := pattern.SegmentNNZ(cur, p)
+	best, bestNNZ := -1, int(^uint(0)>>1)
+	for id, c := range nnz {
+		if id == prim.id {
+			continue
+		}
+		if c < bestNNZ {
+			best, bestNNZ = id, c
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	var swaps [][2]int
+	remaining := prim.pscore
+	width := segWidth(cur, p, prim.id)
+	for i := 0; i < width && remaining > 0; i++ {
+		u, v, gainPrim, _, ok := bestFreshPair(cur, p, prim.id, best, used, cache, true /* beneficial only */)
+		if !ok {
+			break
+		}
+		used[u], used[v] = true, true
+		if immediate {
+			cur.SwapSym(u, v)
+			perm[u], perm[v] = perm[v], perm[u]
+			cache.invalidate()
+		}
+		swaps = append(swaps, [2]int{u, v})
+		remaining -= gainPrim
+	}
+	return swaps
+}
+
+// segWidth returns the number of matrix columns segment id spans
+// (M except possibly the last segment).
+func segWidth(m *bitmat.Matrix, p pattern.VNM, seg int) int {
+	w := m.N() - seg*p.M
+	if w > p.M {
+		w = p.M
+	}
+	return w
+}
+
+// allColumnsUsed reports whether every column of the segment is already
+// recorded in a swap pair.
+func allColumnsUsed(m *bitmat.Matrix, p pattern.VNM, seg int, used []bool) bool {
+	lo := seg * p.M
+	hi := lo + segWidth(m, p, seg)
+	for c := lo; c < hi; c++ {
+		if !used[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestFreshPair is GetCandidates + freshtop: enumerate the (up to M^2)
+// vertex pairs between segments sp and st, compute the exact change in
+// the two segments' PScores under the symmetric swap of each pair, and
+// return the best pair none of whose vertices is already recorded.
+// When positiveOnly is set, only pairs with total gain > 0 qualify
+// (paper footnote 1 explains why the default does not require this).
+func bestFreshPair(cur *bitmat.Matrix, p pattern.VNM, sp, st int, used []bool, cache *popCache, positiveOnly bool) (u, v, gainPrim, gainTarg int, ok bool) {
+	popSp := cache.get(sp)
+	popSt := cache.get(st)
+	uLo, uHi := sp*p.M, sp*p.M+segWidth(cur, p, sp)
+	vLo, vHi := st*p.M, st*p.M+segWidth(cur, p, st)
+	bestGain := -(1 << 30)
+	bestU, bestV := -1, -1
+	bestGP, bestGT := 0, 0
+	for cu := uLo; cu < uHi; cu++ {
+		if used[cu] {
+			continue
+		}
+		for cv := vLo; cv < vHi; cv++ {
+			if used[cv] {
+				continue
+			}
+			gp, gt := pairGain(cur, p, cu, cv, popSp, popSt)
+			if g := gp + gt; g > bestGain {
+				bestGain, bestU, bestV, bestGP, bestGT = g, cu, cv, gp, gt
+			}
+		}
+	}
+	if bestU < 0 {
+		return 0, 0, 0, 0, false
+	}
+	if positiveOnly && bestGain <= 0 {
+		return 0, 0, 0, 0, false
+	}
+	return bestU, bestV, bestGP, bestGT, true
+}
+
+// pairGain computes, for the symmetric swap of vertices u (a column of
+// segment sp) and v (a column of segment st), the exact reduction in
+// the number of horizontally-invalid segment vectors of segments sp
+// and st. Positive gain means fewer violations after the swap.
+//
+// By symmetry of the adjacency matrix, the rows whose sp/st segment
+// vectors change under the column swap are exactly the set bits of
+// row(u) XOR row(v); rows u and v themselves additionally change by the
+// row exchange and are handled in closed form.
+func pairGain(cur *bitmat.Matrix, p pattern.VNM, u, v int, popSp, popSt []uint8) (gainPrim, gainTarg int) {
+	limit := uint8(p.N)
+	viol := func(pop uint8) int {
+		if pop > limit {
+			return 1
+		}
+		return 0
+	}
+	ru, rv := cur.Row(u), cur.Row(v)
+	for w := range ru {
+		x := ru[w] ^ rv[w]
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			x &= x - 1
+			i := w*64 + b
+			if i == u || i == v {
+				continue
+			}
+			if ru[w]&(1<<uint(b)) != 0 {
+				// bu == 1, bv == 0: column u loses a bit, column v gains.
+				gainPrim += viol(popSp[i]) - viol(popSp[i]-1)
+				gainTarg += viol(popSt[i]) - viol(popSt[i]+1)
+			} else {
+				// bu == 0, bv == 1.
+				gainPrim += viol(popSp[i]) - viol(popSp[i]+1)
+				gainTarg += viol(popSt[i]) - viol(popSt[i]-1)
+			}
+		}
+	}
+	// Rows u and v: after the swap, the row at position u is the old
+	// row v with columns u and v exchanged (and vice versa).
+	b := func(i, j int) uint8 {
+		if cur.Get(i, j) {
+			return 1
+		}
+		return 0
+	}
+	auu, auv := b(u, u), b(u, v)
+	avu, avv := b(v, u), b(v, v) // avu == auv by symmetry
+	popSpNewU := popSp[v] - avu + avv
+	popStNewU := popSt[v] - avv + avu
+	popSpNewV := popSp[u] - auu + auv
+	popStNewV := popSt[u] - auv + auu
+	gainPrim += viol(popSp[u]) + viol(popSp[v]) - viol(popSpNewU) - viol(popSpNewV)
+	gainTarg += viol(popSt[u]) + viol(popSt[v]) - viol(popStNewU) - viol(popStNewV)
+	return gainPrim, gainTarg
+}

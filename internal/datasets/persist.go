@@ -1,0 +1,92 @@
+package datasets
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dense"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+)
+
+// datasetDTO is the on-disk form of a Dataset (gob needs exported,
+// concrete fields; graph.Graph serializes through its CSR arrays).
+type datasetDTO struct {
+	Name       string
+	N          int
+	RowPtr     []int32
+	ColIdx     []int32
+	XRows      int
+	XCols      int
+	XData      []float32
+	Labels     []int
+	Classes    int
+	Train      []int
+	Val        []int
+	Test       []int
+	PaperN     int
+	PaperE     int
+	PaperF     int
+	BestVNM    string
+	FormatTag  string // sanity marker
+	FormatVers int
+}
+
+const persistTag = "sogre-dataset"
+const persistVersion = 1
+
+// Save serializes a dataset (graph structure, features, labels,
+// split, metadata) so expensive synthesis or preprocessing can be
+// reused across processes.
+func Save(w io.Writer, ds *Dataset) error {
+	rowPtr, colIdx, _ := ds.G.CSR()
+	dto := datasetDTO{
+		Name:   ds.Name,
+		N:      ds.G.N(),
+		RowPtr: rowPtr,
+		ColIdx: colIdx,
+		XRows:  ds.X.Rows, XCols: ds.X.Cols, XData: ds.X.Data,
+		Labels: ds.Labels, Classes: ds.Classes,
+		Train: ds.Split.Train, Val: ds.Split.Val, Test: ds.Split.Test,
+		PaperN: ds.PaperN, PaperE: ds.PaperE, PaperF: ds.PaperF,
+		BestVNM:    ds.BestVNM,
+		FormatTag:  persistTag,
+		FormatVers: persistVersion,
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Load reads a dataset written by Save, validating structure.
+func Load(r io.Reader) (*Dataset, error) {
+	var dto datasetDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("datasets: decode: %w", err)
+	}
+	if dto.FormatTag != persistTag {
+		return nil, fmt.Errorf("datasets: not a dataset bundle")
+	}
+	if dto.FormatVers != persistVersion {
+		return nil, fmt.Errorf("datasets: unsupported bundle version %d", dto.FormatVers)
+	}
+	g, err := graph.NewFromCSR(dto.N, dto.RowPtr, dto.ColIdx, nil)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: bundle graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("datasets: bundle graph invalid: %w", err)
+	}
+	if dto.XRows*dto.XCols != len(dto.XData) || dto.XRows != dto.N || len(dto.Labels) != dto.N {
+		return nil, fmt.Errorf("datasets: bundle shapes inconsistent")
+	}
+	return &Dataset{
+		Name:    dto.Name,
+		G:       g,
+		X:       dense.FromData(dto.XRows, dto.XCols, dto.XData),
+		Labels:  dto.Labels,
+		Classes: dto.Classes,
+		Split:   gnn.Split{Train: dto.Train, Val: dto.Val, Test: dto.Test},
+		PaperN:  dto.PaperN, PaperE: dto.PaperE, PaperF: dto.PaperF,
+		BestVNM: dto.BestVNM,
+	}, nil
+}

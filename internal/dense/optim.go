@@ -1,0 +1,73 @@
+package dense
+
+import "math"
+
+// Adam is the Adam optimizer over a set of parameter matrices, used by
+// the GNN training loops (Table 5 reproduction).
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Epsilon float32
+	WD      float32 // decoupled weight decay
+
+	step int
+	m    map[*Matrix]*Matrix
+	v    map[*Matrix]*Matrix
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (beta1 = 0.9, beta2 = 0.999, eps = 1e-8).
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Matrix]*Matrix), v: make(map[*Matrix]*Matrix),
+	}
+}
+
+// Step applies one Adam update: params[i] -= update(grads[i]). The two
+// slices are parallel. The step counter advances once per call.
+func (a *Adam) Step(params, grads []*Matrix) {
+	if len(params) != len(grads) {
+		panic("dense: Adam.Step params/grads length mismatch")
+	}
+	a.step++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for i, p := range params {
+		g := grads[i]
+		mom, ok := a.m[p]
+		if !ok {
+			mom = NewMatrix(p.Rows, p.Cols)
+			a.m[p] = mom
+			a.v[p] = NewMatrix(p.Rows, p.Cols)
+		}
+		vel := a.v[p]
+		for k := range p.Data {
+			gk := g.Data[k]
+			if a.WD != 0 {
+				gk += a.WD * p.Data[k]
+			}
+			mom.Data[k] = a.Beta1*mom.Data[k] + (1-a.Beta1)*gk
+			vel.Data[k] = a.Beta2*vel.Data[k] + (1-a.Beta2)*gk*gk
+			mHat := mom.Data[k] / bc1
+			vHat := vel.Data[k] / bc2
+			p.Data[k] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Epsilon)
+		}
+	}
+}
+
+// SGD performs plain gradient descent steps.
+type SGD struct {
+	LR float32
+}
+
+// Step applies params[i] -= LR * grads[i].
+func (s *SGD) Step(params, grads []*Matrix) {
+	if len(params) != len(grads) {
+		panic("dense: SGD.Step params/grads length mismatch")
+	}
+	for i, p := range params {
+		p.AddScaled(grads[i], -s.LR)
+	}
+}

@@ -1,0 +1,110 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/spmm"
+	"repro/internal/venom"
+)
+
+// PartitionedSpMM computes C = A x B for a graph adjacency A too large
+// for one device, following the paper's Section 4.4 recipe: partition
+// the vertex set, reorder each partition's local adjacency
+// independently, run the SPTC kernel on each reordered diagonal block,
+// reorder the partial results back, and accumulate them together with
+// the cross-partition (off-diagonal) contributions computed on the
+// CSR path. The result is bit-compatible with the direct global SpMM.
+//
+// Returns the result and the per-partition reorder outcomes.
+func PartitionedSpMM(g *graph.Graph, b *dense.Matrix, maxN int, p pattern.VNM, opt core.Options) (*dense.Matrix, []*core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	if b.Rows != n {
+		return nil, nil, fmt.Errorf("distributed: B has %d rows, want %d", b.Rows, n)
+	}
+	parts := core.BFSPartition(g, maxN)
+	c := dense.NewMatrix(n, b.Cols)
+	results := make([]*core.Result, len(parts))
+
+	// Mark each vertex's partition for the cross-edge pass.
+	partOf := make([]int32, n)
+	for pi, part := range parts {
+		for _, v := range part {
+			partOf[v] = int32(pi)
+		}
+	}
+
+	// Diagonal blocks: reorder + compress + SPTC kernel, in parallel
+	// across partitions (one simulated device each).
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(parts))
+	for pi, part := range parts {
+		wg.Add(1)
+		go func(pi int, part []int) {
+			defer wg.Done()
+			sub, orig := g.Subgraph(part)
+			res, err := core.Reorder(sub.ToBitMatrix(), p, opt)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			results[pi] = res
+			a := csr.FromBitMatrix(res.Matrix)
+			comp, resid, err := venom.SplitToConform(a, p)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			// Gather B rows in the partition's reordered order:
+			// local row j corresponds to original vertex
+			// orig[res.Perm[j]].
+			localB := dense.NewMatrix(len(part), b.Cols)
+			for j := 0; j < len(part); j++ {
+				copy(localB.Row(j), b.Row(orig[res.Perm[j]]))
+			}
+			localC := spmm.VNM(comp, localB)
+			if resid.NNZ() > 0 {
+				localC.Add(spmm.CSR(resid, localB))
+			}
+			// Reorder back before accumulation (the paper's phrase):
+			// scatter local row j to global row orig[res.Perm[j]].
+			// Partitions own disjoint global rows, so no locking.
+			for j := 0; j < len(part); j++ {
+				copy(c.Row(orig[res.Perm[j]]), localC.Row(j))
+			}
+		}(pi, part)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, nil, err
+	default:
+	}
+
+	// Cross-partition contributions on the CSR path: C[u] += B[v] for
+	// every edge (u, v) spanning partitions.
+	bitmat.ParallelRows(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			cr := c.Row(u)
+			for _, v := range g.Neighbors(u) {
+				if partOf[u] == partOf[v] {
+					continue
+				}
+				br := b.Row(int(v))
+				for j, bv := range br {
+					cr[j] += bv
+				}
+			}
+		}
+	})
+	return c, results, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gnn"
+	"repro/internal/sptc"
+)
+
+// Config sizes an experiment run. Default() is minutes-scale; raise
+// Scale values toward 1.0 to approach the paper's full workload.
+type Config struct {
+	Collection datasets.CollectionSpec
+	GNNOpt     datasets.GenOptions
+	AutoOpt    core.AutoOptions
+	Hidden     int
+	HSweep     []int // Figure 4 dense widths
+	TrainCfg   gnn.TrainConfig
+	Cost       sptc.CostModel
+	OGBNScale  float64
+	Workers    int
+	Seed       int64
+}
+
+// Default returns the configuration the test suite and the default CLI
+// run use: a scaled-down but structurally faithful workload.
+func Default() Config {
+	return Config{
+		Collection: datasets.CollectionSpec{Scale: 0.02, Seed: 20250705, MaxN: 2048},
+		GNNOpt:     datasets.GenOptions{Scale: 0.08, Seed: 7, MaxClasses: 8},
+		AutoOpt:    core.AutoOptions{MaxM: 32, MaxV: 32},
+		Hidden:     64,
+		HSweep:     []int{64, 128, 256, 512},
+		TrainCfg:   gnn.TrainConfig{Epochs: 80, LR: 0.02, WD: 5e-4},
+		Cost:       sptc.DefaultCostModel(),
+		OGBNScale:  0.01,
+		Workers:    4,
+		Seed:       20250705,
+	}
+}
+
+// Quick returns a seconds-scale configuration for unit tests and
+// benchmarks.
+func Quick() Config {
+	c := Default()
+	c.Collection = datasets.CollectionSpec{Scale: 0.008, Seed: 3, MaxN: 768}
+	c.GNNOpt = datasets.GenOptions{Scale: 0.04, Seed: 7, MaxClasses: 5}
+	c.AutoOpt = core.AutoOptions{MaxM: 8, MaxV: 8}
+	c.HSweep = []int{64, 128}
+	c.TrainCfg = gnn.TrainConfig{Epochs: 30, LR: 0.02}
+	c.OGBNScale = 0.004
+	return c
+}

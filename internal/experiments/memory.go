@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/datasets"
+	"repro/internal/venom"
+)
+
+// MemoryExperiment quantifies the storage argument of the paper's
+// Related Work section: dense-format tensor-core approaches (TC-GNN,
+// DTC-SpMM) pay "tens to hundreds of times more space", while the
+// V:N:M compressed form stays within a small factor of CSR. Reports
+// per-class average bytes for dense, CSR and compressed storage of the
+// reordered matrices.
+func MemoryExperiment(cfg Config) (*Table, error) {
+	col := datasets.SuiteSparseCollection(cfg.Collection)
+	t := &Table{
+		ID:     "memory",
+		Title:  "Storage footprint: dense vs CSR vs V:N:M compressed",
+		Header: []string{"Class", "Avg dense MB", "Avg CSR MB", "Avg VNM MB", "dense/VNM", "VNM/CSR"},
+	}
+	for _, class := range []datasets.SizeClass{datasets.Small, datasets.Medium, datasets.Large} {
+		var denseB, csrB, vnmB []float64
+		for _, e := range col {
+			if e.Class != class {
+				continue
+			}
+			auto, err := core.AutoReorder(e.G.ToBitMatrix(), cfg.AutoOpt)
+			if err != nil {
+				return nil, err
+			}
+			a := csr.FromBitMatrix(auto.Best.Matrix)
+			comp, resid, err := venom.SplitToConform(a, auto.Best.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			n := float64(e.G.N())
+			denseB = append(denseB, n*n*4)
+			csrB = append(csrB, float64(a.NNZ())*8+float64(a.N+1)*4)
+			vb := float64(comp.CompressedBytes())
+			if resid.NNZ() > 0 {
+				vb += float64(resid.NNZ())*8 + float64(resid.N+1)*4
+			}
+			vnmB = append(vnmB, vb)
+		}
+		if len(denseB) == 0 {
+			continue
+		}
+		mb := func(v float64) string { return fmt.Sprintf("%.3f", v/1e6) }
+		t.AddRow(class.String(),
+			mb(mean(denseB)), mb(mean(csrB)), mb(mean(vnmB)),
+			f2(mean(denseB)/mean(vnmB)), f2(mean(vnmB)/mean(csrB)))
+	}
+	t.AddNote("paper Related Work: dense-format TC methods add tens to hundreds of times more space; V:N:M stays CSR-scale")
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunAll executes every experiment and writes the rendered tables to w.
+// Returns the tables for further processing (e.g. EXPERIMENTS.md).
+func RunAll(cfg Config, w io.Writer) ([]*Table, error) {
+	type step struct {
+		name string
+		run  func() (*Table, error)
+	}
+	steps := []step{
+		{"table1", func() (*Table, error) { return Table1(cfg), nil }},
+		{"table2", func() (*Table, error) { return Table2(cfg), nil }},
+		{"table3", func() (*Table, error) { return Table3(cfg) }},
+		{"table4", func() (*Table, error) { return Table4(cfg) }},
+		{"table5", func() (*Table, error) { return Table5(cfg) }},
+		{"table6", func() (*Table, error) { return Table6(cfg) }},
+		{"table7", func() (*Table, error) { return Table7(cfg), nil }},
+		{"table8", func() (*Table, error) { return Table8(cfg), nil }},
+		{"figure4", func() (*Table, error) { return Figure4(cfg), nil }},
+		{"ablation", func() (*Table, error) { return Ablations(cfg), nil }},
+		{"baseline", func() (*Table, error) { return BaselineComparison(cfg), nil }},
+		{"predictor", func() (*Table, error) { return PredictorExperiment(cfg) }},
+		{"large", func() (*Table, error) { return LargeGraphExperiment(cfg) }},
+		{"memory", func() (*Table, error) { return MemoryExperiment(cfg) }},
+		{"training", func() (*Table, error) { return TrainingThroughputExperiment(cfg) }},
+		{"vsweep", func() (*Table, error) { return VSweepExperiment(cfg) }},
+	}
+	var tables []*Table
+	for _, s := range steps {
+		start := time.Now()
+		t, err := s.run()
+		if err != nil {
+			return tables, fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+		tables = append(tables, t)
+		if w != nil {
+			fmt.Fprintf(w, "%s(completed in %v)\n\n", t.String(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return tables, nil
+}
+
+// ByID runs a single experiment by its id ("table1".."table8",
+// "figure4", "ablation", "baseline").
+func ByID(id string, cfg Config) (*Table, error) {
+	switch id {
+	case "table1":
+		return Table1(cfg), nil
+	case "table2":
+		return Table2(cfg), nil
+	case "table3":
+		return Table3(cfg)
+	case "table4":
+		return Table4(cfg)
+	case "table5":
+		return Table5(cfg)
+	case "table6":
+		return Table6(cfg)
+	case "table7":
+		return Table7(cfg), nil
+	case "table8":
+		return Table8(cfg), nil
+	case "figure4":
+		return Figure4(cfg), nil
+	case "ablation":
+		return Ablations(cfg), nil
+	case "baseline":
+		return BaselineComparison(cfg), nil
+	case "predictor":
+		return PredictorExperiment(cfg)
+	case "large":
+		return LargeGraphExperiment(cfg)
+	case "memory":
+		return MemoryExperiment(cfg)
+	case "training":
+		return TrainingThroughputExperiment(cfg)
+	case "vsweep":
+		return VSweepExperiment(cfg)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists every experiment id.
+var IDs = []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "figure4", "ablation", "baseline", "predictor", "large", "memory", "training", "vsweep"}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"repro/internal/datasets"
+	"repro/internal/dense"
+	"repro/internal/framework"
+	"repro/internal/gnn"
+)
+
+// TrainingThroughputExperiment extends the paper's forward-pass
+// evaluation to training: one full epoch (forward + masked
+// cross-entropy + backward) per setting, with the aggregation and its
+// transpose both running through the selected engine. The paper only
+// times inference; this records how much of the forward-pass advantage
+// survives when gradients flow through Aᵀ as well.
+func TrainingThroughputExperiment(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "training",
+		Title:  "Training-epoch speedup of revised-reordered over default-original (extension)",
+		Header: []string{"Dataset", "Model", "Fwd LYR", "Epoch LYR", "Epoch ALL"},
+	}
+	// A representative subset keeps this extension affordable.
+	subset := []string{"Cora", "Facebook", "Amazon-ratings"}
+	for _, name := range subset {
+		ds, err := datasets.ByName(name, cfg.GNNOpt)
+		if err != nil {
+			return nil, err
+		}
+		prep, err := framework.Prepare(ds, cfg.AutoOpt)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []gnn.ModelKind{gnn.KindGCN, gnn.KindSAGE} {
+			fwdBase, err := prep.Run(kind, framework.DefaultOriginal, framework.PYG, framework.RunConfig{Hidden: cfg.Hidden, Forwards: 1, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			fwdRev, err := prep.Run(kind, framework.RevisedReordered, framework.PYG, framework.RunConfig{Hidden: cfg.Hidden, Forwards: 1, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			fwdLYR, _ := framework.Speedup(fwdBase, fwdRev)
+
+			baseAgg, baseTot, err := epochCost(prep, kind, framework.DefaultOriginal, cfg)
+			if err != nil {
+				return nil, err
+			}
+			revAgg, revTot, err := epochCost(prep, kind, framework.RevisedReordered, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(ds.Name, string(kind), f2(fwdLYR), f2(baseAgg/revAgg), f2(baseTot/revTot))
+		}
+	}
+	t.AddNote("epoch = forward + cross-entropy + backward; gradients route through the engine's transpose operator")
+	return t, nil
+}
+
+// epochCost runs one training epoch under a setting and returns the
+// (aggregation, total) modeled cycles.
+func epochCost(prep *framework.Prep, kind gnn.ModelKind, setting framework.Setting, cfg Config) (agg, total float64, err error) {
+	ds, engine := prep.SettingData(setting)
+	ledger := &gnn.Ledger{}
+	factory := &gnn.Factory{Kind: engine, Pattern: prep.Pattern, Cost: cfg.Cost, Ledger: ledger}
+	model, err := framework.BuildModel(kind, ds, factory, framework.RunConfig{Hidden: cfg.Hidden, Seed: cfg.Seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	logits := model.Forward(ds.X)
+	probs := logits.Clone()
+	dense.SoftmaxRows(probs)
+	_, grad := dense.CrossEntropy(probs, ds.Labels, ds.Split.Train)
+	model.Backward(grad)
+	return ledger.AggCycles, ledger.Total(), nil
+}

@@ -1,0 +1,189 @@
+// Package gnn implements the four GNN models the paper evaluates —
+// GCN, GraphSAGE, ChebNet and SGC — with full-batch forward, manual
+// backward, and training, on top of a pluggable aggregation backend:
+// CUDA-core CSR SpMM (the PyG/DGL default) or sparse-tensor-core V:N:M
+// SpMM (the revised, Spatha-backed path the paper enables through
+// reordering). Both backends produce bit-identical aggregation results;
+// they differ only in execution cost, which each records in a Ledger.
+package gnn
+
+import (
+	"time"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/pattern"
+	"repro/internal/spmm"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// Ledger accumulates the execution accounting of one engine run:
+// measured wall time and modeled GPU cycles, split between sparse
+// aggregation and dense (linear-layer) work. "LYR" speedups in the
+// paper compare AggCycles; "ALL" compares the totals.
+type Ledger struct {
+	AggCycles   float64
+	AggWall     time.Duration
+	AggCalls    int
+	DenseCycles float64
+	DenseWall   time.Duration
+}
+
+// Total returns modeled end-to-end cycles.
+func (l *Ledger) Total() float64 { return l.AggCycles + l.DenseCycles }
+
+// Reset zeroes the ledger.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
+// Add merges another ledger into this one.
+func (l *Ledger) Add(o *Ledger) {
+	l.AggCycles += o.AggCycles
+	l.AggWall += o.AggWall
+	l.AggCalls += o.AggCalls
+	l.DenseCycles += o.DenseCycles
+	l.DenseWall += o.DenseWall
+}
+
+// Operator is a sparse aggregation operator (a normalized adjacency
+// matrix in some execution format): Mul computes Âx, MulT computes Âᵀx.
+type Operator interface {
+	Mul(x *dense.Matrix) *dense.Matrix
+	MulT(x *dense.Matrix) *dense.Matrix
+	N() int
+}
+
+// EngineKind selects the aggregation execution engine.
+type EngineKind int
+
+const (
+	// EngineCSR is the CUDA-core CSR SpMM path (cuSPARSE / default
+	// PyG and DGL).
+	EngineCSR EngineKind = iota
+	// EngineSPTC is the sparse-tensor-core V:N:M path (Spatha /
+	// revised frameworks). Requires (or splits around) pattern
+	// conformity.
+	EngineSPTC
+)
+
+func (k EngineKind) String() string {
+	if k == EngineSPTC {
+		return "sptc"
+	}
+	return "csr"
+}
+
+// Factory builds Operators for a chosen engine, pattern and cost
+// model, all charging the same Ledger.
+type Factory struct {
+	Kind    EngineKind
+	Pattern pattern.VNM // used by EngineSPTC
+	Cost    sptc.CostModel
+	Ledger  *Ledger
+}
+
+// NewFactory returns a Factory with the default cost model and a fresh
+// ledger.
+func NewFactory(kind EngineKind, p pattern.VNM) *Factory {
+	return &Factory{Kind: kind, Pattern: p, Cost: sptc.DefaultCostModel(), Ledger: &Ledger{}}
+}
+
+// Make wraps the weighted operator matrix w for this factory's engine.
+func (f *Factory) Make(w *csr.Matrix) (Operator, error) {
+	switch f.Kind {
+	case EngineSPTC:
+		return newSPTCOperator(w, f.Pattern, f.Cost, f.Ledger)
+	default:
+		return &csrOperator{w: w, wt: w.Transpose(), cost: f.Cost, ledger: f.Ledger}, nil
+	}
+}
+
+// csrOperator runs aggregation through the CUDA-core CSR kernel.
+type csrOperator struct {
+	w, wt  *csr.Matrix
+	cost   sptc.CostModel
+	ledger *Ledger
+}
+
+func (o *csrOperator) N() int { return o.w.N }
+
+func (o *csrOperator) Mul(x *dense.Matrix) *dense.Matrix  { return o.run(o.w, x) }
+func (o *csrOperator) MulT(x *dense.Matrix) *dense.Matrix { return o.run(o.wt, x) }
+
+func (o *csrOperator) run(w *csr.Matrix, x *dense.Matrix) *dense.Matrix {
+	start := time.Now()
+	out := spmm.CSR(w, x)
+	o.ledger.AggWall += time.Since(start)
+	o.ledger.AggCycles += o.cost.CSRSpMMCycles(w.NNZ(), w.N, x.Cols)
+	o.ledger.AggCalls++
+	return out
+}
+
+// sptcOperator runs aggregation through the V:N:M SPTC kernel, with a
+// (normally empty) CSR residual for entries outside the pattern.
+type sptcOperator struct {
+	comp, compT *venom.Matrix
+	res, resT   *csr.Matrix
+	cost        sptc.CostModel
+	ledger      *Ledger
+	n           int
+}
+
+func newSPTCOperator(w *csr.Matrix, p pattern.VNM, cost sptc.CostModel, ledger *Ledger) (*sptcOperator, error) {
+	comp, res, err := venom.SplitToConform(w, p)
+	if err != nil {
+		return nil, err
+	}
+	wt := w.Transpose()
+	compT, resT, err := venom.SplitToConform(wt, p)
+	if err != nil {
+		return nil, err
+	}
+	return &sptcOperator{
+		comp: comp, compT: compT,
+		res: res, resT: resT,
+		cost: cost, ledger: ledger, n: w.N,
+	}, nil
+}
+
+// ResidualNNZ reports how many entries fell outside the pattern (zero
+// after a successful SOGRE reorder).
+func (o *sptcOperator) ResidualNNZ() int { return o.res.NNZ() }
+
+func (o *sptcOperator) N() int { return o.n }
+
+func (o *sptcOperator) Mul(x *dense.Matrix) *dense.Matrix {
+	return o.run(o.comp, o.res, x)
+}
+
+func (o *sptcOperator) MulT(x *dense.Matrix) *dense.Matrix {
+	return o.run(o.compT, o.resT, x)
+}
+
+func (o *sptcOperator) run(comp *venom.Matrix, res *csr.Matrix, x *dense.Matrix) *dense.Matrix {
+	start := time.Now()
+	out := spmm.VNM(comp, x)
+	if res.NNZ() > 0 {
+		out.Add(spmm.CSR(res, x))
+	}
+	o.ledger.AggWall += time.Since(start)
+	o.ledger.AggCycles += o.cost.VNMSpMMCycles(sptc.Stats(comp, o.cost), x.Cols)
+	if res.NNZ() > 0 {
+		o.ledger.AggCycles += o.cost.CSRSpMMCycles(res.NNZ(), res.N, x.Cols)
+	}
+	o.ledger.AggCalls++
+	return out
+}
+
+// timedMatMul performs a dense matmul while charging the ledger with
+// the dense-engine cost (identical for both settings — linear layers
+// run on the same dense units either way).
+func timedMatMul(l *Ledger, a, b *dense.Matrix) *dense.Matrix {
+	start := time.Now()
+	out := dense.MatMul(a, b)
+	l.DenseWall += time.Since(start)
+	// Dense cost: one FMA per (i, k, j) triple on tensor cores.
+	cm := sptc.DefaultCostModel()
+	l.DenseCycles += float64(a.Rows) * float64(a.Cols) * float64(b.Cols) * cm.DenseTCElemCost
+	return out
+}

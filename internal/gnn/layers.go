@@ -1,0 +1,57 @@
+package gnn
+
+import (
+	"math"
+
+	"repro/internal/dense"
+)
+
+// linear is a dense layer Y = X W + b with cached input for backward.
+type linear struct {
+	W, B   *dense.Matrix // B is 1 x out
+	dW, dB *dense.Matrix
+	xCache *dense.Matrix
+	ledger *Ledger
+}
+
+func newLinear(in, out int, seed int64, ledger *Ledger) *linear {
+	l := &linear{
+		W:      dense.NewMatrix(in, out),
+		B:      dense.NewMatrix(1, out),
+		dW:     dense.NewMatrix(in, out),
+		dB:     dense.NewMatrix(1, out),
+		ledger: ledger,
+	}
+	scale := float32(math.Sqrt(6.0 / float64(in+out))) // Glorot uniform
+	l.W.Randomize(scale, seed)
+	return l
+}
+
+func (l *linear) forward(x *dense.Matrix) *dense.Matrix {
+	l.xCache = x
+	y := timedMatMul(l.ledger, x, l.W)
+	y.AddBias(l.B.Row(0))
+	return y
+}
+
+// backward accumulates parameter gradients and returns the gradient
+// with respect to the layer input.
+func (l *linear) backward(g *dense.Matrix) *dense.Matrix {
+	l.dW.Add(dense.MatMul(dense.Transpose(l.xCache), g))
+	db := l.dB.Row(0)
+	for i := 0; i < g.Rows; i++ {
+		r := g.Row(i)
+		for j, v := range r {
+			db[j] += v
+		}
+	}
+	return dense.MatMul(g, dense.Transpose(l.W))
+}
+
+func (l *linear) params() []*dense.Matrix { return []*dense.Matrix{l.W, l.B} }
+func (l *linear) grads() []*dense.Matrix  { return []*dense.Matrix{l.dW, l.dB} }
+
+func (l *linear) zeroGrads() {
+	l.dW.Zero()
+	l.dB.Zero()
+}

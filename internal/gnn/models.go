@@ -1,0 +1,380 @@
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+)
+
+// Model is a trainable GNN producing per-node class logits. Forward
+// runs the full-batch forward pass; Backward consumes the logits
+// gradient and accumulates parameter gradients.
+type Model interface {
+	Name() string
+	Forward(x *dense.Matrix) *dense.Matrix
+	Backward(gradLogits *dense.Matrix)
+	Params() []*dense.Matrix
+	Grads() []*dense.Matrix
+	ZeroGrads()
+}
+
+// ModelKind names the four paper models.
+type ModelKind string
+
+// The paper's four models (Section 5, "GNN Models").
+const (
+	KindGCN  ModelKind = "GCN"
+	KindSAGE ModelKind = "SAGE"
+	KindCheb ModelKind = "Cheb"
+	KindSGC  ModelKind = "SGC"
+)
+
+// AllModelKinds lists the models in the paper's table order.
+var AllModelKinds = []ModelKind{KindGCN, KindSAGE, KindCheb, KindSGC}
+
+// Config sizes a model.
+type Config struct {
+	In, Hidden, Classes int
+	ChebK               int // Chebyshev order (default 3)
+	SGCHops             int // SGC propagation steps (default 2)
+	Seed                int64
+}
+
+// Build constructs a model of the given kind. For Cheb, op must be the
+// scaled Laplacian; for the others, the (sym/row) normalized adjacency.
+func Build(kind ModelKind, op Operator, ledger *Ledger, cfg Config) (Model, error) {
+	switch kind {
+	case KindGCN:
+		return NewGCN(op, ledger, cfg), nil
+	case KindSAGE:
+		return NewSAGE(op, ledger, cfg), nil
+	case KindCheb:
+		return NewCheb(op, ledger, cfg), nil
+	case KindSGC:
+		return NewSGC(op, ledger, cfg), nil
+	}
+	return nil, fmt.Errorf("gnn: unknown model kind %q", kind)
+}
+
+// ---------------------------------------------------------------- GCN
+
+// GCN is the two-layer graph convolutional network of Kipf & Welling:
+// logits = Â ReLU(Â X W1) W2, with the linear transform applied before
+// aggregation ("GCN aggregates after its linear layer", Section 5.1).
+type GCN struct {
+	op         Operator
+	lin1, lin2 *linear
+	mask       *dense.Matrix
+}
+
+// NewGCN builds a two-layer GCN.
+func NewGCN(op Operator, ledger *Ledger, cfg Config) *GCN {
+	return &GCN{
+		op:   op,
+		lin1: newLinear(cfg.In, cfg.Hidden, cfg.Seed+1, ledger),
+		lin2: newLinear(cfg.Hidden, cfg.Classes, cfg.Seed+2, ledger),
+	}
+}
+
+// Name implements Model.
+func (m *GCN) Name() string { return string(KindGCN) }
+
+// Forward implements Model.
+func (m *GCN) Forward(x *dense.Matrix) *dense.Matrix {
+	h := m.op.Mul(m.lin1.forward(x))
+	m.mask = dense.ReLU(h)
+	return m.op.Mul(m.lin2.forward(h))
+}
+
+// Backward implements Model.
+func (m *GCN) Backward(g *dense.Matrix) {
+	g = m.op.MulT(g)
+	g = m.lin2.backward(g)
+	g.MulMask(m.mask)
+	g = m.op.MulT(g)
+	m.lin1.backward(g)
+}
+
+// Params implements Model.
+func (m *GCN) Params() []*dense.Matrix {
+	return append(m.lin1.params(), m.lin2.params()...)
+}
+
+// Grads implements Model.
+func (m *GCN) Grads() []*dense.Matrix {
+	return append(m.lin1.grads(), m.lin2.grads()...)
+}
+
+// ZeroGrads implements Model.
+func (m *GCN) ZeroGrads() { m.lin1.zeroGrads(); m.lin2.zeroGrads() }
+
+// --------------------------------------------------------------- SAGE
+
+// SAGE is a two-layer GraphSAGE with mean aggregation: each layer
+// computes ReLU(X Wself + (ÂX) Wnbr) — aggregation happens before the
+// two linear transforms, which is why the paper observes larger
+// aggregation speedups for SAGE than GCN.
+type SAGE struct {
+	op                     Operator
+	self1, nbr1            *linear
+	self2, nbr2            *linear
+	mask                   *dense.Matrix
+	xCache, h1Cache, aggH1 *dense.Matrix
+}
+
+// NewSAGE builds a two-layer GraphSAGE (op should be the row-normalized
+// adjacency for mean aggregation).
+func NewSAGE(op Operator, ledger *Ledger, cfg Config) *SAGE {
+	return &SAGE{
+		op:    op,
+		self1: newLinear(cfg.In, cfg.Hidden, cfg.Seed+1, ledger),
+		nbr1:  newLinear(cfg.In, cfg.Hidden, cfg.Seed+2, ledger),
+		self2: newLinear(cfg.Hidden, cfg.Classes, cfg.Seed+3, ledger),
+		nbr2:  newLinear(cfg.Hidden, cfg.Classes, cfg.Seed+4, ledger),
+	}
+}
+
+// Name implements Model.
+func (m *SAGE) Name() string { return string(KindSAGE) }
+
+// Forward implements Model.
+func (m *SAGE) Forward(x *dense.Matrix) *dense.Matrix {
+	m.xCache = x
+	aggX := m.op.Mul(x)
+	h1 := m.self1.forward(x)
+	h1.Add(m.nbr1.forward(aggX))
+	m.mask = dense.ReLU(h1)
+	m.h1Cache = h1
+	m.aggH1 = m.op.Mul(h1)
+	out := m.self2.forward(h1)
+	out.Add(m.nbr2.forward(m.aggH1))
+	return out
+}
+
+// Backward implements Model.
+func (m *SAGE) Backward(g *dense.Matrix) {
+	gSelf := m.self2.backward(g)
+	gNbr := m.nbr2.backward(g)
+	gH1 := gSelf
+	gH1.Add(m.op.MulT(gNbr))
+	gH1.MulMask(m.mask)
+	gx := m.self1.backward(gH1)
+	gAgg := m.nbr1.backward(gH1)
+	gx.Add(m.op.MulT(gAgg))
+	_ = gx // input gradient unused (features are constants)
+}
+
+// Params implements Model.
+func (m *SAGE) Params() []*dense.Matrix {
+	out := append(m.self1.params(), m.nbr1.params()...)
+	out = append(out, m.self2.params()...)
+	return append(out, m.nbr2.params()...)
+}
+
+// Grads implements Model.
+func (m *SAGE) Grads() []*dense.Matrix {
+	out := append(m.self1.grads(), m.nbr1.grads()...)
+	out = append(out, m.self2.grads()...)
+	return append(out, m.nbr2.grads()...)
+}
+
+// ZeroGrads implements Model.
+func (m *SAGE) ZeroGrads() {
+	m.self1.zeroGrads()
+	m.nbr1.zeroGrads()
+	m.self2.zeroGrads()
+	m.nbr2.zeroGrads()
+}
+
+// --------------------------------------------------------------- Cheb
+
+// Cheb is a two-layer Chebyshev spectral GNN (Defferrard et al.): each
+// layer computes sum_k T_k(L̂) X W_k with the Chebyshev recurrence
+// T_0 = X, T_1 = L̂X, T_k = 2 L̂ T_{k-1} - T_{k-2}. op must be the
+// scaled Laplacian L̂.
+type Cheb struct {
+	op         Operator
+	K          int
+	lin1, lin2 []*linear
+	mask       *dense.Matrix
+	t1Cache    []*dense.Matrix // T_k of layer 1 inputs
+	t2Cache    []*dense.Matrix
+}
+
+// NewCheb builds a two-layer ChebNet of order cfg.ChebK (default 3).
+func NewCheb(op Operator, ledger *Ledger, cfg Config) *Cheb {
+	k := cfg.ChebK
+	if k <= 0 {
+		k = 3
+	}
+	m := &Cheb{op: op, K: k}
+	for i := 0; i < k; i++ {
+		m.lin1 = append(m.lin1, newLinear(cfg.In, cfg.Hidden, cfg.Seed+int64(i)+1, ledger))
+		m.lin2 = append(m.lin2, newLinear(cfg.Hidden, cfg.Classes, cfg.Seed+int64(i)+100, ledger))
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *Cheb) Name() string { return string(KindCheb) }
+
+// chebTerms computes the K Chebyshev basis matrices of x.
+func (m *Cheb) chebTerms(x *dense.Matrix) []*dense.Matrix {
+	terms := make([]*dense.Matrix, m.K)
+	terms[0] = x
+	if m.K > 1 {
+		terms[1] = m.op.Mul(x)
+	}
+	for k := 2; k < m.K; k++ {
+		t := m.op.Mul(terms[k-1])
+		t.Scale(2)
+		t.AddScaled(terms[k-2], -1)
+		terms[k] = t
+	}
+	return terms
+}
+
+// chebBackward propagates gradients gk (with respect to each T_k) back
+// to the layer input.
+func (m *Cheb) chebBackward(gk []*dense.Matrix) *dense.Matrix {
+	// Adjoint of the recurrence, processed from high k down.
+	for k := m.K - 1; k >= 2; k-- {
+		up := gk[k].Clone()
+		up.Scale(2)
+		gk[k-1].Add(m.op.MulT(up))
+		gk[k-2].AddScaled(gk[k], -1)
+	}
+	gx := gk[0]
+	if m.K > 1 {
+		gx.Add(m.op.MulT(gk[1]))
+	}
+	return gx
+}
+
+// Forward implements Model.
+func (m *Cheb) Forward(x *dense.Matrix) *dense.Matrix {
+	m.t1Cache = m.chebTerms(x)
+	var h *dense.Matrix
+	for k, t := range m.t1Cache {
+		y := m.lin1[k].forward(t)
+		if h == nil {
+			h = y
+		} else {
+			h.Add(y)
+		}
+	}
+	m.mask = dense.ReLU(h)
+	m.t2Cache = m.chebTerms(h)
+	var out *dense.Matrix
+	for k, t := range m.t2Cache {
+		y := m.lin2[k].forward(t)
+		if out == nil {
+			out = y
+		} else {
+			out.Add(y)
+		}
+	}
+	return out
+}
+
+// Backward implements Model.
+func (m *Cheb) Backward(g *dense.Matrix) {
+	gk2 := make([]*dense.Matrix, m.K)
+	for k := range m.lin2 {
+		gk2[k] = m.lin2[k].backward(g)
+	}
+	gH := m.chebBackward(gk2)
+	gH.MulMask(m.mask)
+	gk1 := make([]*dense.Matrix, m.K)
+	for k := range m.lin1 {
+		gk1[k] = m.lin1[k].backward(gH)
+	}
+	_ = m.chebBackward(gk1) // input gradient unused
+}
+
+// Params implements Model.
+func (m *Cheb) Params() []*dense.Matrix {
+	var out []*dense.Matrix
+	for _, l := range m.lin1 {
+		out = append(out, l.params()...)
+	}
+	for _, l := range m.lin2 {
+		out = append(out, l.params()...)
+	}
+	return out
+}
+
+// Grads implements Model.
+func (m *Cheb) Grads() []*dense.Matrix {
+	var out []*dense.Matrix
+	for _, l := range m.lin1 {
+		out = append(out, l.grads()...)
+	}
+	for _, l := range m.lin2 {
+		out = append(out, l.grads()...)
+	}
+	return out
+}
+
+// ZeroGrads implements Model.
+func (m *Cheb) ZeroGrads() {
+	for _, l := range m.lin1 {
+		l.zeroGrads()
+	}
+	for _, l := range m.lin2 {
+		l.zeroGrads()
+	}
+}
+
+// ---------------------------------------------------------------- SGC
+
+// SGC is the simplified graph convolution of Wu et al.: logits =
+// Â^K X W. Aggregation runs over the raw feature width, which is why
+// the paper measures the largest aggregation speedups on SGC.
+type SGC struct {
+	op      Operator
+	Hops    int
+	lin     *linear
+	propped *dense.Matrix // cached Â^K X (SGC's precomputation)
+	Cache   bool          // reuse propped across Forward calls
+}
+
+// NewSGC builds an SGC with cfg.SGCHops propagation steps (default 2).
+func NewSGC(op Operator, ledger *Ledger, cfg Config) *SGC {
+	hops := cfg.SGCHops
+	if hops <= 0 {
+		hops = 2
+	}
+	return &SGC{op: op, Hops: hops, lin: newLinear(cfg.In, cfg.Classes, cfg.Seed+1, ledger), Cache: true}
+}
+
+// Name implements Model.
+func (m *SGC) Name() string { return string(KindSGC) }
+
+// InvalidateCache drops the propagated-feature cache so the next
+// Forward re-runs aggregation (used by timing harnesses).
+func (m *SGC) InvalidateCache() { m.propped = nil }
+
+// Forward implements Model.
+func (m *SGC) Forward(x *dense.Matrix) *dense.Matrix {
+	if m.propped == nil || !m.Cache {
+		h := x
+		for i := 0; i < m.Hops; i++ {
+			h = m.op.Mul(h)
+		}
+		m.propped = h
+	}
+	return m.lin.forward(m.propped)
+}
+
+// Backward implements Model.
+func (m *SGC) Backward(g *dense.Matrix) { m.lin.backward(g) }
+
+// Params implements Model.
+func (m *SGC) Params() []*dense.Matrix { return m.lin.params() }
+
+// Grads implements Model.
+func (m *SGC) Grads() []*dense.Matrix { return m.lin.grads() }
+
+// ZeroGrads implements Model.
+func (m *SGC) ZeroGrads() { m.lin.zeroGrads() }

@@ -1,0 +1,221 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+func TestChebOrders(t *testing.T) {
+	g, x, labels := testSetup(t, 32)
+	idx := []int{0, 5, 10, 20}
+	for _, K := range []int{1, 2, 4} {
+		op, ledger := csrOp(t, csr.ScaledLaplacian(g))
+		m := NewCheb(op, ledger, Config{In: 6, Hidden: 4, Classes: 2, ChebK: K, Seed: 3})
+		if m.K != K {
+			t.Fatalf("K = %d, want %d", m.K, K)
+		}
+		numericalGradCheck(t, m, x, labels, idx)
+		// Aggregations per forward: 2 layers x (K-1) recurrence steps.
+		ledger.Reset()
+		m.Forward(x)
+		want := 2 * (K - 1)
+		if ledger.AggCalls != want {
+			t.Errorf("K=%d: %d agg calls, want %d", K, ledger.AggCalls, want)
+		}
+	}
+}
+
+func TestSGCHops(t *testing.T) {
+	g, x, _ := testSetup(t, 32)
+	for _, hops := range []int{1, 3} {
+		op, ledger := csrOp(t, csr.SymNormalized(g))
+		m := NewSGC(op, ledger, Config{In: 6, Classes: 2, SGCHops: hops, Seed: 3})
+		ledger.Reset()
+		m.Forward(x)
+		if ledger.AggCalls != hops {
+			t.Errorf("hops=%d: %d agg calls", hops, ledger.AggCalls)
+		}
+	}
+}
+
+func TestSAGETransposeAggregation(t *testing.T) {
+	// SAGE's operator (row-normalized adjacency) is asymmetric; MulT
+	// must be its exact transpose — verify against dense.
+	g, x, _ := testSetup(t, 24)
+	w := csr.RowNormalized(g)
+	op, _ := csrOp(t, w)
+	wd := w.ToDense()
+	want := dense.MatMul(dense.Transpose(wd), x)
+	got := op.MulT(x)
+	if d := dense.MaxAbsDiff(want, got); d > 1e-4 {
+		t.Errorf("MulT differs from dense transpose by %v", d)
+	}
+}
+
+func TestModelsDifferentSeedsDiffer(t *testing.T) {
+	g, x, _ := testSetup(t, 24)
+	op, ledger := csrOp(t, csr.SymNormalized(g))
+	a := NewGCN(op, ledger, Config{In: 6, Hidden: 4, Classes: 2, Seed: 1})
+	b := NewGCN(op, ledger, Config{In: 6, Hidden: 4, Classes: 2, Seed: 2})
+	la := a.Forward(x)
+	lb := b.Forward(x)
+	if dense.MaxAbsDiff(la, lb) == 0 {
+		t.Error("different seeds produced identical models")
+	}
+	c := NewGCN(op, ledger, Config{In: 6, Hidden: 4, Classes: 2, Seed: 1})
+	lc := c.Forward(x)
+	if dense.MaxAbsDiff(la, lc) != 0 {
+		t.Error("same seed produced different models")
+	}
+}
+
+func TestParamsGradsParallel(t *testing.T) {
+	g, x, labels := testSetup(t, 24)
+	for _, kind := range AllModelKinds {
+		var w *csr.Matrix
+		switch kind {
+		case KindCheb:
+			w = csr.ScaledLaplacian(g)
+		case KindSAGE:
+			w = csr.RowNormalized(g)
+		default:
+			w = csr.SymNormalized(g)
+		}
+		op, ledger := csrOp(t, w)
+		m, err := Build(kind, op, ledger, Config{In: 6, Hidden: 4, Classes: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params, grads := m.Params(), m.Grads()
+		if len(params) != len(grads) {
+			t.Fatalf("%s: %d params vs %d grads", kind, len(params), len(grads))
+		}
+		for i := range params {
+			if params[i].Rows != grads[i].Rows || params[i].Cols != grads[i].Cols {
+				t.Fatalf("%s: param %d shape mismatch", kind, i)
+			}
+		}
+		// ZeroGrads clears accumulated gradients.
+		logits := m.Forward(x)
+		probs := logits.Clone()
+		dense.SoftmaxRows(probs)
+		_, grad := dense.CrossEntropy(probs, labels, []int{0, 1})
+		m.Backward(grad)
+		nonzero := false
+		for _, gm := range m.Grads() {
+			for _, v := range gm.Data {
+				if v != 0 {
+					nonzero = true
+				}
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: backward produced all-zero grads", kind)
+		}
+		m.ZeroGrads()
+		for _, gm := range m.Grads() {
+			for _, v := range gm.Data {
+				if v != 0 {
+					t.Fatalf("%s: ZeroGrads left residue", kind)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainTracksValidation(t *testing.T) {
+	g, x, labels := testSetup(t, 60)
+	op, ledger := csrOp(t, csr.SymNormalized(g))
+	m := NewGCN(op, ledger, Config{In: 6, Hidden: 8, Classes: 2, Seed: 4})
+	split := RandomSplit(g.N(), 0.5, 0.25, 2)
+	res := Train(m, x, labels, split, TrainConfig{Epochs: 40, LR: 0.03})
+	if len(res.LossHistory) != 40 {
+		t.Errorf("loss history %d entries", len(res.LossHistory))
+	}
+	if res.BestValEpoch < 0 || res.BestValEpoch >= 40 {
+		t.Errorf("BestValEpoch = %d", res.BestValEpoch)
+	}
+	if res.TrainAcc < res.TestAcc-0.3 {
+		t.Errorf("train acc %v far below test %v", res.TrainAcc, res.TestAcc)
+	}
+}
+
+func TestTrainDefaultsApplied(t *testing.T) {
+	g, x, labels := testSetup(t, 24)
+	op, ledger := csrOp(t, csr.SymNormalized(g))
+	m := NewSGC(op, ledger, Config{In: 6, Classes: 2, Seed: 4})
+	res := Train(m, x, labels, RandomSplit(g.N(), 0.5, 0.2, 1), TrainConfig{})
+	if len(res.LossHistory) != DefaultTrainConfig().Epochs {
+		t.Errorf("default epochs not applied: %d", len(res.LossHistory))
+	}
+}
+
+func TestSPTCOperatorResidual(t *testing.T) {
+	// A graph too dense to conform must still execute correctly via the
+	// hybrid split (nonzero residual).
+	g := graph.ErdosRenyi(48, 0.3, 3)
+	w := csr.SymNormalized(g)
+	f := NewFactory(EngineSPTC, pattern.NM(2, 4))
+	op, err := f.Make(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, ok := op.(*sptcOperator)
+	if !ok {
+		t.Fatal("expected sptcOperator")
+	}
+	if so.ResidualNNZ() == 0 {
+		t.Skip("unexpectedly conforming")
+	}
+	x := dense.NewMatrix(48, 8)
+	x.Randomize(1, 5)
+	csrOp, _ := csrOp(t, w)
+	want := csrOp.Mul(x)
+	got := op.Mul(x)
+	if d := dense.MaxAbsDiff(want, got); d > 1e-4 {
+		t.Errorf("hybrid SPTC differs from CSR by %v on non-conforming input", d)
+	}
+}
+
+func BenchmarkGCNForward(b *testing.B) {
+	g, labels := graph.SBM([]int{512, 512}, 0.02, 0.001, 3)
+	_ = labels
+	x := dense.NewMatrix(g.N(), 64)
+	x.Randomize(1, 1)
+	f := NewFactory(EngineCSR, pattern.NM(2, 4))
+	op, err := f.Make(csr.SymNormalized(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewGCN(op, f.Ledger, Config{In: 64, Hidden: 64, Classes: 8, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Forward(x)
+	}
+}
+
+func BenchmarkSAGETrainEpoch(b *testing.B) {
+	g, labels := graph.SBM([]int{256, 256}, 0.03, 0.002, 3)
+	x := dense.NewMatrix(g.N(), 32)
+	x.Randomize(1, 1)
+	f := NewFactory(EngineCSR, pattern.NM(2, 4))
+	op, err := f.Make(csr.RowNormalized(g))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewSAGE(op, f.Ledger, Config{In: 32, Hidden: 32, Classes: 2, Seed: 1})
+	idx := []int{0, 10, 20, 30, 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroGrads()
+		logits := m.Forward(x)
+		probs := logits.Clone()
+		dense.SoftmaxRows(probs)
+		_, grad := dense.CrossEntropy(probs, labels, idx)
+		m.Backward(grad)
+	}
+}

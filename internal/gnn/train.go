@@ -1,0 +1,117 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"repro/internal/dense"
+)
+
+// Split holds node-classification index sets.
+type Split struct {
+	Train, Val, Test []int
+}
+
+// RandomSplit partitions [0, n) into train/val/test by the given
+// fractions, deterministically per seed.
+func RandomSplit(n int, trainFrac, valFrac float64, seed int64) Split {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	nTrain := int(float64(n) * trainFrac)
+	nVal := int(float64(n) * valFrac)
+	return Split{
+		Train: perm[:nTrain],
+		Val:   perm[nTrain : nTrain+nVal],
+		Test:  perm[nTrain+nVal:],
+	}
+}
+
+// PlanetoidSplit builds the standard transductive split of the
+// Planetoid benchmarks (used by Cora/Citeseer evaluations): perClass
+// training nodes from each class, then numVal validation and numTest
+// test nodes from the remainder.
+func PlanetoidSplit(labels []int, classes, perClass, numVal, numTest int, seed int64) Split {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(labels))
+	var s Split
+	taken := make([]bool, len(labels))
+	count := make([]int, classes)
+	for _, i := range perm {
+		c := labels[i]
+		if c >= 0 && c < classes && count[c] < perClass {
+			s.Train = append(s.Train, i)
+			count[c]++
+			taken[i] = true
+		}
+	}
+	for _, i := range perm {
+		if taken[i] {
+			continue
+		}
+		switch {
+		case len(s.Val) < numVal:
+			s.Val = append(s.Val, i)
+		case len(s.Test) < numTest:
+			s.Test = append(s.Test, i)
+		default:
+			return s
+		}
+	}
+	return s
+}
+
+// TrainConfig controls the training loop.
+type TrainConfig struct {
+	Epochs int
+	LR     float32
+	WD     float32
+}
+
+// DefaultTrainConfig returns the settings the Table-5 runs use.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 120, LR: 0.02, WD: 5e-4}
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	FinalLoss    float64
+	TrainAcc     float64
+	ValAcc       float64
+	TestAcc      float64
+	LossHistory  []float64
+	BestValEpoch int
+}
+
+// Train fits the model full-batch with Adam and masked cross-entropy —
+// the forward pass of node classification the paper's accuracy
+// evaluation (Table 5) runs. Returns final accuracies over the split.
+func Train(m Model, x *dense.Matrix, labels []int, split Split, cfg TrainConfig) TrainResult {
+	if cfg.Epochs == 0 {
+		cfg = DefaultTrainConfig()
+	}
+	opt := dense.NewAdam(cfg.LR)
+	opt.WD = cfg.WD
+	var res TrainResult
+	bestVal := -1.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.ZeroGrads()
+		logits := m.Forward(x)
+		probs := logits.Clone()
+		dense.SoftmaxRows(probs)
+		loss, grad := dense.CrossEntropy(probs, labels, split.Train)
+		m.Backward(grad)
+		opt.Step(m.Params(), m.Grads())
+		res.LossHistory = append(res.LossHistory, loss)
+		res.FinalLoss = loss
+		if len(split.Val) > 0 {
+			if va := dense.Accuracy(logits, labels, split.Val); va > bestVal {
+				bestVal = va
+				res.BestValEpoch = epoch
+			}
+		}
+	}
+	logits := m.Forward(x)
+	res.TrainAcc = dense.Accuracy(logits, labels, split.Train)
+	res.ValAcc = dense.Accuracy(logits, labels, split.Val)
+	res.TestAcc = dense.Accuracy(logits, labels, split.Test)
+	return res
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket checks the MatrixMarket parser never panics and
+// that everything it accepts is a valid graph that round-trips.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n\n1 1 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n9 9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize accepted graph: %v", err)
+		}
+		g2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("cannot re-parse own output: %v", err)
+		}
+		if g2.N() != g.N() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadEdgeList checks the edge-list parser never panics and
+// accepted graphs validate.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("0 1 extra tokens ignored\n")
+	f.Add("-3 4\n")
+	f.Add("99999999999999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The generators below synthesize graphs spanning the structural
+// regimes of the SuiteSparse collection and of the GNN benchmark
+// datasets (DESIGN.md Section 1): uniform random (Erdős–Rényi),
+// power-law (Barabási–Albert), community-structured (planted-partition
+// SBM), banded, and grid graphs. Every generator is deterministic given
+// its seed.
+
+// ErdosRenyi generates G(n, p) with expected degree p*(n-1).
+func ErdosRenyi(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	if p >= 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	} else if p > 0 {
+		// Batagelj–Brandes geometric skipping over the lower triangle:
+		// row v has candidate columns 0..v-1.
+		logq := math.Log1p(-p)
+		v, w := 1, -1
+		for v < n {
+			r := rng.Float64()
+			w += 1 + int(math.Log1p(-r)/logq)
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				edges = append(edges, [2]int{v, w})
+			}
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new
+// vertex attaches to m existing vertices chosen proportionally to
+// degree. Produces the heavy-tailed degree distributions typical of
+// social and web graphs.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	// Repeated-endpoint list for preferential sampling.
+	targets := make([]int, 0, 2*n*m)
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	// Seed clique among the first start vertices.
+	for u := 0; u < start; u++ {
+		for v := u + 1; v < start; v++ {
+			edges = append(edges, [2]int{u, v})
+			targets = append(targets, u, v)
+		}
+	}
+	for u := start; u < n; u++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			var t int
+			if len(targets) == 0 || rng.Float64() < 0.05 {
+				t = rng.Intn(u) // small uniform mixing avoids star collapse
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t != u {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			edges = append(edges, [2]int{u, t})
+			targets = append(targets, u, t)
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// SBM generates a planted-partition stochastic block model with the
+// given community sizes: intra-community edge probability pIn and
+// inter-community probability pOut. Returns the graph and each vertex's
+// community label. This is the substrate for the synthetic GNN
+// datasets: communities become node-classification classes.
+func SBM(sizes []int, pIn, pOut float64, seed int64) (*Graph, []int) {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	labels := make([]int, n)
+	offset := 0
+	for c, s := range sizes {
+		for i := 0; i < s; i++ {
+			labels[offset+i] = c
+		}
+		offset += s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	// Expected-edge sampling: for each pair class choose Binomial via
+	// geometric skipping per block pair to stay near O(E).
+	sample := func(uLo, uHi, vLo, vHi int, p float64, samePart bool) {
+		if p <= 0 {
+			return
+		}
+		// Sample each vertex's partners by expected count to avoid O(n^2).
+		for u := uLo; u < uHi; u++ {
+			lo := vLo
+			if samePart {
+				lo = u + 1
+			}
+			span := vHi - lo
+			if span <= 0 {
+				continue
+			}
+			// Binomial(span, p) approximated by Poisson for small p.
+			mean := float64(span) * p
+			k := poisson(rng, mean)
+			for j := 0; j < k; j++ {
+				v := lo + rng.Intn(span)
+				if v != u {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+	}
+	offs := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		offs[i+1] = offs[i] + s
+	}
+	for a := range sizes {
+		sample(offs[a], offs[a+1], offs[a], offs[a+1], pIn, true)
+		for b := a + 1; b < len(sizes); b++ {
+			sample(offs[a], offs[a+1], offs[b], offs[b+1], pOut, false)
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g, labels
+}
+
+// Banded generates a banded matrix graph: vertex u connects to up to
+// `band` following vertices with probability p. Banded structure is
+// common in SuiteSparse PDE/mesh matrices and is highly reorderable.
+func Banded(n, band int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for d := 1; d <= band && u+d < n; d++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, u + d})
+			}
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// Grid2D generates a rows x cols 4-neighbor grid graph.
+func Grid2D(rows, cols int) *Graph {
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	g, _ := NewFromEdges(rows*cols, edges)
+	return g
+}
+
+// RMAT generates a recursive-matrix (Kronecker-like) graph with the
+// standard (a, b, c, d) quadrant probabilities, symmetrized. scale is
+// log2 of the vertex count.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed int64) *Graph {
+	n := 1 << uint(scale)
+	rng := rand.New(rand.NewSource(seed))
+	numEdges := n * edgeFactor
+	edges := make([][2]int, 0, numEdges)
+	for e := 0; e < numEdges; e++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b:
+				v |= bit
+			case r < a+b+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// Blowup replaces each vertex of the base graph with a cluster of c
+// copies; every base edge (u, v) becomes a complete bipartite
+// connection between the two clusters. All rows of a cluster share an
+// identical adjacency pattern, the duplicate-row structure common in
+// FEM/stencil matrices — and exactly the structure that satisfies the
+// V:N:M vertical constraint for V up to c after reordering.
+func Blowup(base *Graph, c int) *Graph {
+	if c < 1 {
+		c = 1
+	}
+	n := base.N() * c
+	var edges [][2]int
+	for u := 0; u < base.N(); u++ {
+		for _, v := range base.Neighbors(u) {
+			if int(v) < u {
+				continue
+			}
+			for i := 0; i < c; i++ {
+				for j := 0; j < c; j++ {
+					edges = append(edges, [2]int{u*c + i, int(v)*c + j})
+				}
+			}
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// UltraSparse generates a graph with roughly frac*n scattered edges —
+// the density regime (<0.01%) where the paper observes SPTC SpMM can
+// lose to CSR (Figure 4's slowdown tail).
+func UltraSparse(n int, frac float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	count := int(float64(n) * frac)
+	if count < 1 {
+		count = 1
+	}
+	var edges [][2]int
+	for k := 0; k < count; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	g, _ := NewFromEdges(n, edges)
+	return g
+}
+
+// GenerateByName builds a graph from a generator family name — the
+// shared dispatcher behind the CLI tools' -gen flags. Supported names:
+// banded, grid, er, ba, community, ultrasparse, blowup, rmat.
+func GenerateByName(name string, n int, seed int64) (*Graph, error) {
+	switch name {
+	case "banded":
+		return Banded(n, 3, 0.8, seed), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid2D(side, side), nil
+	case "er":
+		return ErdosRenyi(n, 8/float64(n), seed), nil
+	case "ba":
+		return BarabasiAlbert(n, 3, seed), nil
+	case "community":
+		nc := n / 64
+		if nc < 2 {
+			nc = 2
+		}
+		sizes := make([]int, nc)
+		for i := range sizes {
+			sizes[i] = n / nc
+		}
+		g, _ := SBM(sizes, 8/float64(n/nc), 0.5/float64(n), seed)
+		return g, nil
+	case "ultrasparse":
+		return UltraSparse(n, 0.05, seed), nil
+	case "blowup":
+		c := 8
+		base := n / c
+		if base < 2 {
+			base = 2
+		}
+		return Blowup(Banded(base, 1, 1.0, seed), c), nil
+	case "rmat":
+		scale := 1
+		for 1<<uint(scale) < n {
+			scale++
+		}
+		return RMAT(scale, 8, 0.57, 0.19, 0.19, seed), nil
+	}
+	return nil, fmt.Errorf("graph: unknown generator %q", name)
+}
+
+// poisson samples a Poisson(mean) variate; for large mean it uses a
+// normal approximation.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}

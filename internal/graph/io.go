@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the graph's adjacency structure in
+// MatrixMarket coordinate pattern symmetric format (1-based indices,
+// lower triangle), the interchange format of the SuiteSparse
+// collection.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern symmetric"); err != nil {
+		return err
+	}
+	// Count lower-triangle entries (v <= u).
+	count := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) <= u {
+				count++
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.N(), g.N(), count); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) <= u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u+1, v+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeList writes one "u v" line per undirected edge (0-based),
+// the plain format most GNN dataset dumps use.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) <= u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses whitespace-separated "u v" pairs (comments
+// starting with '#' or '%' are skipped) into an undirected graph with
+// n = max vertex id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var edges [][2]int
+	maxID := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: malformed edge line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q", fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q", fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: negative vertex in %q", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewFromEdges(maxID+1, edges)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into an
+// undirected graph. Pattern, real and integer fields are accepted
+// (values are discarded); general and symmetric symmetry are accepted
+// (general files are symmetrized).
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: unsupported MatrixMarket header %q", sc.Text())
+	}
+	// Skip comments.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	parts := strings.Fields(sizeLine)
+	if len(parts) < 3 {
+		return nil, fmt.Errorf("graph: malformed size line %q", sizeLine)
+	}
+	rows, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad row count: %v", err)
+	}
+	cols, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad col count: %v", err)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graph: adjacency matrix must be square, got %dx%d", rows, cols)
+	}
+	nnz, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad nnz count: %v", err)
+	}
+	edges := make([][2]int, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: malformed entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad row index %q", fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad col index %q", fields[1])
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("graph: index (%d,%d) out of range", i, j)
+		}
+		edges = append(edges, [2]int{i - 1, j - 1})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewFromEdges(rows, edges)
+}

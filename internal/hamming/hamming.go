@@ -1,0 +1,86 @@
+// Package hamming implements the Hamming-distance order of k-digit
+// binary strings and the Hamming position code used by Stage-1 of the
+// SOGRE reordering algorithm (Section 4.2 of the paper).
+//
+// The Hamming-distance order of all k-digit binary strings is the
+// unique ordering minimizing the cumulative Hamming distance between
+// adjacent strings; adjacent entries differ in exactly one bit. That
+// ordering is the binary reflected Gray code: the i-th string in the
+// order is Gray(i) = i XOR (i >> 1). The Hamming position code of a
+// string b is therefore the Gray-code rank of b, i.e. the inverse Gray
+// transform.
+//
+// Example for k = 2: the order is {00, 01, 11, 10}, with cumulative
+// Hamming distance 3, and PositionCode(0b11) = 2 — matching the paper's
+// worked example.
+package hamming
+
+import "math/bits"
+
+// FromPosition returns the binary string at rank pos in the
+// Hamming-distance order of k-digit strings: the binary reflected Gray
+// code of pos. k is implicit (the result uses however many bits pos
+// needs).
+func FromPosition(pos uint64) uint64 {
+	return pos ^ (pos >> 1)
+}
+
+// PositionCode returns the rank of the binary string b in the
+// Hamming-distance order of k-digit binary strings (0-based). It is the
+// inverse of FromPosition and is independent of k: leading zeros do not
+// change the rank.
+func PositionCode(b uint64) uint64 {
+	// Inverse Gray code: prefix XOR over bits.
+	b ^= b >> 1
+	b ^= b >> 2
+	b ^= b >> 4
+	b ^= b >> 8
+	b ^= b >> 16
+	b ^= b >> 32
+	return b
+}
+
+// Distance returns the Hamming distance between two binary strings.
+func Distance(a, b uint64) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// CumulativeDistance returns the sum of Hamming distances between every
+// pair of adjacent strings in seq.
+func CumulativeDistance(seq []uint64) int {
+	total := 0
+	for i := 1; i < len(seq); i++ {
+		total += Distance(seq[i-1], seq[i])
+	}
+	return total
+}
+
+// Order returns the full Hamming-distance order of all k-digit binary
+// strings, for k in [0, 30] (larger k would allocate > 2^30 entries).
+func Order(k int) []uint64 {
+	if k < 0 || k > 30 {
+		panic("hamming: Order supports k in [0, 30]")
+	}
+	out := make([]uint64, 1<<uint(k))
+	for i := range out {
+		out[i] = FromPosition(uint64(i))
+	}
+	return out
+}
+
+// SignedCode returns the position code of segment-vector bits b as a
+// signed value, negated when the vector violates the horizontal N:M
+// constraint (more than n nonzeros among the M bits). This is the
+// special treatment of Algorithm 2 lines 9–10: negation keeps invalid
+// vectors from contaminating well-formed meta-blocks during the sort.
+//
+// The code of a valid vector is PositionCode(b)+1 and of an invalid one
+// -(PositionCode(b)+1), so that the zero vector (code 1) remains
+// distinguishable from "absent" zero entries in caller matrices.
+func SignedCode(b uint64, n int) int64 {
+	code := int64(PositionCode(b)) + 1
+	if bits.OnesCount64(b) > n {
+		return -code
+	}
+	return code
+}

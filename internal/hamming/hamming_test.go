@@ -1,0 +1,131 @@
+package hamming
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExamples(t *testing.T) {
+	// Section 4.2: the Hamming-distance order of all 2-digit strings is
+	// {00, 01, 11, 10}, cumulative distance 3.
+	order := Order(2)
+	want := []uint64{0b00, 0b01, 0b11, 0b10}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Order(2)[%d] = %02b, want %02b", i, order[i], want[i])
+		}
+	}
+	if d := CumulativeDistance(order); d != 3 {
+		t.Errorf("cumulative distance of order = %d, want 3", d)
+	}
+	// "the Hamming position code of ... 11 is 2".
+	if got := PositionCode(0b11); got != 2 {
+		t.Errorf("PositionCode(11) = %d, want 2", got)
+	}
+	// {00, 01, 10, 11} has cumulative distance 1+2+1 = 4.
+	if d := CumulativeDistance([]uint64{0b00, 0b01, 0b10, 0b11}); d != 4 {
+		t.Errorf("cumulative distance of natural order = %d, want 4", d)
+	}
+	// 0011 vs 0111 differ at one position.
+	if d := Distance(0b0011, 0b0111); d != 1 {
+		t.Errorf("Distance(0011,0111) = %d, want 1", d)
+	}
+}
+
+func TestAdjacentDifferByOneBit(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 8, 10} {
+		order := Order(k)
+		for i := 1; i < len(order); i++ {
+			if Distance(order[i-1], order[i]) != 1 {
+				t.Fatalf("k=%d: adjacent entries %d,%d differ by %d bits",
+					k, i-1, i, Distance(order[i-1], order[i]))
+			}
+		}
+		// Cumulative distance is minimal: exactly 2^k - 1.
+		if d := CumulativeDistance(order); d != len(order)-1 {
+			t.Errorf("k=%d cumulative distance = %d, want %d", k, d, len(order)-1)
+		}
+	}
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	for _, k := range []int{1, 4, 8} {
+		order := Order(k)
+		seen := make(map[uint64]bool, len(order))
+		for _, v := range order {
+			if v >= 1<<uint(k) {
+				t.Fatalf("k=%d: value %d out of range", k, v)
+			}
+			if seen[v] {
+				t.Fatalf("k=%d: duplicate value %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPositionCodeInvertsFromPosition(t *testing.T) {
+	f := func(pos uint64) bool {
+		return PositionCode(FromPosition(pos)) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(b uint64) bool {
+		return FromPosition(PositionCode(b)) == b
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Order(%d) did not panic", k)
+				}
+			}()
+			Order(k)
+		}()
+	}
+}
+
+func TestSignedCode(t *testing.T) {
+	// 2:4 pattern: up to 2 nonzeros valid.
+	if got := SignedCode(0b0011, 2); got <= 0 {
+		t.Errorf("SignedCode(0011, 2) = %d, want positive", got)
+	}
+	if got := SignedCode(0b0111, 2); got >= 0 {
+		t.Errorf("SignedCode(0111, 2) = %d, want negative", got)
+	}
+	// Zero vector gets code +1 (never zero).
+	if got := SignedCode(0, 2); got != 1 {
+		t.Errorf("SignedCode(0, 2) = %d, want 1", got)
+	}
+	// Negation preserves magnitude.
+	pos := SignedCode(0b0011, 2)
+	neg := SignedCode(0b0011, 0)
+	if pos != -neg {
+		t.Errorf("valid/invalid codes not symmetric: %d vs %d", pos, neg)
+	}
+}
+
+func TestSignedCodeOrdersSimilarVectorsTogether(t *testing.T) {
+	// Vectors with nearby position codes should have small Hamming
+	// distance on average; spot-check monotone neighborhoods.
+	a := PositionCode(0b1100)
+	b := PositionCode(0b1101)
+	if Distance(FromPosition(a), FromPosition(b)) != 1 {
+		t.Error("round-trip changed values")
+	}
+}
+
+func BenchmarkPositionCode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += PositionCode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}

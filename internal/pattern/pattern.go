@@ -1,0 +1,257 @@
+// Package pattern defines the N:M and V:N:M sparse patterns required
+// by GPU Sparse Tensor Cores (SPTC) and the conformity metrics used
+// throughout the paper: PScore (horizontal, segment-vector-level
+// violations), MBScore (vertical, meta-block-level violations), and the
+// improvement rate of a reordering.
+//
+// Terminology (paper Figure 2):
+//
+//   - A segment vector is an M-element row vector of the adjacency
+//     matrix; the horizontal constraint allows at most N nonzeros in
+//     it.
+//   - A segment is the n-by-M column stripe holding all the segment
+//     vectors of one column window.
+//   - A meta-block is a V-by-M tile; the vertical constraint allows at
+//     most K of its M columns to contain any nonzero (K = 4 on current
+//     SPTC hardware).
+//
+// N:M is the special case V = 1, where the vertical constraint is
+// implied whenever N <= K.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitmat"
+)
+
+// DefaultK is the SPTC hardware limit on the number of nonzero columns
+// a V-by-M meta-block may use (paper Section 2: "4 by default").
+const DefaultK = 4
+
+// VNM describes a V:N:M sparse pattern. V is the meta-block height, N
+// the maximum nonzeros per M-element segment vector, M the segment
+// width, and K the maximum distinct nonzero columns per meta-block.
+type VNM struct {
+	V, N, M int
+	K       int // 0 means DefaultK
+}
+
+// NM returns the basic N:M pattern (V = 1).
+func NM(n, m int) VNM { return VNM{V: 1, N: n, M: m} }
+
+// New returns the V:N:M pattern with the default hardware K.
+func New(v, n, m int) VNM { return VNM{V: v, N: n, M: m} }
+
+// EffK returns the effective vertical column limit.
+func (p VNM) EffK() int {
+	if p.K > 0 {
+		return p.K
+	}
+	return DefaultK
+}
+
+// Validate reports whether the pattern parameters are meaningful for
+// this implementation: 1 <= N <= M <= 64, V >= 1, M a power of two.
+func (p VNM) Validate() error {
+	switch {
+	case p.M < 1 || p.M > 64:
+		return fmt.Errorf("pattern: M = %d out of range [1, 64]", p.M)
+	case p.M&(p.M-1) != 0:
+		return fmt.Errorf("pattern: M = %d is not a power of two", p.M)
+	case p.N < 1 || p.N > p.M:
+		return fmt.Errorf("pattern: N = %d out of range [1, M=%d]", p.N, p.M)
+	case p.V < 1:
+		return fmt.Errorf("pattern: V = %d must be >= 1", p.V)
+	case p.K < 0:
+		return fmt.Errorf("pattern: K = %d must be >= 0", p.K)
+	}
+	return nil
+}
+
+// String renders the pattern in the paper's V:N:M notation (or N:M when
+// V is 1).
+func (p VNM) String() string {
+	if p.V == 1 {
+		return fmt.Sprintf("%d:%d", p.N, p.M)
+	}
+	return fmt.Sprintf("%d:%d:%d", p.V, p.N, p.M)
+}
+
+// Parse reads a pattern from its string notation: "N:M" (e.g. "2:4")
+// or "V:N:M" (e.g. "16:2:16"). The parsed pattern is validated.
+func Parse(s string) (VNM, error) {
+	parts := strings.Split(s, ":")
+	nums := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return VNM{}, fmt.Errorf("pattern: bad component %q in %q", p, s)
+		}
+		nums[i] = v
+	}
+	var p VNM
+	switch len(nums) {
+	case 2:
+		p = NM(nums[0], nums[1])
+	case 3:
+		p = New(nums[0], nums[1], nums[2])
+	default:
+		return VNM{}, fmt.Errorf("pattern: %q is not N:M or V:N:M", s)
+	}
+	if err := p.Validate(); err != nil {
+		return VNM{}, err
+	}
+	return p, nil
+}
+
+// VectorValid reports whether an M-bit segment vector satisfies the
+// horizontal constraint (at most N nonzeros).
+func (p VNM) VectorValid(segBits uint64) bool {
+	return bits.OnesCount64(segBits) <= p.N
+}
+
+// PScore returns the number of segment vectors in the matrix violating
+// the horizontal N:M constraint — F_p(phi) in the paper. Rows are
+// scanned in parallel.
+func PScore(m *bitmat.Matrix, p VNM) int {
+	segs := m.NumSegments(p.M)
+	return bitmat.ParallelReduceInt(m.N(), func(lo, hi int) int {
+		count := 0
+		for i := lo; i < hi; i++ {
+			for s := 0; s < segs; s++ {
+				if m.SegmentPop(i, s, p.M) > p.N {
+					count++
+				}
+			}
+		}
+		return count
+	})
+}
+
+// SegmentPScores returns, for each of the ceil(n/M) segments (column
+// stripes), the number of its segment vectors violating the horizontal
+// constraint.
+func SegmentPScores(m *bitmat.Matrix, p VNM) []int {
+	segs := m.NumSegments(p.M)
+	scores := make([]int, segs)
+	// Parallel over segments (columns stripes are independent).
+	bitmat.ParallelRows(segs, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			count := 0
+			for i := 0; i < m.N(); i++ {
+				if m.SegmentPop(i, s, p.M) > p.N {
+					count++
+				}
+			}
+			scores[s] = count
+		}
+	})
+	return scores
+}
+
+// SegmentNNZ returns the number of nonzeros in each column-stripe
+// segment.
+func SegmentNNZ(m *bitmat.Matrix, p VNM) []int {
+	segs := m.NumSegments(p.M)
+	counts := make([]int, segs)
+	bitmat.ParallelRows(segs, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			total := 0
+			for i := 0; i < m.N(); i++ {
+				total += m.SegmentPop(i, s, p.M)
+			}
+			counts[s] = total
+		}
+	})
+	return counts
+}
+
+// MetaBlockValid reports whether the V-by-M meta-block with top row
+// rowStart and column stripe seg satisfies both V:N:M constraints:
+// at most K nonzero columns (vertical) and every row vector N:M
+// (horizontal).
+func MetaBlockValid(m *bitmat.Matrix, p VNM, rowStart, seg int) bool {
+	used := m.ColumnsUsed(rowStart, seg, p.M, p.V)
+	if bits.OnesCount64(used) > p.EffK() {
+		return false
+	}
+	for r := rowStart; r < rowStart+p.V && r < m.N(); r++ {
+		if m.SegmentPop(r, seg, p.M) > p.N {
+			return false
+		}
+	}
+	return true
+}
+
+// MetaBlockVerticalValid reports only the vertical constraint of the
+// meta-block: at most K distinct nonzero columns.
+func MetaBlockVerticalValid(m *bitmat.Matrix, p VNM, rowStart, seg int) bool {
+	return bits.OnesCount64(m.ColumnsUsed(rowStart, seg, p.M, p.V)) <= p.EffK()
+}
+
+// MBScore returns the number of meta-blocks violating the vertical
+// constraint — F_MB(phi) in the paper (Algorithm 2's GetMbScore).
+func MBScore(m *bitmat.Matrix, p VNM) int {
+	segs := m.NumSegments(p.M)
+	blocksPerCol := (m.N() + p.V - 1) / p.V
+	return bitmat.ParallelReduceInt(blocksPerCol, func(lo, hi int) int {
+		count := 0
+		for b := lo; b < hi; b++ {
+			rowStart := b * p.V
+			for s := 0; s < segs; s++ {
+				if !MetaBlockVerticalValid(m, p, rowStart, s) {
+					count++
+				}
+			}
+		}
+		return count
+	})
+}
+
+// Violations aggregates both violation counts for a matrix under a
+// pattern.
+type Violations struct {
+	Pattern VNM
+	PScore  int // segment vectors violating the horizontal constraint
+	MBScore int // meta-blocks violating the vertical constraint
+}
+
+// Conforming reports whether the matrix fully conforms to the pattern.
+func (v Violations) Conforming() bool { return v.PScore == 0 && v.MBScore == 0 }
+
+// Check computes both scores.
+func Check(m *bitmat.Matrix, p VNM) Violations {
+	return Violations{Pattern: p, PScore: PScore(m, p), MBScore: MBScore(m, p)}
+}
+
+// Conforms reports whether the matrix satisfies every V:N:M constraint.
+func Conforms(m *bitmat.Matrix, p VNM) bool {
+	if PScore(m, p) != 0 {
+		return false
+	}
+	return MBScore(m, p) == 0
+}
+
+// ImprovementRate is the paper's effectiveness metric for a reordering:
+// (initial - final) / initial, where the arguments count violating
+// segment vectors. By convention it is 1 (100%) when initial is 0 and
+// final is 0, and 0 when initial is 0 but final is positive (cannot
+// happen with a correct reorder).
+//
+// Note the paper prints the metric as a positive percentage
+// ("improvement rate 99.29%") even though its formula is written
+// (final-initial)/initial; we use the positive reduction convention the
+// results tables use.
+func ImprovementRate(initial, final int) float64 {
+	if initial == 0 {
+		if final == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(initial-final) / float64(initial)
+}

@@ -1,0 +1,125 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+)
+
+func randomBits(n, nnz int, seed int64) *bitmat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := bitmat.New(n)
+	for k := 0; k < nnz; k++ {
+		m.Set(rng.Intn(n), rng.Intn(n))
+	}
+	return m
+}
+
+func TestClearingNeverIncreasesScores(t *testing.T) {
+	// Monotonicity: removing a nonzero can never increase PScore or
+	// MBScore — the property that makes subset execution (pruning,
+	// operator matrices derived from a conforming adjacency) safe.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24 + rng.Intn(40)
+		m := randomBits(n, n*4, seed)
+		pats := []VNM{NM(2, 4), New(4, 2, 8), New(8, 2, 16)}
+		p := pats[rng.Intn(len(pats))]
+		beforeP, beforeMB := PScore(m, p), MBScore(m, p)
+		// Clear a handful of random set bits.
+		cleared := 0
+		for tries := 0; tries < 200 && cleared < 5; tries++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if m.Get(i, j) {
+				m.Clear(i, j)
+				cleared++
+			}
+		}
+		afterP, afterMB := PScore(m, p), MBScore(m, p)
+		return afterP <= beforeP && afterMB <= beforeMB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoresInvariantUnderIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomBits(32, 128, seed)
+		p := NM(2, 4)
+		id := make([]int, 32)
+		for i := range id {
+			id[i] = i
+		}
+		pm := m.Permute(id)
+		return PScore(m, p) == PScore(pm, p) && MBScore(m, p) == MBScore(pm, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStricterPatternsScoreAtLeastAsHigh(t *testing.T) {
+	// 2:2M is stricter than... not in general; but N:M with smaller N
+	// at the same M is stricter: PScore(N=1) >= PScore(N=2).
+	f := func(seed int64) bool {
+		m := randomBits(40, 200, seed)
+		return PScore(m, NM(1, 4)) >= PScore(m, NM(2, 4)) &&
+			PScore(m, NM(2, 8)) >= PScore(m, NM(3, 8))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargerVNeverReducesMBScore(t *testing.T) {
+	// Growing V makes the vertical constraint harder: a conforming
+	// V-block set can only break, never heal, when blocks merge.
+	// (Checked on the conforming/violating boundary via the count.)
+	f := func(seed int64) bool {
+		m := randomBits(48, 220, seed)
+		// Compare conformity, not raw counts (block counts differ).
+		conf8 := MBScore(m, New(8, 2, 8)) == 0
+		conf4 := MBScore(m, New(4, 2, 8)) == 0
+		// conforming at V=8 implies conforming at V=4 (every 4-block
+		// is contained in an 8-block? no — the other way). Conforming
+		// at V=8 means each 8x8 tile uses <= 4 columns; its two 4x8
+		// sub-tiles use subsets, so V=4 conforms too.
+		if conf8 && !conf4 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapSymPreservesTotalNNZAndScoresBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		m := bitmat.New(n)
+		for k := 0; k < 120; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			m.Set(i, j)
+			m.Set(j, i)
+		}
+		p := NM(2, 4)
+		total := m.NNZ()
+		for k := 0; k < 10; k++ {
+			m.SwapSym(rng.Intn(n), rng.Intn(n))
+		}
+		if m.NNZ() != total {
+			return false
+		}
+		// Scores stay within the absolute bounds.
+		segs := m.NumSegments(p.M)
+		return PScore(m, p) <= n*segs && MBScore(m, p) <= n*segs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

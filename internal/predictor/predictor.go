@@ -1,0 +1,307 @@
+// Package predictor implements the extension the paper sketches in
+// Section 5.3: "It is possible to create some machine learning models
+// to predict the preferred V:N:M pattern for a given matrix, akin to
+// the predictors of the best sparse storage format". A small
+// multinomial logistic-regression model maps cheap structural features
+// of a graph to the V:N:M format the full AutoReorder search would
+// pick, letting a pipeline skip the exhaustive try-every-format pass.
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// NumFeatures is the dimensionality of the feature vector.
+const NumFeatures = 8
+
+// Features are cheap structural statistics of a graph — everything is
+// O(V + E) to compute.
+type Features [NumFeatures]float64
+
+// Extract computes the feature vector of a graph:
+//
+//	0: log2 vertex count
+//	1: log10 density
+//	2: average degree
+//	3: max/avg degree ratio (heavy-tail indicator)
+//	4: degree coefficient of variation
+//	5: fraction of rows violating 2:4 in the natural order
+//	6: adjacency locality (mean |i-j|/n over edges; banded ~0)
+//	7: duplicate-row fraction (rows sharing an identical neighbor hash)
+func Extract(g *graph.Graph) Features {
+	var f Features
+	n := g.N()
+	if n == 0 {
+		return f
+	}
+	f[0] = math.Log2(float64(n))
+	nnz := g.NumEdges()
+	density := float64(nnz) / (float64(n) * float64(n))
+	if density <= 0 {
+		density = 1e-12
+	}
+	f[1] = math.Log10(density)
+	var sum, sumSq float64
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := sum / float64(n)
+	f[2] = avg
+	if avg > 0 {
+		f[3] = float64(maxDeg) / avg
+		variance := sumSq/float64(n) - avg*avg
+		if variance > 0 {
+			f[4] = math.Sqrt(variance) / avg
+		}
+	}
+	// Natural-order 2:4 row violations and locality.
+	viol := 0
+	var locSum float64
+	hashes := make(map[uint64]int, n)
+	for u := 0; u < n; u++ {
+		nbrs := g.Neighbors(u)
+		window := map[int32]int{}
+		bad := false
+		var h uint64 = 1469598103934665603
+		for _, v := range nbrs {
+			w := v / 4
+			window[w]++
+			if window[w] > 2 {
+				bad = true
+			}
+			d := float64(u) - float64(v)
+			if d < 0 {
+				d = -d
+			}
+			locSum += d / float64(n)
+			h = (h ^ uint64(v)) * 1099511628211
+		}
+		if bad {
+			viol++
+		}
+		hashes[h]++
+	}
+	f[5] = float64(viol) / float64(n)
+	if nnz > 0 {
+		f[6] = locSum / float64(nnz)
+	}
+	dup := 0
+	for _, c := range hashes {
+		if c > 1 {
+			dup += c
+		}
+	}
+	f[7] = float64(dup) / float64(n)
+	return f
+}
+
+// Example pairs a feature vector with the format the exhaustive search
+// chose.
+type Example struct {
+	F     Features
+	Label pattern.VNM
+}
+
+// BuildExamples labels a set of graphs by running the full AutoReorder
+// search on each — the expensive step the trained predictor replaces.
+func BuildExamples(graphs []*graph.Graph, opt core.AutoOptions) ([]Example, error) {
+	out := make([]Example, 0, len(graphs))
+	for _, g := range graphs {
+		auto, err := core.AutoReorder(g.ToBitMatrix(), opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Example{F: Extract(g), Label: auto.Best.Pattern})
+	}
+	return out, nil
+}
+
+// Model is a multinomial logistic-regression classifier over the
+// formats seen in training.
+type Model struct {
+	Formats []pattern.VNM
+	W       [][]float64 // classes x NumFeatures
+	B       []float64
+	Mean    Features
+	Std     Features
+}
+
+// TrainConfig controls model fitting.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// Train fits the classifier with SGD on softmax cross-entropy.
+func Train(examples []Example, cfg TrainConfig) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("predictor: no training examples")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 300
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	m := &Model{}
+	classOf := map[string]int{}
+	labels := make([]int, len(examples))
+	for i, ex := range examples {
+		key := ex.Label.String()
+		c, ok := classOf[key]
+		if !ok {
+			c = len(m.Formats)
+			classOf[key] = c
+			m.Formats = append(m.Formats, ex.Label)
+		}
+		labels[i] = c
+	}
+	// Standardize features.
+	for _, ex := range examples {
+		for j := 0; j < NumFeatures; j++ {
+			m.Mean[j] += ex.F[j]
+		}
+	}
+	for j := 0; j < NumFeatures; j++ {
+		m.Mean[j] /= float64(len(examples))
+	}
+	for _, ex := range examples {
+		for j := 0; j < NumFeatures; j++ {
+			d := ex.F[j] - m.Mean[j]
+			m.Std[j] += d * d
+		}
+	}
+	for j := 0; j < NumFeatures; j++ {
+		m.Std[j] = math.Sqrt(m.Std[j] / float64(len(examples)))
+		if m.Std[j] < 1e-9 {
+			m.Std[j] = 1
+		}
+	}
+	nc := len(m.Formats)
+	m.W = make([][]float64, nc)
+	for c := range m.W {
+		m.W[c] = make([]float64, NumFeatures)
+	}
+	m.B = make([]float64, nc)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(examples))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR / (1 + 0.01*float64(epoch))
+		for _, i := range order {
+			x := m.standardize(examples[i].F)
+			p := m.probs(x)
+			y := labels[i]
+			for c := 0; c < nc; c++ {
+				g := p[c]
+				if c == y {
+					g -= 1
+				}
+				for j := 0; j < NumFeatures; j++ {
+					m.W[c][j] -= lr * (g*x[j] + 1e-4*m.W[c][j])
+				}
+				m.B[c] -= lr * g
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Model) standardize(f Features) [NumFeatures]float64 {
+	var x [NumFeatures]float64
+	for j := 0; j < NumFeatures; j++ {
+		x[j] = (f[j] - m.Mean[j]) / m.Std[j]
+	}
+	return x
+}
+
+func (m *Model) probs(x [NumFeatures]float64) []float64 {
+	nc := len(m.Formats)
+	logits := make([]float64, nc)
+	maxL := math.Inf(-1)
+	for c := 0; c < nc; c++ {
+		s := m.B[c]
+		for j := 0; j < NumFeatures; j++ {
+			s += m.W[c][j] * x[j]
+		}
+		logits[c] = s
+		if s > maxL {
+			maxL = s
+		}
+	}
+	var sum float64
+	for c := range logits {
+		logits[c] = math.Exp(logits[c] - maxL)
+		sum += logits[c]
+	}
+	for c := range logits {
+		logits[c] /= sum
+	}
+	return logits
+}
+
+// Predict returns the most likely format for the features.
+func (m *Model) Predict(f Features) pattern.VNM {
+	p := m.probs(m.standardize(f))
+	best := 0
+	for c := 1; c < len(p); c++ {
+		if p[c] > p[best] {
+			best = c
+		}
+	}
+	return m.Formats[best]
+}
+
+// PredictGraph extracts features and predicts in one call.
+func (m *Model) PredictGraph(g *graph.Graph) pattern.VNM {
+	return m.Predict(Extract(g))
+}
+
+// Evaluate measures the model on held-out graphs: top-1 format
+// accuracy against the exhaustive search, and the "works" rate — how
+// often a single reorder at the predicted format reaches full
+// conformity (the practically relevant criterion; the paper suggests
+// trying a few formats, so a prediction that conforms is a success
+// even if the search would have chosen a larger one).
+func Evaluate(m *Model, graphs []*graph.Graph, opt core.AutoOptions) (top1, works float64, err error) {
+	if len(graphs) == 0 {
+		return 0, 0, fmt.Errorf("predictor: no evaluation graphs")
+	}
+	hits, ok := 0, 0
+	for _, g := range graphs {
+		bm := g.ToBitMatrix()
+		auto, err := core.AutoReorder(bm, opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		pred := m.PredictGraph(g)
+		if pred == auto.Best.Pattern {
+			hits++
+		}
+		if conformsAfterReorder(bm, pred, opt.Reorder) {
+			ok++
+		}
+	}
+	return float64(hits) / float64(len(graphs)), float64(ok) / float64(len(graphs)), nil
+}
+
+func conformsAfterReorder(bm *bitmat.Matrix, p pattern.VNM, opt core.Options) bool {
+	res, err := core.Reorder(bm, p, opt)
+	if err != nil {
+		return false
+	}
+	return res.Conforming()
+}

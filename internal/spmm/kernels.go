@@ -1,0 +1,99 @@
+package spmm
+
+import (
+	"math"
+
+	"repro/internal/bitmat"
+	"repro/internal/bsr"
+	"repro/internal/csr"
+	"repro/internal/dense"
+)
+
+// SpMV computes y = A x for a CSR matrix and dense vector, row-parallel
+// — the H = 1 degenerate case of SpMM, included because several graph
+// algorithms (PageRank-style iterations, power iteration) are SpMV
+// loops.
+func SpMV(a *csr.Matrix, x []float32) []float32 {
+	if len(x) != a.N {
+		panic("spmm: SpMV dimension mismatch")
+	}
+	y := make([]float32, a.N)
+	bitmat.ParallelRows(a.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.Row(i)
+			var sum float32
+			for k, c := range cols {
+				sum += vals[k] * x[c]
+			}
+			y[i] = sum
+		}
+	})
+	return y
+}
+
+// BSR computes C = A x B for a binary BSR matrix (the paper's Listing-1
+// storage) and a dense B: block-row parallel, with the M-by-M block
+// values driving unit-weight accumulations. Used to validate that the
+// BSR storage layer carries exactly the adjacency structure.
+func BSR(a *bsr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(a.N, b.Cols)
+	nb := a.NumBlockRows()
+	h := b.Cols
+	bitmat.ParallelRows(nb, func(lo, hi int) {
+		for br := lo; br < hi; br++ {
+			for bi := a.RowPtr[br]; bi < a.RowPtr[br+1]; bi++ {
+				bc := int(a.ColInd[bi])
+				block := a.Val[int(bi)*a.M*a.M : (int(bi)+1)*a.M*a.M]
+				for dr := 0; dr < a.M; dr++ {
+					r := br*a.M + dr
+					if r >= a.N {
+						break
+					}
+					cr := c.Row(r)
+					for dc := 0; dc < a.M; dc++ {
+						if block[dr*a.M+dc] == 0 {
+							continue
+						}
+						col := bc*a.M + dc
+						if col >= a.N {
+							continue
+						}
+						brow := b.Row(col)
+						for j := 0; j < h; j++ {
+							cr[j] += brow[j]
+						}
+					}
+				}
+			}
+		}
+	})
+	return c
+}
+
+// PowerIteration runs iters SpMV steps y <- normalize(A y) and returns
+// the final vector — a stand-in for the symmetric spectral workloads
+// that keep using the reordered adjacency matrix.
+func PowerIteration(a *csr.Matrix, iters int, seed int64) []float32 {
+	x := make([]float32, a.N)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range x {
+		s = s*2862933555777941757 + 3037000493
+		x[i] = float32(s%1000)/1000 + 0.001
+	}
+	for it := 0; it < iters; it++ {
+		y := SpMV(a, x)
+		var norm float64
+		for _, v := range y {
+			norm += float64(v) * float64(v)
+		}
+		if norm == 0 {
+			return y
+		}
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range y {
+			y[i] *= inv
+		}
+		x = y
+	}
+	return x
+}

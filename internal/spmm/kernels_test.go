@@ -1,0 +1,169 @@
+package spmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bsr"
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+func TestSpMVMatchesSpMM(t *testing.T) {
+	a := weightedGraphCSR(80, 4)
+	x := make([]float32, 80)
+	for i := range x {
+		x[i] = float32(i%7) * 0.3
+	}
+	y := SpMV(a, x)
+	// SpMM with H=1 must agree.
+	b := dense.FromData(80, 1, append([]float32(nil), x...))
+	c := CSR(a, b)
+	for i := range y {
+		if d := math.Abs(float64(y[i] - c.At(i, 0))); d > 1e-4 {
+			t.Fatalf("SpMV[%d] = %v, SpMM = %v", i, y[i], c.At(i, 0))
+		}
+	}
+}
+
+func TestSpMVPanicsOnMismatch(t *testing.T) {
+	a := weightedGraphCSR(8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	SpMV(a, make([]float32, 4))
+}
+
+func TestBSRMatchesCSR(t *testing.T) {
+	g := graph.ErdosRenyi(70, 0.1, 5)
+	bm := g.ToBitMatrix()
+	for _, M := range []int{4, 8} {
+		bs, err := bsr.FromBitMatrix(bm, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := csr.FromBitMatrix(bm)
+		b := randomB(70, 13, 3)
+		want := CSR(a, b)
+		got := BSR(bs, b)
+		if d := dense.MaxAbsDiff(want, got); d > 1e-4 {
+			t.Errorf("M=%d: BSR SpMM differs from CSR by %v", M, d)
+		}
+	}
+}
+
+func TestBSRRaggedDimension(t *testing.T) {
+	g := graph.ErdosRenyi(50, 0.12, 9) // 50 % 8 != 0
+	bm := g.ToBitMatrix()
+	bs, err := bsr.FromBitMatrix(bm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := csr.FromBitMatrix(bm)
+	b := randomB(50, 5, 2)
+	if d := dense.MaxAbsDiff(CSR(a, b), BSR(bs, b)); d > 1e-4 {
+		t.Errorf("ragged BSR differs by %v", d)
+	}
+}
+
+func TestPowerIterationConverges(t *testing.T) {
+	// On a symmetric matrix, power iteration converges to the dominant
+	// eigenvector: successive iterates align.
+	g := graph.Banded(60, 2, 0.9, 1)
+	a := csr.FromGraph(g)
+	v1 := PowerIteration(a, 50, 3)
+	v2 := PowerIteration(a, 51, 3)
+	var dot, n1, n2 float64
+	for i := range v1 {
+		dot += float64(v1[i]) * float64(v2[i])
+		n1 += float64(v1[i]) * float64(v1[i])
+		n2 += float64(v2[i]) * float64(v2[i])
+	}
+	cos := math.Abs(dot / math.Sqrt(n1*n2))
+	if cos < 0.999 {
+		t.Errorf("power iteration not converged: cos = %v", cos)
+	}
+}
+
+func TestPowerIterationEmptyMatrix(t *testing.T) {
+	a, _ := csr.FromEntries(10, nil, nil, nil)
+	v := PowerIteration(a, 5, 1)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty matrix should zero out")
+		}
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	a, _ := benchGraphCSR(4096)
+	x := make([]float32, 4096)
+	for i := range x {
+		x[i] = float32(i) * 1e-4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SpMV(a, x)
+	}
+}
+
+func TestTraceMatchesCostModelStats(t *testing.T) {
+	// The trace of executed work must coincide with the structural
+	// counts the cost model charges for — the model is a deterministic
+	// function of what the kernel actually does.
+	a, cm := benchGraphCSR(512)
+	tr := TraceVNM(cm)
+	st := sptc.Stats(cm, sptc.DefaultCostModel())
+	if tr.Blocks != st.Blocks {
+		t.Errorf("blocks: trace %d vs stats %d", tr.Blocks, st.Blocks)
+	}
+	if tr.BRowLoads != st.UsedCols {
+		t.Errorf("B loads: trace %d vs stats %d", tr.BRowLoads, st.UsedCols)
+	}
+	if tr.InstrGroups != st.Fragments {
+		t.Errorf("instruction groups: trace %d vs stats %d", tr.InstrGroups, st.Fragments)
+	}
+	// Active slots equal the compressed matrix's nonzeros, which equal
+	// the (pruned) source's nonzeros.
+	if tr.ActiveSlots != cm.Decompress().NNZ() {
+		t.Errorf("active slots %d != decompressed nnz %d", tr.ActiveSlots, cm.Decompress().NNZ())
+	}
+	if u := tr.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+	if tr.RowsTouched <= 0 || tr.RowsTouched > a.N {
+		t.Errorf("rows touched = %d", tr.RowsTouched)
+	}
+	if tr.BytesValues <= 0 || tr.BytesMeta <= 0 || tr.BytesColumns <= 0 {
+		t.Error("byte counters not populated")
+	}
+}
+
+func TestTraceUltraSparseUtilization(t *testing.T) {
+	// Scattered nonzeros -> heavy padding -> low utilization; this is
+	// the quantity behind Figure 4's slowdown tail.
+	g := graph.UltraSparse(2048, 0.05, 3)
+	a := csr.FromGraph(g)
+	comp, _, err := venom.SplitToConform(a, pattern.NM(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TraceVNM(comp)
+	if tr.Utilization() > 0.9 {
+		t.Errorf("ultra-sparse utilization %v suspiciously high", tr.Utilization())
+	}
+	empty, _ := csr.FromEntries(8, nil, nil, nil)
+	ec, err := venom.Compress(empty, pattern.NM(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TraceVNM(ec).Utilization() != 0 {
+		t.Error("empty matrix utilization != 0")
+	}
+}

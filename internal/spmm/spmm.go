@@ -1,0 +1,143 @@
+// Package spmm provides the SpMM kernels the paper's evaluation
+// compares: the CUDA-core CSR kernel (the cuSPARSE baseline PyG/DGL
+// default to), the sparse-tensor-core kernel over V:N:M compressed
+// operands (the Spatha stand-in), and a dense reference. Every kernel
+// computes C = A x B for a sparse n-by-n A and dense n-by-h B, returns
+// the same numerical result, and reports both measured wall time and
+// modeled GPU cycles (see internal/sptc).
+package spmm
+
+import (
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// CSRSerial computes C = A x B with a single-threaded CSR kernel
+// (reference implementation).
+func CSRSerial(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(a.N, b.Cols)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		cr := c.Row(i)
+		for k, col := range cols {
+			v := vals[k]
+			br := b.Row(int(col))
+			for j, bv := range br {
+				cr[j] += v * bv
+			}
+		}
+	}
+	return c
+}
+
+// CSR computes C = A x B with the row-parallel CSR kernel — the
+// cuSPARSE CSR-SpMM (CUSPARSE_SPMM_CSR_ALG2) stand-in.
+func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(a.N, b.Cols)
+	bitmat.ParallelRows(a.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.Row(i)
+			cr := c.Row(i)
+			for k, col := range cols {
+				v := vals[k]
+				br := b.Row(int(col))
+				for j, bv := range br {
+					cr[j] += v * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// VNM computes C = A x B over the V:N:M compressed representation,
+// mirroring the SPTC execution structure: block rows in parallel (one
+// warp each), packed values with metadata-selected columns reused
+// across the block's V rows. The regular, compact access pattern is
+// what makes this kernel fast on sparse tensor cores; on a CPU (which
+// lacks that hardware) it runs at rough parity with CSR, and the
+// hardware advantage is captured by the cycle model instead.
+func VNM(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(m.N, b.Cols)
+	vpb := m.ValuesPerBlock()
+	blockRows := len(m.BlockRowPtr) - 1
+	h := b.Cols
+	nVals := m.P.N
+	bData := b.Data
+	cData := c.Data
+	bitmat.ParallelRows(blockRows, func(lo, hi int) {
+		for br := lo; br < hi; br++ {
+			rowBase := br * m.P.V
+			vRows := m.P.V
+			if rowBase+vRows > m.N {
+				vRows = m.N - rowBase
+			}
+			for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
+				colBase := int(bi) * m.K
+				valBase := int(bi) * vpb
+				for dr := 0; dr < vRows; dr++ {
+					cr := cData[(rowBase+dr)*h : (rowBase+dr)*h+h]
+					off := valBase + dr*nVals
+					for s := 0; s < nVals; s++ {
+						v := m.Values[off+s]
+						if v == 0 {
+							continue
+						}
+						col := int(m.BlockCols[colBase+int(m.Meta[off+s])])
+						brow := bData[col*h : col*h+h]
+						for j, bv := range brow {
+							cr[j] += v * bv
+						}
+					}
+				}
+			}
+		}
+	})
+	return c
+}
+
+// Dense computes C = A x B from a dense copy of A (reference and
+// dense-tensor-core comparison point).
+func Dense(a, b *dense.Matrix) *dense.Matrix {
+	return dense.MatMul(a, b)
+}
+
+// Report carries one kernel execution's outcome: the result, wall
+// time, and modeled GPU cycles under the SPTC cost model.
+type Report struct {
+	C       *dense.Matrix
+	Wall    time.Duration
+	Cycles  float64
+	Kernel  string
+	Details string
+}
+
+// RunCSR executes and reports the CSR kernel.
+func RunCSR(a *csr.Matrix, b *dense.Matrix, cm sptc.CostModel) Report {
+	start := time.Now()
+	c := CSR(a, b)
+	return Report{
+		C:      c,
+		Wall:   time.Since(start),
+		Cycles: cm.CSRSpMMCycles(a.NNZ(), a.N, b.Cols),
+		Kernel: "csr-cuda",
+	}
+}
+
+// RunVNM executes and reports the SPTC kernel over a compressed
+// matrix.
+func RunVNM(m *venom.Matrix, b *dense.Matrix, cm sptc.CostModel) Report {
+	start := time.Now()
+	c := VNM(m, b)
+	return Report{
+		C:      c,
+		Wall:   time.Since(start),
+		Cycles: cm.VNMSpMMCycles(sptc.Stats(m, cm), b.Cols),
+		Kernel: "vnm-sptc",
+	}
+}

@@ -1,0 +1,81 @@
+package spmm
+
+import (
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// Trace is an instruction-level account of one compressed SpMM
+// execution: what the kernel actually did, independent of the cost
+// model. The suite's correctness argument for the model is that
+// Trace's structural counts coincide with sptc.Stats (tested), so the
+// modeled cycles are a deterministic function of executed work.
+type Trace struct {
+	Blocks       int // meta-blocks visited
+	ActiveSlots  int // packed value slots holding nonzeros (FMA count / H)
+	PaddedSlots  int // packed value slots executed as zero padding
+	BRowLoads    int // B rows staged (selected columns across blocks)
+	InstrGroups  int // mma.sp instruction groups (16-row band x 8 blocks)
+	RowsTouched  int // output rows written by at least one block
+	BytesValues  int // bytes of packed values streamed
+	BytesMeta    int // bytes of metadata streamed (packed 2-bit form)
+	BytesColumns int // bytes of column ids streamed
+}
+
+// TraceVNM walks the compressed matrix exactly as the VNM kernel does
+// and tallies the executed operations.
+func TraceVNM(m *venom.Matrix) Trace {
+	var tr Trace
+	vpb := m.ValuesPerBlock()
+	blockRows := len(m.BlockRowPtr) - 1
+	rowTouched := make([]bool, m.N)
+	for br := 0; br < blockRows; br++ {
+		rowBase := br * m.P.V
+		vRows := m.P.V
+		if rowBase+vRows > m.N {
+			vRows = m.N - rowBase
+		}
+		for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
+			tr.Blocks++
+			colBase := int(bi) * m.K
+			for s := 0; s < m.K; s++ {
+				if m.BlockCols[colBase+s] >= 0 {
+					tr.BRowLoads++
+				}
+			}
+			valBase := int(bi) * vpb
+			for dr := 0; dr < vRows; dr++ {
+				touched := false
+				off := valBase + dr*m.P.N
+				for s := 0; s < m.P.N; s++ {
+					if m.Values[off+s] != 0 {
+						tr.ActiveSlots++
+						touched = true
+					} else {
+						tr.PaddedSlots++
+					}
+				}
+				if touched && !rowTouched[rowBase+dr] {
+					rowTouched[rowBase+dr] = true
+					tr.RowsTouched++
+				}
+			}
+		}
+	}
+	tr.InstrGroups = sptc.FragmentCount(m, sptc.MmaM)
+	tr.BytesValues = len(m.Values) * 4
+	tr.BytesMeta = sptc.MetaWordsFor(len(m.Meta)) * 4
+	tr.BytesColumns = len(m.BlockCols) * 4
+	return tr
+}
+
+// Utilization returns the fraction of executed slots holding real
+// nonzeros — low utilization is the ultra-sparse regime where the
+// SPTC loses to CSR.
+func (tr Trace) Utilization() float64 {
+	total := tr.ActiveSlots + tr.PaddedSlots
+	if total == 0 {
+		return 0
+	}
+	return float64(tr.ActiveSlots) / float64(total)
+}

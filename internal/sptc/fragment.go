@@ -1,0 +1,73 @@
+package sptc
+
+import "repro/internal/venom"
+
+// The V:N:M execution model follows Spatha's condensed layout: each
+// stored meta-block contributes its K selected columns to a condensed
+// operand, and one mma.sp (m16n8k32) instruction consumes MmaK = 32
+// condensed columns across a 16-row band — i.e. MmaK/K meta-blocks per
+// instruction (8 for the default K = 4). Meta-blocks from *different*
+// segments pack together as long as they share the 16-row band, which
+// is what makes small-M formats efficient on hardware. Padding costs
+// arise when a band holds fewer than MmaK/K blocks (the instruction
+// still executes in full) and when blocks fill fewer than V rows.
+
+// FragmentCount returns the number of mma.sp instruction groups (one
+// per 16-row band per ceil(blocks/blocksPerInstr)) the compressed
+// matrix needs per 8-column tile of B.
+func FragmentCount(m *venom.Matrix, fragRows int) int {
+	if fragRows <= 0 {
+		fragRows = MmaM
+	}
+	blocksPerInstr := MmaK / m.K
+	if blocksPerInstr < 1 {
+		blocksPerInstr = 1
+	}
+	blockRowsPerBand := fragRows / m.P.V
+	if blockRowsPerBand < 1 {
+		blockRowsPerBand = 1
+	}
+	// Blocks per band of fragRows matrix rows.
+	blockRows := len(m.BlockRowPtr) - 1
+	instrs := 0
+	for start := 0; start < blockRows; start += blockRowsPerBand {
+		end := start + blockRowsPerBand
+		if end > blockRows {
+			end = blockRows
+		}
+		blocks := int(m.BlockRowPtr[end] - m.BlockRowPtr[start])
+		if blocks == 0 {
+			continue
+		}
+		instrs += (blocks + blocksPerInstr - 1) / blocksPerInstr
+		if m.P.V > fragRows {
+			// Tall blocks span multiple hardware fragments.
+			instrs += blocks * (m.P.V/fragRows - 1)
+		}
+	}
+	return instrs
+}
+
+// UsedColumns counts the selected (non-padded) columns across all
+// stored meta-blocks — the B rows the kernel must stage.
+func UsedColumns(m *venom.Matrix) int {
+	used := 0
+	for _, c := range m.BlockCols {
+		if c >= 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// Stats bundles the structural counts the cost model consumes.
+func Stats(m *venom.Matrix, c CostModel) VNMStats {
+	return VNMStats{
+		Fragments: FragmentCount(m, c.FragRows),
+		UsedCols:  UsedColumns(m),
+		Blocks:    m.NumBlocks(),
+		V:         m.P.V,
+		N:         m.P.N,
+		K:         m.K,
+	}
+}

@@ -1,0 +1,159 @@
+package sptc
+
+import (
+	"fmt"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/pattern"
+	"repro/internal/venom"
+)
+
+// The Plan API mirrors the cusparseLt / Spatha workflow the paper's
+// revised frameworks integrate against (Section 4.5): describe the
+// matmul once, compress the sparse operand into the SPTC-required form
+// with its metadata, then execute repeatedly against changing dense
+// operands — the "drop-in replacement of the SpMM kernels in existing
+// frameworks".
+
+// Plan is a prepared sparse x dense matmul: the compressed A operand,
+// its execution statistics, and the cost model.
+type Plan struct {
+	pattern pattern.VNM
+	comp    *venom.Matrix
+	resid   *csr.Matrix
+	cost    CostModel
+	stats   VNMStats
+	execs   int
+	cycles  float64
+}
+
+// NewPlan compresses the sparse operand for SPTC execution. Strict
+// mode (hybrid = false) requires the matrix to conform to the pattern
+// and fails with the violation otherwise — the behaviour of
+// cusparseLt's compression. With hybrid = true, non-conforming entries
+// fall into a CSR residual executed on the CUDA-core path (lossless).
+func NewPlan(a *csr.Matrix, p pattern.VNM, cm CostModel, hybrid bool) (*Plan, error) {
+	if cm.FragRows == 0 {
+		cm = DefaultCostModel()
+	}
+	var comp *venom.Matrix
+	var resid *csr.Matrix
+	var err error
+	if hybrid {
+		comp, resid, err = venom.SplitToConform(a, p)
+	} else {
+		comp, err = venom.Compress(a, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.ValidateMeta(); err != nil {
+		return nil, fmt.Errorf("sptc: compressed operand invalid: %w", err)
+	}
+	return &Plan{
+		pattern: p,
+		comp:    comp,
+		resid:   resid,
+		cost:    cm,
+		stats:   Stats(comp, cm),
+	}, nil
+}
+
+// Pattern returns the plan's V:N:M pattern.
+func (p *Plan) Pattern() pattern.VNM { return p.pattern }
+
+// Compressed exposes the compressed operand.
+func (p *Plan) Compressed() *venom.Matrix { return p.comp }
+
+// ResidualNNZ reports entries outside the pattern (0 in strict mode or
+// after a successful reorder).
+func (p *Plan) ResidualNNZ() int {
+	if p.resid == nil {
+		return 0
+	}
+	return p.resid.NNZ()
+}
+
+// EstimateCycles predicts the SPTC cost of one execution against an
+// h-column dense operand.
+func (p *Plan) EstimateCycles(h int) float64 {
+	c := p.cost.VNMSpMMCycles(p.stats, h)
+	if p.resid != nil && p.resid.NNZ() > 0 {
+		c += p.cost.CSRSpMMCycles(p.resid.NNZ(), p.resid.N, h)
+	}
+	return c
+}
+
+// Execute computes C = A x B through the plan, accumulating the
+// modeled cycle count. The execute function body is the software
+// analog of the mma.sp kernel launch.
+func (p *Plan) Execute(b *dense.Matrix) (*dense.Matrix, error) {
+	if b.Rows != p.comp.N {
+		return nil, fmt.Errorf("sptc: B has %d rows, want %d", b.Rows, p.comp.N)
+	}
+	out := vnmKernel(p.comp, b)
+	if p.resid != nil && p.resid.NNZ() > 0 {
+		addCSR(out, p.resid, b)
+	}
+	p.execs++
+	p.cycles += p.EstimateCycles(b.Cols)
+	return out, nil
+}
+
+// Executions returns how many times the plan ran.
+func (p *Plan) Executions() int { return p.execs }
+
+// AccumulatedCycles returns total modeled cycles across executions.
+func (p *Plan) AccumulatedCycles() float64 { return p.cycles }
+
+// vnmKernel is a local copy of the compressed SpMM loop (kept here so
+// the sptc package has no dependency on internal/spmm; both are
+// cross-validated in tests).
+func vnmKernel(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(m.N, b.Cols)
+	vpb := m.ValuesPerBlock()
+	blockRows := len(m.BlockRowPtr) - 1
+	h := b.Cols
+	for br := 0; br < blockRows; br++ {
+		rowBase := br * m.P.V
+		vRows := m.P.V
+		if rowBase+vRows > m.N {
+			vRows = m.N - rowBase
+		}
+		for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
+			colBase := int(bi) * m.K
+			valBase := int(bi) * vpb
+			for dr := 0; dr < vRows; dr++ {
+				cr := c.Row(rowBase + dr)
+				off := valBase + dr*m.P.N
+				for s := 0; s < m.P.N; s++ {
+					v := m.Values[off+s]
+					if v == 0 {
+						continue
+					}
+					col := int(m.BlockCols[colBase+int(m.Meta[off+s])])
+					brow := b.Row(col)
+					for j := 0; j < h; j++ {
+						cr[j] += v * brow[j]
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+func addCSR(out *dense.Matrix, a *csr.Matrix, b *dense.Matrix) {
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		cr := out.Row(i)
+		for k, col := range cols {
+			v := vals[k]
+			brow := b.Row(int(col))
+			for j, bv := range brow {
+				cr[j] += v * bv
+			}
+		}
+	}
+}

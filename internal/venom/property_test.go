@@ -1,0 +1,181 @@
+package venom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/pattern"
+)
+
+// randomCSR builds an arbitrary (not necessarily conforming) sparse
+// matrix.
+func randomCSR(n int, density float64, seed int64) *csr.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var rows, cols []int32
+	var vals []float32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				rows = append(rows, int32(i))
+				cols = append(cols, int32(j))
+				vals = append(vals, rng.Float32()*2-1)
+			}
+		}
+	}
+	m, err := csr.FromEntries(n, rows, cols, vals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestSplitToConformIsExactDecomposition(t *testing.T) {
+	// Property: Decompress(compressed) + residual == A, for any matrix
+	// and pattern.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(48)
+		a := randomCSR(n, 0.05+rng.Float64()*0.15, seed)
+		pats := []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8), pattern.New(8, 2, 16)}
+		p := pats[rng.Intn(len(pats))]
+		comp, resid, err := SplitToConform(a, p)
+		if err != nil {
+			return false
+		}
+		sum := comp.Decompress().ToDense()
+		sum.Add(resid.ToDense())
+		return dense.MaxAbsDiff(sum, a.ToDense()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitCompressedAlwaysConforms(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomCSR(40, 0.1, seed)
+		p := pattern.NM(2, 4)
+		comp, _, err := SplitToConform(a, p)
+		if err != nil {
+			return false
+		}
+		// Re-compressing the decompressed kept part must succeed.
+		if _, err := Compress(comp.Decompress(), p); err != nil {
+			return false
+		}
+		return comp.ValidateMeta() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruneNeverIncreasesNNZ(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomCSR(32, 0.2, seed)
+		pruned, stats, err := PruneToConform(a, pattern.NM(2, 4))
+		if err != nil {
+			return false
+		}
+		return pruned.NNZ()+stats.PrunedNNZ == a.NNZ() && pruned.NNZ() <= a.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateMetaCatchesCorruption(t *testing.T) {
+	// Failure injection: corrupt each structural field of a valid
+	// compressed matrix and verify ValidateMeta reports it.
+	p := pattern.New(4, 2, 8)
+	a := conformingMatrix(64, p, 3)
+	c, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBlocks() == 0 {
+		t.Skip("empty compression")
+	}
+	// Find a nonzero value slot.
+	slot := -1
+	for i, v := range c.Values {
+		if v != 0 {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		t.Skip("no nonzero slots")
+	}
+
+	t.Run("selector out of range", func(t *testing.T) {
+		bad := *c
+		bad.Meta = append([]uint8(nil), c.Meta...)
+		bad.Meta[slot] = uint8(c.K)
+		if bad.ValidateMeta() == nil {
+			t.Error("out-of-range selector accepted")
+		}
+	})
+	t.Run("column outside segment", func(t *testing.T) {
+		bad := *c
+		bad.BlockCols = append([]int32(nil), c.BlockCols...)
+		// Move the first real column to another stripe.
+		for i, col := range bad.BlockCols {
+			if col >= 0 {
+				bad.BlockCols[i] = (col + int32(p.M)) % int32(bad.N)
+				break
+			}
+		}
+		if bad.ValidateMeta() == nil {
+			t.Error("out-of-segment column accepted")
+		}
+	})
+	t.Run("value selecting padded column", func(t *testing.T) {
+		// Build a block with a padded column and point a value at it.
+		a2, err := csr.FromEntries(8, []int32{0}, []int32{1}, []float32{5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Compress(a2, pattern.NM(2, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2.Meta[0] = 3 // only one real column (index 0); 3 is padding
+		if c2.ValidateMeta() == nil {
+			t.Error("padded-column selector accepted")
+		}
+	})
+}
+
+func TestCompressRejectsInvalidPattern(t *testing.T) {
+	a := randomCSR(16, 0.05, 1)
+	if _, err := Compress(a, pattern.VNM{V: 1, N: 2, M: 3}); err == nil {
+		t.Error("want error for invalid pattern")
+	}
+	if _, _, err := PruneToConform(a, pattern.VNM{V: 0, N: 2, M: 4}); err == nil {
+		t.Error("want error for invalid pattern")
+	}
+}
+
+func TestDecompressRoundTripWeights(t *testing.T) {
+	// Weighted values must survive the round trip exactly (no
+	// quantization).
+	p := pattern.NM(2, 8)
+	a := conformingMatrix(32, p, 7)
+	c, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := c.Decompress()
+	for r := 0; r < a.N; r++ {
+		cols, vals := a.Row(r)
+		for k, col := range cols {
+			if back.At(r, int(col)) != vals[k] {
+				t.Fatalf("value at (%d,%d) changed: %v -> %v", r, col, vals[k], back.At(r, int(col)))
+			}
+		}
+	}
+}

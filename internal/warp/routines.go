@@ -1,0 +1,130 @@
+package warp
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/bsr"
+	"repro/internal/hamming"
+	"repro/internal/pattern"
+)
+
+// The warp-style re-implementations of the SOGRE scoring subroutines.
+// Each mirrors how the paper's CUDA kernels assign work: one lane per
+// segment vector (Listing 1's laneid addressing), warp ballots for
+// validity checks, and shuffle reductions for score accumulation. They
+// are functionally identical to the direct implementations in
+// internal/pattern and are cross-validated by tests.
+
+// EncodeSegmentsWarp encodes up to Width segment vectors of one matrix
+// row into signed Hamming position codes, one lane per segment —
+// the SIMT formulation of Algorithm 2 steps (i)–(ii) over the BSR
+// storage of Listing 1.
+func EncodeSegmentsWarp(b *bsr.Matrix, row int, segStart int, n int) [Width]int64 {
+	w := New()
+	segs := (b.N + b.M - 1) / b.M
+	var active uint32
+	for lane := 0; lane < Width; lane++ {
+		if segStart+lane < segs {
+			active |= 1 << uint(lane)
+		}
+	}
+	w.SetActive(active)
+	// Each lane runs Listing 1: locate its block by binary search and
+	// build the binary string with left shifts.
+	w.Map(func(lane int, _ uint64) uint64 {
+		return b.EncodeSegment(row, segStart+lane)
+	})
+	var out [Width]int64
+	for lane := 0; lane < Width; lane++ {
+		if active&(1<<uint(lane)) == 0 {
+			continue
+		}
+		out[lane] = hamming.SignedCode(w.Read(lane), n)
+	}
+	return out
+}
+
+// PScoreWarp computes the matrix's horizontal violation count with a
+// warp per row: each lane checks one segment vector's popcount and a
+// ballot gathers the violations, reduced by Popc — the GPU structure
+// of GetPScoreList.
+func PScoreWarp(m *bitmat.Matrix, p pattern.VNM) int {
+	segs := m.NumSegments(p.M)
+	total := 0
+	for row := 0; row < m.N(); row++ {
+		for segStart := 0; segStart < segs; segStart += Width {
+			w := New()
+			var active uint32
+			for lane := 0; lane < Width; lane++ {
+				if segStart+lane < segs {
+					active |= 1 << uint(lane)
+				}
+			}
+			w.SetActive(active)
+			w.Map(func(lane int, _ uint64) uint64 {
+				return m.Segment(row, segStart+lane, p.M)
+			})
+			viol := w.Ballot(func(lane int, v uint64) bool {
+				return Popc(v) > p.N
+			})
+			total += Popc(uint64(viol))
+		}
+	}
+	return total
+}
+
+// MBScoreWarp computes the vertical violation count with one lane per
+// meta-block column window: lanes OR the rows' segment bits (the
+// column-usage mask) and vote on the K budget.
+func MBScoreWarp(m *bitmat.Matrix, p pattern.VNM) int {
+	segs := m.NumSegments(p.M)
+	blockRows := (m.N() + p.V - 1) / p.V
+	k := p.EffK()
+	total := 0
+	for br := 0; br < blockRows; br++ {
+		rowStart := br * p.V
+		for segStart := 0; segStart < segs; segStart += Width {
+			w := New()
+			var active uint32
+			for lane := 0; lane < Width; lane++ {
+				if segStart+lane < segs {
+					active |= 1 << uint(lane)
+				}
+			}
+			w.SetActive(active)
+			w.Map(func(lane int, _ uint64) uint64 {
+				var used uint64
+				for r := rowStart; r < rowStart+p.V && r < m.N(); r++ {
+					used |= m.Segment(r, segStart+lane, p.M)
+				}
+				return used
+			})
+			viol := w.Ballot(func(lane int, used uint64) bool {
+				return Popc(used) > k
+			})
+			total += Popc(uint64(viol))
+		}
+	}
+	return total
+}
+
+// RowNNZWarp sums a row's nonzeros with the shuffle-reduction
+// butterfly: each lane popcounts one segment, ReduceAdd combines.
+func RowNNZWarp(m *bitmat.Matrix, row int, M int) int {
+	segs := m.NumSegments(M)
+	total := uint64(0)
+	for segStart := 0; segStart < segs; segStart += Width {
+		w := New()
+		var active uint32
+		for lane := 0; lane < Width; lane++ {
+			if segStart+lane < segs {
+				active |= 1 << uint(lane)
+			}
+		}
+		w.SetActive(active)
+		w.Map(func(lane int, _ uint64) uint64 {
+			return uint64(Popc(m.Segment(row, segStart+lane, M)))
+		})
+		total += w.ReduceAdd()
+	}
+	return int(total)
+}

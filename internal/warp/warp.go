@@ -1,0 +1,160 @@
+// Package warp models the intra-warp execution primitives the paper's
+// CUDA library builds on (Section 4.5: "the implementation carefully
+// takes advantage of the low-level intrinsics (e.g., intra-warp
+// shuffling, voting) for high efficiency"): a 32-lane warp with
+// ballot/shuffle/vote/reduce collectives, executed lockstep by a
+// lane-parallel driver. The SOGRE scoring routines re-implemented on
+// top of these primitives (see routines.go) are equivalence-tested
+// against the direct CPU implementations, documenting the GPU kernel
+// structure the paper describes.
+package warp
+
+import "math/bits"
+
+// Width is the number of lanes per warp (32 on NVIDIA hardware).
+const Width = 32
+
+// Warp holds the lane-private registers of one simulated warp step.
+// Kernels written against it follow the CUDA SIMT style: every lane
+// computes the same expressions over its laneID.
+type Warp struct {
+	active uint32 // active-lane mask
+	regs   [Width]uint64
+}
+
+// New returns a warp with all lanes active and zeroed registers.
+func New() *Warp {
+	return &Warp{active: ^uint32(0)}
+}
+
+// SetActive sets the active-lane mask (divergence).
+func (w *Warp) SetActive(mask uint32) { w.active = mask }
+
+// Active returns the current active mask.
+func (w *Warp) Active() uint32 { return w.active }
+
+// Write sets lane's register.
+func (w *Warp) Write(lane int, v uint64) { w.regs[lane] = v }
+
+// Read returns lane's register.
+func (w *Warp) Read(lane int) uint64 { return w.regs[lane] }
+
+// Map runs fn on every active lane, replacing each lane's register
+// with fn's result — the per-lane compute step of a SIMT kernel.
+func (w *Warp) Map(fn func(lane int, v uint64) uint64) {
+	for lane := 0; lane < Width; lane++ {
+		if w.active&(1<<uint(lane)) != 0 {
+			w.regs[lane] = fn(lane, w.regs[lane])
+		}
+	}
+}
+
+// Ballot returns the bitmask of active lanes whose predicate holds —
+// __ballot_sync.
+func (w *Warp) Ballot(pred func(lane int, v uint64) bool) uint32 {
+	var mask uint32
+	for lane := 0; lane < Width; lane++ {
+		if w.active&(1<<uint(lane)) != 0 && pred(lane, w.regs[lane]) {
+			mask |= 1 << uint(lane)
+		}
+	}
+	return mask
+}
+
+// All reports whether the predicate holds on every active lane —
+// __all_sync.
+func (w *Warp) All(pred func(lane int, v uint64) bool) bool {
+	for lane := 0; lane < Width; lane++ {
+		if w.active&(1<<uint(lane)) != 0 && !pred(lane, w.regs[lane]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether the predicate holds on some active lane —
+// __any_sync.
+func (w *Warp) Any(pred func(lane int, v uint64) bool) bool {
+	return w.Ballot(pred) != 0
+}
+
+// Shfl returns lane srcLane's register as seen by every lane —
+// __shfl_sync. Reading an inactive lane yields 0.
+func (w *Warp) Shfl(srcLane int) uint64 {
+	if srcLane < 0 || srcLane >= Width || w.active&(1<<uint(srcLane)) == 0 {
+		return 0
+	}
+	return w.regs[srcLane]
+}
+
+// ShflDown shifts registers down by delta (lane i receives lane
+// i+delta) — __shfl_down_sync. Lanes shifting past the warp edge keep
+// their value, matching hardware semantics.
+func (w *Warp) ShflDown(delta int) {
+	var next [Width]uint64
+	for lane := 0; lane < Width; lane++ {
+		src := lane + delta
+		if src < Width && w.active&(1<<uint(src)) != 0 {
+			next[lane] = w.regs[src]
+		} else {
+			next[lane] = w.regs[lane]
+		}
+	}
+	for lane := 0; lane < Width; lane++ {
+		if w.active&(1<<uint(lane)) != 0 {
+			w.regs[lane] = next[lane]
+		}
+	}
+}
+
+// ReduceAdd returns the sum of the active lanes' registers via the
+// classic log2(Width) shuffle-down butterfly.
+func (w *Warp) ReduceAdd() uint64 {
+	// Save state: the butterfly clobbers registers, like a real kernel
+	// would inside its reduction scratch.
+	saved := w.regs
+	savedActive := w.active
+	// Inactive lanes contribute 0.
+	for lane := 0; lane < Width; lane++ {
+		if w.active&(1<<uint(lane)) == 0 {
+			w.regs[lane] = 0
+		}
+	}
+	w.active = ^uint32(0)
+	for delta := Width / 2; delta > 0; delta /= 2 {
+		var next [Width]uint64
+		for lane := 0; lane < Width; lane++ {
+			next[lane] = w.regs[lane]
+			if lane+delta < Width {
+				next[lane] += w.regs[lane+delta]
+			}
+		}
+		w.regs = next
+	}
+	sum := w.regs[0]
+	w.regs = saved
+	w.active = savedActive
+	return sum
+}
+
+// PrefixSumExclusive computes, per lane, the sum of lower active
+// lanes' registers (a scan, as used for warp-level compaction).
+func (w *Warp) PrefixSumExclusive() [Width]uint64 {
+	var out [Width]uint64
+	var run uint64
+	for lane := 0; lane < Width; lane++ {
+		out[lane] = run
+		if w.active&(1<<uint(lane)) != 0 {
+			run += w.regs[lane]
+		}
+	}
+	return out
+}
+
+// Popc is the __popc intrinsic.
+func Popc(v uint64) int { return bits.OnesCount64(v) }
+
+// Brev reverses the low n bits of v (__brev-style, parameterized).
+func Brev(v uint64, n int) uint64 {
+	return bits.Reverse64(v) >> uint(64-n)
+}

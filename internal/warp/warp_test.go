@@ -1,0 +1,163 @@
+package warp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/bsr"
+	"repro/internal/hamming"
+	"repro/internal/pattern"
+)
+
+func TestBallotAndVotes(t *testing.T) {
+	w := New()
+	for lane := 0; lane < Width; lane++ {
+		w.Write(lane, uint64(lane))
+	}
+	even := w.Ballot(func(lane int, v uint64) bool { return v%2 == 0 })
+	if Popc(uint64(even)) != 16 {
+		t.Errorf("even ballot popc = %d", Popc(uint64(even)))
+	}
+	if !w.Any(func(lane int, v uint64) bool { return v == 31 }) {
+		t.Error("Any missed lane 31")
+	}
+	if w.All(func(lane int, v uint64) bool { return v < 31 }) {
+		t.Error("All should fail (lane 31)")
+	}
+	// Divergence: mask off odd lanes.
+	w.SetActive(0x55555555)
+	if !w.All(func(lane int, v uint64) bool { return v%2 == 0 }) {
+		t.Error("All over even lanes should hold")
+	}
+}
+
+func TestShfl(t *testing.T) {
+	w := New()
+	for lane := 0; lane < Width; lane++ {
+		w.Write(lane, uint64(lane*10))
+	}
+	if got := w.Shfl(7); got != 70 {
+		t.Errorf("Shfl(7) = %d", got)
+	}
+	if got := w.Shfl(-1); got != 0 {
+		t.Errorf("Shfl(-1) = %d, want 0", got)
+	}
+	w.ShflDown(1)
+	if w.Read(0) != 10 || w.Read(30) != 310 {
+		t.Errorf("ShflDown wrong: %d %d", w.Read(0), w.Read(30))
+	}
+	// Edge lanes keep their value.
+	if w.Read(31) != 310 {
+		t.Errorf("edge lane = %d, want 310", w.Read(31))
+	}
+}
+
+func TestReduceAdd(t *testing.T) {
+	w := New()
+	want := uint64(0)
+	for lane := 0; lane < Width; lane++ {
+		w.Write(lane, uint64(lane))
+		want += uint64(lane)
+	}
+	if got := w.ReduceAdd(); got != want {
+		t.Errorf("ReduceAdd = %d, want %d", got, want)
+	}
+	// Registers are restored.
+	if w.Read(5) != 5 {
+		t.Error("ReduceAdd clobbered registers")
+	}
+	// Inactive lanes contribute 0.
+	w.SetActive(0x3)
+	if got := w.ReduceAdd(); got != 1 {
+		t.Errorf("masked ReduceAdd = %d, want 1", got)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	w := New()
+	for lane := 0; lane < Width; lane++ {
+		w.Write(lane, 1)
+	}
+	ps := w.PrefixSumExclusive()
+	for lane := 0; lane < Width; lane++ {
+		if ps[lane] != uint64(lane) {
+			t.Fatalf("prefix[%d] = %d", lane, ps[lane])
+		}
+	}
+}
+
+func TestBrevMatchesBitmatEncoding(t *testing.T) {
+	if Brev(0b0011, 4) != 0b1100 {
+		t.Error("Brev wrong")
+	}
+}
+
+func randomMatrix(n, nnz int, seed int64) *bitmat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := bitmat.New(n)
+	for k := 0; k < nnz; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		m.Set(i, j)
+		m.Set(j, i)
+	}
+	return m
+}
+
+func TestPScoreWarpMatchesDirect(t *testing.T) {
+	m := randomMatrix(160, 900, 2)
+	for _, p := range []pattern.VNM{pattern.NM(2, 4), pattern.NM(2, 8), pattern.NM(2, 16)} {
+		direct := pattern.PScore(m, p)
+		warped := PScoreWarp(m, p)
+		if direct != warped {
+			t.Errorf("%v: warp PScore %d != direct %d", p, warped, direct)
+		}
+	}
+}
+
+func TestMBScoreWarpMatchesDirect(t *testing.T) {
+	m := randomMatrix(128, 700, 5)
+	for _, p := range []pattern.VNM{pattern.New(4, 2, 8), pattern.New(8, 2, 16), pattern.New(16, 2, 8)} {
+		direct := pattern.MBScore(m, p)
+		warped := MBScoreWarp(m, p)
+		if direct != warped {
+			t.Errorf("%v: warp MBScore %d != direct %d", p, warped, direct)
+		}
+	}
+}
+
+func TestRowNNZWarpMatchesDirect(t *testing.T) {
+	m := randomMatrix(96, 500, 7)
+	for row := 0; row < m.N(); row++ {
+		if got, want := RowNNZWarp(m, row, 8), m.RowNNZ(row); got != want {
+			t.Fatalf("row %d: warp %d != direct %d", row, got, want)
+		}
+	}
+}
+
+func TestEncodeSegmentsWarpMatchesDirect(t *testing.T) {
+	m := randomMatrix(64, 300, 9)
+	b, err := bsr.FromBitMatrix(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.NM(2, 8)
+	for row := 0; row < m.N(); row++ {
+		codes := EncodeSegmentsWarp(b, row, 0, p.N)
+		for seg := 0; seg < m.NumSegments(p.M) && seg < Width; seg++ {
+			want := hamming.SignedCode(m.Segment(row, seg, p.M), p.N)
+			if codes[seg] != want {
+				t.Fatalf("row %d seg %d: warp code %d != direct %d", row, seg, codes[seg], want)
+			}
+		}
+	}
+}
+
+func BenchmarkPScoreWarp(b *testing.B) {
+	m := randomMatrix(512, 4096, 1)
+	p := pattern.NM(2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PScoreWarp(m, p)
+	}
+}

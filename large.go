@@ -1,0 +1,50 @@
+package sogre
+
+import (
+	"repro/internal/core"
+	"repro/internal/predictor"
+)
+
+// Large-graph support (paper Section 4.4) and the format predictor
+// extension (Section 5.3), exposed through the facade.
+
+// LargeOptions configures the partitioned reordering of graphs beyond
+// the direct engine's size limit.
+type LargeOptions = core.LargeOptions
+
+// LargeResult is a partitioned reordering outcome with the composed
+// global permutation.
+type LargeResult = core.LargeResult
+
+// ReorderLarge partitions the graph into BFS-contiguous pieces of at
+// most opt.MaxN vertices (mirroring the ~45K operand caps of
+// cusparseLt/Spatha the paper notes), reorders each independently, and
+// composes one global renumbering.
+func ReorderLarge(g *Graph, opt LargeOptions) (*LargeResult, error) {
+	return core.ReorderLarge(g, opt)
+}
+
+// PredictorModel predicts the preferred V:N:M format of a graph from
+// cheap structural features — the machine-learning extension the paper
+// suggests in Section 5.3.
+type PredictorModel = predictor.Model
+
+// PredictorExample pairs graph features with the format the exhaustive
+// search chose.
+type PredictorExample = predictor.Example
+
+// TrainFormatPredictor labels the training graphs with the full
+// AutoReorder search and fits a multinomial logistic model.
+func TrainFormatPredictor(graphs []*Graph, opt AutoOptions, seed int64) (*PredictorModel, error) {
+	examples, err := predictor.BuildExamples(graphs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return predictor.Train(examples, predictor.TrainConfig{Seed: seed})
+}
+
+// PredictFormat returns the model's preferred V:N:M format for a
+// graph.
+func PredictFormat(m *PredictorModel, g *Graph) Pattern {
+	return m.PredictGraph(g)
+}

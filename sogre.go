@@ -1,0 +1,141 @@
+// Package sogre is the public API of the SOGRE library — the
+// N:M-sparsity-oriented graph reordering system of "Accelerating GNNs
+// on GPU Sparse Tensor Cores through N:M Sparsity-Oriented Graph
+// Reordering" (PPoPP 2025) — together with the substrates its
+// evaluation runs on: V:N:M compressed sparse formats, a
+// sparse-tensor-core execution model, SpMM kernels, and a small GNN
+// framework.
+//
+// The core entry points are:
+//
+//   - Reorder / AutoReorder: find a lossless vertex renumbering that
+//     makes a graph's adjacency matrix conform to an N:M or V:N:M
+//     sparse pattern (the paper's contribution).
+//   - Compress / SpMM: execute sparse-matrix times dense-matrix
+//     products over the compressed form on the modeled sparse tensor
+//     cores, against the CSR baseline.
+//   - NewEngine (gnn.go): run GCN/GraphSAGE/ChebNet/SGC forward passes
+//     under the paper's four evaluation settings.
+//
+// Everything is pure Go with no dependencies outside the standard
+// library.
+package sogre
+
+import (
+	"io"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Graph is an undirected graph with 0-based vertex ids; its adjacency
+// matrix is symmetric by construction.
+type Graph = graph.Graph
+
+// NewGraph builds a graph from an undirected edge list.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	return graph.NewFromEdges(n, edges)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (the
+// SuiteSparse interchange format) into a Graph.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	return graph.ReadMatrixMarket(r)
+}
+
+// WriteMatrixMarket writes a graph in MatrixMarket coordinate pattern
+// symmetric format.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	return graph.WriteMatrixMarket(w, g)
+}
+
+// ReadEdgeList parses plain "u v" edge lines ('#'/'%' comments
+// allowed) into a Graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return graph.ReadEdgeList(r)
+}
+
+// WriteEdgeList writes one "u v" line per undirected edge.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	return graph.WriteEdgeList(w, g)
+}
+
+// Pattern is a V:N:M sparse pattern (N:M when V is 1): every M-element
+// segment vector holds at most N nonzeros, and every V-by-M meta-block
+// uses at most K (default 4) distinct nonzero columns.
+type Pattern = pattern.VNM
+
+// NM returns the basic N:M pattern natively supported by SPTC hardware
+// (2:4 by default on Ampere GPUs).
+func NM(n, m int) Pattern { return pattern.NM(n, m) }
+
+// VNM returns the generalized V:N:M pattern of the VENOM line of work.
+func VNM(v, n, m int) Pattern { return pattern.New(v, n, m) }
+
+// ReorderOptions configures the dual-level reordering algorithm; the
+// zero value selects the paper's defaults (max 10 iterations per
+// level).
+type ReorderOptions = core.Options
+
+// ReorderResult reports a completed reordering: the vertex renumbering
+// (Perm maps new position to original vertex), the violation counts
+// before and after, and timing.
+type ReorderResult = core.Result
+
+// Reorder runs the SOGRE dual-level algorithm on the graph's adjacency
+// matrix for the given pattern. The transformation is lossless: only
+// vertex numbering changes and the adjacency matrix stays symmetric.
+func Reorder(g *Graph, p Pattern, opt ReorderOptions) (*ReorderResult, error) {
+	return core.Reorder(g.ToBitMatrix(), p, opt)
+}
+
+// AutoResult is the outcome of the best-format search.
+type AutoResult = core.AutoResult
+
+// AutoOptions configures the best-format search.
+type AutoOptions = core.AutoOptions
+
+// AutoReorder finds the best V:N:M format for a graph using the
+// paper's procedure: double M from 4 while the graph still conforms
+// after reordering, then grow V. See core.AutoReorder.
+func AutoReorder(g *Graph, opt AutoOptions) (*AutoResult, error) {
+	return core.AutoReorder(g.ToBitMatrix(), opt)
+}
+
+// ApplyReordering renumbers the graph by the result's permutation,
+// returning the graph whose adjacency matrix conforms to the pattern
+// the reordering targeted.
+func ApplyReordering(g *Graph, r *ReorderResult) (*Graph, error) {
+	return g.ApplyPermutation(r.Perm)
+}
+
+// Conformity reports how a graph's adjacency matrix stands against a
+// pattern: the number of segment vectors violating the horizontal
+// constraint (PScore) and meta-blocks violating the vertical one
+// (MBScore).
+func Conformity(g *Graph, p Pattern) (pscore, mbscore int) {
+	m := g.ToBitMatrix()
+	return pattern.PScore(m, p), pattern.MBScore(m, p)
+}
+
+// Conforms reports whether the adjacency matrix fully satisfies the
+// pattern.
+func Conforms(g *Graph, p Pattern) bool {
+	return pattern.Conforms(g.ToBitMatrix(), p)
+}
+
+// ImprovementRate is the paper's reordering-effectiveness metric: the
+// fractional reduction of violating segment vectors.
+func ImprovementRate(initial, final int) float64 {
+	return pattern.ImprovementRate(initial, final)
+}
+
+// adjacency is re-exported for advanced users building custom
+// pipelines on the bit-matrix representation.
+type BitMatrix = bitmat.Matrix
+
+// AdjacencyBits returns the dense bit-matrix view of the adjacency
+// structure used by the reordering engine.
+func AdjacencyBits(g *Graph) *BitMatrix { return g.ToBitMatrix() }

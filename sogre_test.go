@@ -1,0 +1,163 @@
+package sogre
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestQuickstartFlow exercises the README quickstart through the
+// public API only.
+func TestQuickstartFlow(t *testing.T) {
+	// A scrambled banded graph: known to be reorderable.
+	base := graph.Banded(128, 2, 0.9, 1)
+	perm := rand.New(rand.NewSource(2)).Perm(128)
+	g, err := base.ApplyPermutation(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NM(2, 4)
+	before, _ := Conformity(g, p)
+	res, err := Reorder(g, p, ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalPScore > before {
+		t.Error("reorder worsened conformity")
+	}
+	rg, err := ApplyReordering(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := Conformity(rg, p)
+	if after != res.FinalPScore {
+		t.Errorf("applied graph PScore %d != result %d", after, res.FinalPScore)
+	}
+	if rg.NumEdges() != g.NumEdges() {
+		t.Error("reordering changed the graph")
+	}
+	// SpMM through both engines agrees.
+	a := CSRFromGraph(rg)
+	comp, resid, err := SplitToConform(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewDense(rg.N(), 32)
+	b.Randomize(1, 3)
+	c1 := SpMMCSR(a, b)
+	c2 := SpMMCompressed(comp, b)
+	if resid.NNZ() > 0 {
+		c2.Add(SpMMCSR(resid, b))
+	}
+	for i := range c1.Data {
+		d := c1.Data[i] - c2.Data[i]
+		if d > 1e-3 || d < -1e-3 {
+			t.Fatalf("kernels disagree at %d: %v vs %v", i, c1.Data[i], c2.Data[i])
+		}
+	}
+}
+
+func TestAutoReorderFacade(t *testing.T) {
+	g := graph.Banded(96, 1, 1.0, 3)
+	auto, err := AutoReorder(g, AutoOptions{MaxM: 16, MaxV: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Best == nil || !auto.Best.Conforming() {
+		t.Error("path graph should conform")
+	}
+	if !Conforms(g, auto.Best.Pattern) {
+		// g itself may not conform before applying the permutation;
+		// apply and check.
+		rg, err := ApplyReordering(g, auto.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Conforms(rg, auto.Best.Pattern) {
+			t.Error("reordered graph does not conform to chosen pattern")
+		}
+	}
+}
+
+func TestMatrixMarketFacade(t *testing.T) {
+	g := graph.ErdosRenyi(40, 0.1, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.NumEdges() != g.NumEdges() {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	ds, err := GenerateDataset("Cora", 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ds, AutoOptions{MaxM: 8, MaxV: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng.Run(GCN, DefaultOriginal, PYG, RunConfig{Hidden: 32, Forwards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := eng.Run(GCN, RevisedReordered, PYG, RunConfig{Hidden: 32, Forwards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lyr, all := Speedup(base, rev)
+	if lyr <= 0 || all <= 0 {
+		t.Errorf("speedups %v %v", lyr, all)
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 8 {
+		t.Fatalf("got %d dataset names", len(names))
+	}
+	if names[0] != "Cora" {
+		t.Errorf("first dataset %q", names[0])
+	}
+	if _, err := GenerateDataset("nope", 0.1, 1); err == nil {
+		t.Error("want error for unknown dataset")
+	}
+}
+
+func TestImprovementRateFacade(t *testing.T) {
+	if ImprovementRate(100, 2) != 0.98 {
+		t.Error("ImprovementRate wrong")
+	}
+}
+
+func TestNMAndVNMConstructors(t *testing.T) {
+	if NM(2, 4).String() != "2:4" {
+		t.Error("NM constructor")
+	}
+	if VNM(16, 2, 16).String() != "16:2:16" {
+		t.Error("VNM constructor")
+	}
+}
+
+func TestCostModelFacade(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.CSRSpMMCycles(1000, 100, 64) <= 0 {
+		t.Error("cost model broken")
+	}
+	g := graph.Banded(64, 1, 1.0, 1)
+	a := CSRFromGraph(g)
+	b := NewDense(64, 16)
+	b.Randomize(1, 1)
+	rep := RunSpMMCSR(a, b, cm)
+	if rep.Cycles <= 0 || rep.C == nil {
+		t.Error("RunSpMMCSR report incomplete")
+	}
+}

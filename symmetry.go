@@ -1,0 +1,40 @@
+package sogre
+
+import (
+	"repro/internal/graphalgs"
+)
+
+// Symmetry-dependent graph algorithms (the paper's motivation for
+// *graph* reordering over matrix reordering: the adjacency matrix must
+// stay symmetric for these to keep working on the reordered form).
+
+// MSTEdge is one edge of a minimum spanning forest.
+type MSTEdge = graphalgs.MSTEdge
+
+// Kruskal computes a minimum spanning forest with the given edge
+// weight function (nil = unit weights). Runs identically on a
+// SOGRE-reordered graph.
+func Kruskal(g *Graph, weight func(u, v int) float64) ([]MSTEdge, float64) {
+	return graphalgs.Kruskal(g, weight)
+}
+
+// SpectralBisection 2-way partitions the graph via the Fiedler vector
+// of its (symmetric) Laplacian.
+func SpectralBisection(g *Graph, iters int, seed int64) []int {
+	return graphalgs.SpectralBisection(g, iters, seed)
+}
+
+// CutSize counts edges crossing a 2-way partition.
+func CutSize(g *Graph, side []int) int { return graphalgs.CutSize(g, side) }
+
+// VerifyIsomorphism certifies that perm is a graph isomorphism from g
+// to h — the guarantee every SOGRE reordering carries by construction.
+func VerifyIsomorphism(g, h *Graph, perm []int) error {
+	return graphalgs.VerifyIsomorphism(g, h, perm)
+}
+
+// GraphFingerprint returns a Weisfeiler–Lehman hash invariant under
+// vertex renumbering: reordered graphs always fingerprint identically.
+func GraphFingerprint(g *Graph) uint64 {
+	return graphalgs.WeisfeilerLehmanHash(g, 3)
+}
