@@ -1,14 +1,18 @@
-// Command sogre-verify is a self-check harness: it runs the
-// repository's cross-cutting correctness properties on freshly
-// generated random inputs and reports pass/fail — the checks a user
-// would want before trusting the library on their own graphs.
+// Command sogre-verify is a self-check harness: it runs the shared
+// internal/check oracles — the same differential kernel matrix and
+// invariant checkers the test suite and fuzz targets use — on freshly
+// generated random inputs drawn from the dataset regimes and reports
+// pass/fail.
 //
-//  1. Losslessness: every reordering is a certified graph isomorphism.
-//  2. Kernel equivalence: CSR, BSR, compressed-SPTC and dense kernels
-//     agree on the same operands.
-//  3. Round trips: compress/decompress, BSR, MatrixMarket.
-//  4. Partitioned execution: §4.4 reorder-back accumulation is exact.
-//  5. Warp-primitive scoring equals direct scoring.
+//  1. Losslessness: every reordering is a bijective renumbering that
+//     preserves the edge multiset (certified isomorphism).
+//  2. Kernel equivalence: dense reference, serial/parallel CSR, BSR
+//     and the compressed-SPTC hybrid agree under the float32 policy.
+//  3. Round trips: compress/decompress identity, split-to-conform
+//     reassembly, compressed-metadata validity.
+//  4. Cost-model sanity: nonnegative, monotone in work volume.
+//  5. Partitioned execution: §4.4 reorder-back accumulation is exact.
+//  6. Warp-primitive scoring equals direct scoring.
 //
 // Usage: sogre-verify [-trials 5] [-seed 1]
 package main
@@ -16,29 +20,34 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"repro/internal/bsr"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/dense"
 	"repro/internal/distributed"
 	"repro/internal/graph"
-	"repro/internal/graphalgs"
 	"repro/internal/pattern"
 	"repro/internal/spmm"
+	"repro/internal/sptc"
 	"repro/internal/venom"
 	"repro/internal/warp"
 )
+
+var patterns = []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8), pattern.New(16, 2, 16)}
 
 func main() {
 	trials := flag.Int("trials", 5, "random trials per check")
 	seed := flag.Int64("seed", 1, "base seed")
 	flag.Parse()
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "sogre-verify: -trials %d checks nothing (need >= 1)\n", *trials)
+		os.Exit(2)
+	}
 
 	failed := 0
-	check := func(name string, fn func(seed int64) error) {
+	run := func(name string, fn func(seed int64) error) {
 		for t := 0; t < *trials; t++ {
 			if err := fn(*seed + int64(t)*7919); err != nil {
 				fmt.Printf("FAIL  %-34s trial %d: %v\n", name, t, err)
@@ -49,11 +58,13 @@ func main() {
 		fmt.Printf("ok    %-34s (%d trials)\n", name, *trials)
 	}
 
-	check("reorder-is-isomorphism", checkIsomorphism)
-	check("kernel-equivalence", checkKernels)
-	check("compress-roundtrip", checkCompressRoundTrip)
-	check("partitioned-accumulation", checkPartitioned)
-	check("warp-vs-direct-scoring", checkWarp)
+	run("reorder-lossless", checkReorder)
+	run("kernel-equivalence", checkKernels)
+	run("compress-roundtrip", checkCompressRoundTrip)
+	run("split-reassembly", checkSplit)
+	run("cost-model-sanity", func(int64) error { return check.CostModelSane(sptc.DefaultCostModel()) })
+	run("partitioned-accumulation", checkPartitioned)
+	run("warp-vs-direct-scoring", checkWarp)
 
 	if failed > 0 {
 		fmt.Printf("%d check(s) FAILED\n", failed)
@@ -62,87 +73,56 @@ func main() {
 	fmt.Println("all checks passed")
 }
 
-func randomGraph(seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
-	switch seed % 3 {
-	case 0:
-		return graph.Banded(200+rng.Intn(200), 2+rng.Intn(3), 0.8, seed)
-	case 1:
-		return graph.ErdosRenyi(200+rng.Intn(200), 6.0/300, seed)
-	default:
-		return graph.BarabasiAlbert(200+rng.Intn(200), 3, seed)
-	}
+// regime cycles deterministically through the dataset regimes.
+func regime(seed int64) check.Regime {
+	rs := check.Regimes()
+	return rs[int(((seed%int64(len(rs)))+int64(len(rs))))%len(rs)]
 }
 
-func checkIsomorphism(seed int64) error {
+func randomGraph(seed int64) *graph.Graph {
+	return regime(seed).RandomGraph(200+int(seed%191), seed)
+}
+
+func checkReorder(seed int64) error {
 	g := randomGraph(seed)
 	res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{})
 	if err != nil {
 		return err
 	}
-	rg, err := g.ApplyPermutation(res.Perm)
-	if err != nil {
-		return err
-	}
-	if err := graphalgs.VerifyIsomorphism(g, rg, res.Perm); err != nil {
-		return err
-	}
-	if graphalgs.WeisfeilerLehmanHash(g, 3) != graphalgs.WeisfeilerLehmanHash(rg, 3) {
-		return fmt.Errorf("WL fingerprint changed")
-	}
-	if !res.Matrix.IsSymmetric() {
-		return fmt.Errorf("symmetry lost")
-	}
-	return nil
+	return check.ReorderLossless(g, res)
 }
 
 func checkKernels(seed int64) error {
-	g := randomGraph(seed)
-	a := csr.FromGraph(g)
-	b := dense.NewMatrix(g.N(), 17)
-	b.Randomize(1, seed)
-	ref := spmm.CSRSerial(a, b)
-	if d := dense.MaxAbsDiff(ref, spmm.CSR(a, b)); d > 1e-4 {
-		return fmt.Errorf("parallel CSR differs by %v", d)
-	}
-	bm, err := bsr.FromBitMatrix(g.ToBitMatrix(), 8)
-	if err != nil {
-		return err
-	}
-	if d := dense.MaxAbsDiff(ref, spmm.BSR(bm, b)); d > 1e-4 {
-		return fmt.Errorf("BSR kernel differs by %v", d)
-	}
-	comp, resid, err := venom.SplitToConform(a, pattern.NM(2, 4))
-	if err != nil {
-		return err
-	}
-	got := spmm.VNM(comp, b)
-	if resid.NNZ() > 0 {
-		got.Add(spmm.CSR(resid, b))
-	}
-	if d := dense.MaxAbsDiff(ref, got); d > 1e-3 {
-		return fmt.Errorf("SPTC hybrid differs by %v", d)
+	a := regime(seed).RandomCSR(200+int(seed%191), seed, seed%2 == 0)
+	b := check.RandomDense(a.N, 17, 1, seed)
+	for _, p := range patterns {
+		if err := check.SpMMEquivalence(a, b, p, check.DefaultTol()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 func checkCompressRoundTrip(seed int64) error {
-	g := randomGraph(seed)
-	a := csr.FromGraph(g)
-	pruned, _, err := venom.PruneToConform(a, pattern.NM(2, 8))
-	if err != nil {
-		return err
+	a := regime(seed).RandomCSR(160+int(seed%97), seed, true)
+	for _, p := range patterns {
+		pruned, _, err := venom.PruneToConform(a, p)
+		if err != nil {
+			return err
+		}
+		if err := check.CompressRoundTrip(pruned, p); err != nil {
+			return err
+		}
 	}
-	comp, err := venom.Compress(pruned, pattern.NM(2, 8))
-	if err != nil {
-		return err
-	}
-	if err := comp.ValidateMeta(); err != nil {
-		return err
-	}
-	back := comp.Decompress()
-	if back.NNZ() != pruned.NNZ() {
-		return fmt.Errorf("round trip changed nnz: %d -> %d", pruned.NNZ(), back.NNZ())
+	return nil
+}
+
+func checkSplit(seed int64) error {
+	a := regime(seed).RandomCSR(160+int(seed%97), seed, true)
+	for _, p := range patterns {
+		if err := check.SplitReassembly(a, p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -155,11 +135,8 @@ func checkPartitioned(seed int64) error {
 	if err != nil {
 		return err
 	}
-	want := spmm.CSR(csr.FromGraph(g), b)
-	if d := dense.MaxAbsDiff(want, got); d > 1e-3 {
-		return fmt.Errorf("partitioned SpMM differs by %v", d)
-	}
-	return nil
+	a := csr.FromGraph(g)
+	return check.Compare("partitioned-spmm", got, spmm.CSR(a, b), a, b, check.DefaultTol())
 }
 
 func checkWarp(seed int64) error {

@@ -1,0 +1,169 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+)
+
+// patterns spans the N:M and V:N:M shapes the paper evaluates.
+var testPatterns = []pattern.VNM{
+	pattern.NM(2, 4),
+	pattern.New(4, 2, 8),
+	pattern.New(16, 2, 16),
+}
+
+// TestSpMMEquivalenceAcrossRegimes is the core differential run: every
+// kernel (dense reference, serial CSR, parallel CSR, BSR, V:N:M/SPTC
+// hybrid) over every dataset regime, weighted and unweighted, with
+// seeded determinism.
+func TestSpMMEquivalenceAcrossRegimes(t *testing.T) {
+	regimes := Regimes()
+	if len(regimes) < 3 {
+		t.Fatalf("want >= 3 regimes, got %d", len(regimes))
+	}
+	for _, rg := range regimes {
+		rg := rg
+		t.Run(rg.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				for _, weighted := range []bool{false, true} {
+					a := rg.RandomCSR(96+int(seed)*32, seed, weighted)
+					b := RandomDense(a.N, 17, 1, seed+100)
+					for _, p := range testPatterns {
+						if err := SpMMEquivalence(a, b, p, DefaultTol()); err != nil {
+							t.Errorf("regime %s seed %d weighted=%v pattern %v: %v", rg.Name, seed, weighted, p, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpMMEquivalenceEdgeShapes covers the degenerate shapes that
+// historically break blocked kernels: empty matrices, a single row,
+// non-multiple-of-V/M tails, and zero-width features.
+func TestSpMMEquivalenceEdgeShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		n, h int
+	}{
+		{"n0", 0, 5},
+		{"n1", 1, 3},
+		{"n1-h1", 1, 1},
+		{"tail-n5", 5, 4},
+		{"tail-n17", 17, 8},
+		{"h0", 12, 0},
+	}
+	for _, s := range shapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			var rows, cols []int32
+			var vals []float32
+			for i := 0; i < s.n; i++ {
+				rows = append(rows, int32(i), int32(i))
+				cols = append(cols, int32(i), int32((i+1)%s.n))
+				vals = append(vals, 0.5, -1.25)
+			}
+			a, err := csr.FromEntries(s.n, rows, cols, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := RandomDense(s.n, s.h, 1, 7)
+			for _, p := range testPatterns {
+				if err := SpMMEquivalence(a, b, p, DefaultTol()); err != nil {
+					t.Errorf("shape %s pattern %v: %v", s.name, p, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareRejectsRealDisagreement guards the oracle itself: a
+// corrupted output must be flagged, so a vacuous tolerance can never
+// sneak in.
+func TestCompareRejectsRealDisagreement(t *testing.T) {
+	rg := Regimes()[0]
+	a := rg.RandomCSR(64, 1, true)
+	b := RandomDense(64, 9, 1, 2)
+	ref := denseRef(a, b)
+	bad := ref.Clone()
+	bad.Set(3, 4, bad.At(3, 4)+0.01)
+	err := Compare("corrupted", bad, ref, a, b, DefaultTol())
+	if err == nil {
+		t.Fatal("Compare accepted a corrupted kernel output")
+	}
+	de, ok := err.(*DiffError)
+	if !ok {
+		t.Fatalf("want *DiffError, got %T: %v", err, err)
+	}
+	if de.Row != 3 || de.Col != 4 {
+		t.Errorf("DiffError located (%d,%d), want (3,4)", de.Row, de.Col)
+	}
+}
+
+// TestToleranceBoundIsTight spot-checks the policy: the bound scales
+// with the conditioning sum and row population, and is far below any
+// plausible real bug (an absolute error of 1e-2 on O(1) data).
+func TestToleranceBoundIsTight(t *testing.T) {
+	tol := DefaultTol()
+	b := tol.Bound(8, 8.0)
+	if b <= 0 {
+		t.Fatalf("bound must be positive, got %g", b)
+	}
+	if b > 1e-4 {
+		t.Errorf("bound %g too loose for 8 O(1) terms", b)
+	}
+	if tol.Bound(16, 8.0) <= b {
+		t.Error("bound must grow with row population")
+	}
+	if tol.Bound(8, 16.0) <= b {
+		t.Error("bound must grow with conditioning sum")
+	}
+}
+
+func TestCostModelSaneDefault(t *testing.T) {
+	if err := CostModelSane(sptc.DefaultCostModel()); err != nil {
+		t.Error(err)
+	}
+	bad := sptc.DefaultCostModel()
+	bad.CSRElemCost = -1
+	if err := CostModelSane(bad); err == nil {
+		t.Error("negative element cost must fail sanity")
+	}
+}
+
+func denseRef(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	return dense.MatMul(a.ToDense(), b)
+}
+
+func TestRegimeDeterminism(t *testing.T) {
+	for _, rg := range Regimes() {
+		a1 := rg.RandomCSR(128, 42, true)
+		a2 := rg.RandomCSR(128, 42, true)
+		if err := CSREqual(a1, a2); err != nil {
+			t.Errorf("regime %s not deterministic: %v", rg.Name, err)
+		}
+	}
+}
+
+func TestWeightedRegimeIsSymmetric(t *testing.T) {
+	rg := Regimes()[0]
+	a := rg.RandomCSR(64, 9, true)
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if got := a.At(int(c), i); got != vals[k] {
+				t.Fatalf("asymmetric weight at (%d,%d): %g vs %g", i, c, vals[k], got)
+			}
+		}
+	}
+	if math.IsNaN(float64(a.Val[0])) {
+		t.Fatal("NaN weight generated")
+	}
+}

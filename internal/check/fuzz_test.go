@@ -1,0 +1,151 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/venom"
+)
+
+// fuzzPatterns keeps fuzz iterations cheap while covering both the
+// basic N:M shape and a genuinely blocked V:N:M one.
+var fuzzPatterns = []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8)}
+
+// FuzzCompressDecompress drives arbitrary small weighted matrices
+// (explicit zeros, duplicates-summed entries, negatives included)
+// through prune -> compress -> decompress and split-to-conform,
+// asserting the shared round-trip and reassembly oracles.
+func FuzzCompressDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 64})
+	f.Add([]byte{8, 0, 1, 7, 1, 0, 9, 3, 3, 0})      // explicit zero value
+	f.Add([]byte{5, 2, 2, 10, 2, 2, 11, 2, 2, 200})  // duplicates summed
+	f.Add([]byte{16, 0, 15, 33, 1, 14, 90, 15, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := CSRFromBytes(data, 32)
+		for _, p := range fuzzPatterns {
+			pruned, _, err := venom.PruneToConform(a, p)
+			if err != nil {
+				t.Fatalf("prune on valid input failed: %v", err)
+			}
+			if err := CompressRoundTrip(pruned, p); err != nil {
+				t.Fatalf("pattern %v: %v", p, err)
+			}
+			if err := SplitReassembly(a, p); err != nil {
+				t.Fatalf("pattern %v: %v", p, err)
+			}
+		}
+	})
+}
+
+// FuzzReorderLossless checks that SOGRE reordering of an arbitrary
+// graph always yields a bijective permutation whose application
+// preserves the edge multiset — the paper's losslessness claim.
+func FuzzReorderLossless(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{9, 0, 0, 1, 1, 5, 7, 8, 2})
+	f.Add([]byte{40, 3, 9, 9, 12, 12, 3, 0, 39})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := GraphFromBytes(data, 40)
+		res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{MaxIter: 2})
+		if err != nil {
+			t.Fatalf("reorder on valid graph failed: %v", err)
+		}
+		if err := ReorderLossless(g, res); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzSpMMEquivalence runs the full differential kernel matrix on
+// arbitrary decoded operands.
+func FuzzSpMMEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 32})
+	f.Add([]byte{6, 0, 5, 64, 5, 0, 64, 2, 3, 0})
+	f.Add([]byte{17, 16, 16, 255, 0, 16, 128, 7, 7, 33})
+	f.Add([]byte{24, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := CSRFromBytes(data, 24)
+		b := RandomDense(a.N, 5, 1, int64(len(data)))
+		for _, p := range fuzzPatterns {
+			if err := SpMMEquivalence(a, b, p, DefaultTol()); err != nil {
+				t.Fatalf("pattern %v: %v", p, err)
+			}
+		}
+	})
+}
+
+// FuzzMatrixMarketRoundTrip checks the MatrixMarket code path with the
+// shared oracles: anything the parser accepts must validate, survive a
+// write/re-read round trip with its exact edge multiset, and agree
+// with the edge-list code path.
+func FuzzMatrixMarketRoundTrip(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n3 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n1 1 0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n0 0 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := graph.ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := graph.WriteMatrixMarket(&buf, g); err != nil {
+			t.Fatalf("cannot serialize accepted graph: %v", err)
+		}
+		g2, err := graph.ReadMatrixMarket(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("cannot re-parse own output: %v", err)
+		}
+		if err := graphsEqual(g, g2); err != nil {
+			t.Fatalf("MatrixMarket round trip: %v", err)
+		}
+		var el bytes.Buffer
+		if err := graph.WriteEdgeList(&el, g); err != nil {
+			t.Fatalf("cannot write edge list: %v", err)
+		}
+		g3, err := graph.ReadEdgeList(bytes.NewReader(el.Bytes()))
+		if err != nil {
+			t.Fatalf("cannot re-read edge list: %v", err)
+		}
+		// The edge list carries no vertex count, so trailing isolated
+		// vertices are lost; compare structure on the common prefix.
+		if g3.N() > g.N() {
+			t.Fatalf("edge list grew the graph: %d -> %d vertices", g.N(), g3.N())
+		}
+		if g3.NumEdges() != g.NumEdges() {
+			t.Fatalf("edge list round trip changed arcs: %d -> %d", g.NumEdges(), g3.NumEdges())
+		}
+	})
+}
+
+// graphsEqual compares two graphs' exact adjacency structure.
+func graphsEqual(a, b *graph.Graph) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("vertex counts differ: %d vs %d", a.N(), b.N())
+	}
+	for u := 0; u < a.N(); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			return fmt.Errorf("degree of %d differs: %d vs %d", u, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return fmt.Errorf("neighbor %d of %d differs: %d vs %d", i, u, na[i], nb[i])
+			}
+		}
+	}
+	return nil
+}

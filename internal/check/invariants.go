@@ -1,0 +1,193 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/graphalgs"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// Permutation checks that perm is a bijection on [0, n).
+func Permutation(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("check: permutation length %d != n %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for i, p := range perm {
+		if p < 0 || p >= n {
+			return fmt.Errorf("check: perm[%d] = %d out of range [0,%d)", i, p, n)
+		}
+		if seen[p] {
+			return fmt.Errorf("check: perm maps two positions to vertex %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// ReorderLossless certifies that a reordering result is a pure vertex
+// renumbering of g: the permutation is a bijection, the reported matrix
+// is exactly the symmetric permutation of g's adjacency matrix, the
+// edge multiset is preserved (the renumbered graph is isomorphic to g
+// via the permutation), and symmetry survives.
+func ReorderLossless(g *graph.Graph, res *core.Result) error {
+	if err := Permutation(res.Perm, g.N()); err != nil {
+		return err
+	}
+	if res.Matrix != nil {
+		want := g.ToBitMatrix().Permute(res.Perm)
+		if !res.Matrix.Equal(want) {
+			return fmt.Errorf("check: result matrix is not the permutation of the input adjacency")
+		}
+		if !res.Matrix.IsSymmetric() {
+			return fmt.Errorf("check: reordered adjacency lost symmetry")
+		}
+	}
+	rg, err := g.ApplyPermutation(res.Perm)
+	if err != nil {
+		return err
+	}
+	if rg.NumEdges() != g.NumEdges() {
+		return fmt.Errorf("check: reordering changed arc count %d -> %d", g.NumEdges(), rg.NumEdges())
+	}
+	// Edge-multiset preservation: every arc of the renumbered graph maps
+	// back to an arc of g and vice versa (counts match because both
+	// graphs are duplicate-free with equal arc totals).
+	for u := 0; u < rg.N(); u++ {
+		for _, v := range rg.Neighbors(u) {
+			if !g.HasEdge(res.Perm[u], res.Perm[int(v)]) {
+				return fmt.Errorf("check: arc (%d,%d) of reordered graph has no preimage", u, v)
+			}
+		}
+	}
+	return graphalgs.VerifyIsomorphism(g, rg, res.Perm)
+}
+
+// CSREqual checks exact structural and numerical equality of two CSR
+// matrices.
+func CSREqual(a, b *csr.Matrix) error {
+	if a.N != b.N {
+		return fmt.Errorf("check: CSR dims differ: %d vs %d", a.N, b.N)
+	}
+	if a.NNZ() != b.NNZ() {
+		return fmt.Errorf("check: CSR nnz differ: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for i := 0; i < a.N; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		if len(ac) != len(bc) {
+			return fmt.Errorf("check: row %d nnz differ: %d vs %d", i, len(ac), len(bc))
+		}
+		for k := range ac {
+			if ac[k] != bc[k] || av[k] != bv[k] {
+				return fmt.Errorf("check: row %d entry %d differs: (%d,%g) vs (%d,%g)", i, k, ac[k], av[k], bc[k], bv[k])
+			}
+		}
+	}
+	return nil
+}
+
+// CompressRoundTrip checks that venom compression of a conforming
+// matrix is the identity: Compress validates, its metadata is
+// well-formed, and Decompress reproduces the input exactly (explicit
+// zeros excluded — they are not representable and numerically inert).
+func CompressRoundTrip(a *csr.Matrix, p pattern.VNM) error {
+	comp, err := venom.Compress(a, p)
+	if err != nil {
+		return err
+	}
+	if err := comp.ValidateMeta(); err != nil {
+		return err
+	}
+	return CSREqual(dropExplicitZeros(a), comp.Decompress())
+}
+
+// SplitReassembly checks the hybrid decomposition A = compressed +
+// residual is exact: the compressed part validates and conforms, and
+// the dense reassembly matches A bit-for-bit.
+func SplitReassembly(a *csr.Matrix, p pattern.VNM) error {
+	comp, resid, err := venom.SplitToConform(a, p)
+	if err != nil {
+		return err
+	}
+	if err := comp.ValidateMeta(); err != nil {
+		return err
+	}
+	back := comp.Decompress()
+	if !pattern.Conforms(back.ToBitMatrix(), p) {
+		return fmt.Errorf("check: split compressed part does not conform to %v", p)
+	}
+	sum := back.ToDense()
+	sum.Add(resid.ToDense())
+	if d := dense.MaxAbsDiff(sum, a.ToDense()); d != 0 {
+		return fmt.Errorf("check: split reassembly differs from input by %g", d)
+	}
+	return nil
+}
+
+// CostModelSane checks the structural sanity every cycle estimate must
+// satisfy: nonnegativity everywhere, and monotonicity in work volume
+// (more nonzeros, wider outputs or more fragments never cost less).
+func CostModelSane(cm sptc.CostModel) error {
+	prevNNZ := -1.0
+	for _, nnz := range []int{0, 1, 10, 100, 10000, 1000000} {
+		c := cm.CSRSpMMCycles(nnz, 1024, 128)
+		if c < 0 {
+			return fmt.Errorf("check: CSRSpMMCycles(%d) = %g < 0", nnz, c)
+		}
+		if c < prevNNZ {
+			return fmt.Errorf("check: CSRSpMMCycles not monotone in nnz at %d", nnz)
+		}
+		prevNNZ = c
+	}
+	prevH := -1.0
+	for _, h := range []int{1, 16, 64, 256, 1024} {
+		c := cm.CSRSpMMCycles(5000, 1024, h)
+		if c < 0 || c < prevH {
+			return fmt.Errorf("check: CSRSpMMCycles not nonnegative-monotone in h at %d", h)
+		}
+		prevH = c
+	}
+	prevF := -1.0
+	for _, frags := range []int{0, 1, 8, 512, 65536} {
+		s := sptc.VNMStats{Fragments: frags, UsedCols: frags * 4, Blocks: frags, V: 16, N: 2, K: 4}
+		c := cm.VNMSpMMCycles(s, 128)
+		if c < 0 {
+			return fmt.Errorf("check: VNMSpMMCycles(%d fragments) = %g < 0", frags, c)
+		}
+		if c < prevF {
+			return fmt.Errorf("check: VNMSpMMCycles not monotone in fragments at %d", frags)
+		}
+		prevF = c
+	}
+	for _, n := range []int{0, 64, 4096} {
+		if cm.DenseGEMMCycles(n, 64) < 0 || cm.DenseTCGEMMCycles(n, 64) < 0 {
+			return fmt.Errorf("check: dense GEMM cycle estimate negative at n=%d", n)
+		}
+	}
+	return nil
+}
+
+// dropExplicitZeros returns a copy of a without explicitly stored zero
+// values (which the packed V:N:M representation cannot distinguish
+// from padding).
+func dropExplicitZeros(a *csr.Matrix) *csr.Matrix {
+	out := &csr.Matrix{N: a.N, RowPtr: make([]int32, a.N+1)}
+	for i := 0; i < a.N; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			if vals[k] != 0 {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Val = append(out.Val, vals[k])
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.ColIdx))
+	}
+	return out
+}

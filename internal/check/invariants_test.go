@@ -1,0 +1,100 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/venom"
+)
+
+func TestPermutationBijectivity(t *testing.T) {
+	if err := Permutation([]int{2, 0, 1}, 3); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	for _, bad := range [][]int{
+		{0, 0, 1},  // duplicate
+		{0, 1, 3},  // out of range
+		{0, 1},     // short
+		{-1, 1, 2}, // negative
+	} {
+		if err := Permutation(bad, 3); err == nil {
+			t.Errorf("invalid permutation %v accepted", bad)
+		}
+	}
+	if err := Permutation(nil, 0); err != nil {
+		t.Errorf("empty permutation on empty domain rejected: %v", err)
+	}
+}
+
+func TestReorderLosslessAcrossRegimes(t *testing.T) {
+	for _, rg := range Regimes()[:4] {
+		rg := rg
+		t.Run(rg.Name, func(t *testing.T) {
+			t.Parallel()
+			g := rg.RandomGraph(160, 11)
+			res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{MaxIter: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ReorderLossless(g, res); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestReorderLosslessRejectsCorruptedResult(t *testing.T) {
+	g := Regimes()[0].RandomGraph(64, 5)
+	res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() >= 2 {
+		res.Perm[0], res.Perm[1] = res.Perm[1], res.Perm[0]
+		if err := ReorderLossless(g, res); err == nil {
+			t.Error("tampered permutation accepted (matrix no longer matches)")
+		}
+	}
+}
+
+func TestCompressRoundTripOnConformingMatrices(t *testing.T) {
+	for _, p := range testPatterns {
+		for seed := int64(0); seed < 5; seed++ {
+			a := Regimes()[0].RandomCSR(80, seed, true)
+			conforming, _, err := venom.PruneToConform(a, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CompressRoundTrip(conforming, p); err != nil {
+				t.Errorf("pattern %v seed %d: %v", p, seed, err)
+			}
+		}
+	}
+}
+
+func TestSplitReassemblyAcrossRegimes(t *testing.T) {
+	for _, rg := range Regimes() {
+		for _, p := range testPatterns {
+			a := rg.RandomCSR(72, 3, true)
+			if err := SplitReassembly(a, p); err != nil {
+				t.Errorf("regime %s pattern %v: %v", rg.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestCSREqualDetectsDifferences(t *testing.T) {
+	a := Regimes()[1].RandomCSR(48, 2, true)
+	if err := CSREqual(a, a.Clone()); err != nil {
+		t.Errorf("clone not equal: %v", err)
+	}
+	b := a.Clone()
+	if len(b.Val) == 0 {
+		t.Skip("empty matrix drawn")
+	}
+	b.Val[0]++
+	if err := CSREqual(a, b); err == nil {
+		t.Error("value difference undetected")
+	}
+}

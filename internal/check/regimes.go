@@ -1,0 +1,156 @@
+package check
+
+import (
+	"math/rand"
+
+	"repro/internal/csr"
+	"repro/internal/datasets"
+	"repro/internal/dense"
+	"repro/internal/graph"
+)
+
+// Regime is one density/degree regime the differential harness samples,
+// drawn from the internal/datasets collection families (Table 1).
+type Regime struct {
+	Name   string
+	Degree float64 // average-degree target handed to the generator
+}
+
+// Regimes returns the harness's sampling plan: every deduplicated
+// collection family at its class's Table-1 degree target, spanning the
+// mesh-like, uniform-random, heavy-tailed and ultra-sparse regimes
+// (the last being the Figure-4 slowdown tail).
+func Regimes() []Regime {
+	degs := []float64{
+		datasets.ClassDegree(datasets.Small),
+		datasets.ClassDegree(datasets.Medium),
+		datasets.ClassDegree(datasets.Large),
+	}
+	var out []Regime
+	for i, fam := range datasets.Families() {
+		out = append(out, Regime{Name: fam, Degree: degs[i%len(degs)]})
+	}
+	return out
+}
+
+// RandomGraph draws one seeded graph from a regime.
+func (r Regime) RandomGraph(n int, seed int64) *graph.Graph {
+	g, err := datasets.Family(r.Name, n, r.Degree, seed)
+	if err != nil {
+		panic("check: " + err.Error()) // Regimes() only yields known families
+	}
+	return g
+}
+
+// RandomCSR draws a seeded sparse operand from a regime. With weighted
+// set, edge values are uniform in (-1, 1) (made symmetric so the
+// operand stays a valid adjacency matrix); otherwise unit weights.
+func (r Regime) RandomCSR(n int, seed int64, weighted bool) *csr.Matrix {
+	a := csr.FromGraph(r.RandomGraph(n, seed))
+	if weighted {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for i := 0; i < a.N; i++ {
+			cols, vals := a.Row(i)
+			for k, c := range cols {
+				if int(c) < i {
+					continue // lower triangle mirrors the upper
+				}
+				w := rng.Float32()*2 - 1
+				vals[k] = w
+				setSym(a, int(c), i, w)
+			}
+		}
+	}
+	return a
+}
+
+func setSym(a *csr.Matrix, r, c int, w float32) {
+	cols, vals := a.Row(r)
+	for k, cc := range cols {
+		if int(cc) == c {
+			vals[k] = w
+			return
+		}
+	}
+}
+
+// RandomDense returns a seeded dense feature operand with entries in
+// (-scale, scale).
+func RandomDense(rows, cols int, scale float32, seed int64) *dense.Matrix {
+	b := dense.NewMatrix(rows, cols)
+	b.Randomize(scale, seed)
+	return b
+}
+
+// bytesReader walks fuzz input bytes, yielding 0 once exhausted so
+// decoders terminate on any input.
+type bytesReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *bytesReader) next() byte {
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+// GraphFromBytes decodes raw fuzz bytes into a small undirected graph
+// with at most maxN vertices: the first byte picks n, subsequent byte
+// pairs become edges. The decoding is total — every input yields a
+// valid graph.
+func GraphFromBytes(data []byte, maxN int) *graph.Graph {
+	r := &bytesReader{data: data}
+	n := int(r.next()) % (maxN + 1)
+	if n == 0 {
+		g, _ := graph.NewFromEdges(0, nil)
+		return g
+	}
+	var edges [][2]int
+	for r.pos < len(r.data) {
+		u := int(r.next()) % n
+		v := int(r.next()) % n
+		edges = append(edges, [2]int{u, v})
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		panic("check: total graph decoder produced invalid edges: " + err.Error())
+	}
+	return g
+}
+
+// CSRFromBytes decodes raw fuzz bytes into a small weighted sparse
+// matrix: the first byte picks n (up to maxN), then byte triples
+// (row, col, value) add entries; value byte 0 encodes an explicitly
+// stored zero, odd values are negative. Duplicates are summed by
+// construction of csr.FromEntries. The decoding is total.
+func CSRFromBytes(data []byte, maxN int) *csr.Matrix {
+	r := &bytesReader{data: data}
+	n := int(r.next()) % (maxN + 1)
+	if n == 0 {
+		m, _ := csr.FromEntries(0, nil, nil, nil)
+		return m
+	}
+	var rows, cols []int32
+	var vals []float32
+	for r.pos < len(r.data) {
+		i := int32(r.next()) % int32(n)
+		j := int32(r.next()) % int32(n)
+		vb := r.next()
+		v := float32(vb) / 32
+		if vb%2 == 1 {
+			v = -v
+		}
+		rows = append(rows, i)
+		cols = append(cols, j)
+		vals = append(vals, v)
+	}
+	m, err := csr.FromEntries(n, rows, cols, vals)
+	if err != nil {
+		panic("check: total CSR decoder produced invalid entries: " + err.Error())
+	}
+	return m
+}

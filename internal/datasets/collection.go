@@ -127,6 +127,41 @@ func sizeJitter(rng *rand.Rand, spread float64) float64 {
 	return lo * math.Pow(hi/lo, rng.Float64())
 }
 
+// Families lists the generator family names the collection draws from,
+// deduplicated — the density/degree regimes of Table 1.
+func Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range families {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Family generates one graph from a named collection family at the
+// given size and average-degree target — the entry point differential
+// tests use to sample each density/degree regime directly.
+func Family(name string, n int, deg float64, seed int64) (*graph.Graph, error) {
+	ok := false
+	for _, f := range families {
+		if f == name {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("datasets: unknown family %q", name)
+	}
+	return generate(name, n, deg, seed), nil
+}
+
+// ClassDegree returns the Table-1 average degree target of a size
+// class.
+func ClassDegree(c SizeClass) float64 { return classTable[c].avgDeg }
+
 func generate(family string, n int, deg float64, seed int64) *graph.Graph {
 	switch family {
 	case "banded":
@@ -139,7 +174,7 @@ func generate(family string, n int, deg float64, seed int64) *graph.Graph {
 		side := isqrt(n)
 		return graph.Grid2D(side, (n+side-1)/side)
 	case "community":
-		nc := 4 + int(seed%5)
+		nc := 4 + int(((seed%5)+5)%5)
 		sizes := make([]int, nc)
 		for i := range sizes {
 			sizes[i] = n / nc
@@ -160,7 +195,7 @@ func generate(family string, n int, deg float64, seed int64) *graph.Graph {
 		// Duplicate-row stencil structure: ring base blown up by a
 		// cluster factor rotating through {8, 16, 32}.
 		cs := []int{8, 16, 32}
-		c := cs[int(seed)%3]
+		c := cs[int(((seed%3)+3)%3)]
 		base := n / c
 		if base < 4 {
 			base, c = 4, n/4

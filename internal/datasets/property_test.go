@@ -1,0 +1,158 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// graphsIdentical compares exact adjacency structure.
+func graphsIdentical(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.N(); u++ {
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFamilyDeterminismAcrossSeeds: every generator family is a pure
+// function of its seed — identical seeds reproduce the graph exactly,
+// different seeds (for the stochastic families) do not.
+func TestFamilyDeterminismAcrossSeeds(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			t.Parallel()
+			g1, err := Family(fam, 300, 12, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := Family(fam, 300, 12, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graphsIdentical(g1, g2) {
+				t.Fatal("same seed produced different graphs")
+			}
+			if fam == "grid" {
+				return // deterministic by construction, seed unused
+			}
+			g3, err := Family(fam, 300, 12, 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if graphsIdentical(g1, g3) {
+				t.Error("different seeds produced identical graphs")
+			}
+		})
+	}
+}
+
+// TestFamilyNegativeSeedSafe: Family is total over seeds (negative
+// seeds once crashed the community and blowup generators through
+// negative modulo results).
+func TestFamilyNegativeSeedSafe(t *testing.T) {
+	for _, fam := range Families() {
+		for _, seed := range []int64{-1, -4, -1 << 40} {
+			g, err := Family(fam, 120, 8, seed)
+			if err != nil {
+				t.Fatalf("family %s seed %d: %v", fam, seed, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("family %s seed %d: invalid graph: %v", fam, seed, err)
+			}
+		}
+	}
+}
+
+func TestFamilyRejectsUnknownName(t *testing.T) {
+	if _, err := Family("no-such-family", 100, 8, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+// TestCollectionTable1Bounds: the synthetic SuiteSparse collection
+// respects its Table-1 contract — deterministic for a spec, all three
+// size classes populated (>= 3 graphs each), vertex counts within
+// [64, MaxN], and every graph a valid symmetric adjacency structure.
+func TestCollectionTable1Bounds(t *testing.T) {
+	spec := CollectionSpec{Scale: 0.01, Seed: 99, MaxN: 1024}
+	c1 := SuiteSparseCollection(spec)
+	c2 := SuiteSparseCollection(spec)
+	if len(c1) != len(c2) {
+		t.Fatalf("collection size not deterministic: %d vs %d", len(c1), len(c2))
+	}
+	perClass := map[SizeClass]int{}
+	for i, e := range c1 {
+		if e.Name != c2[i].Name || !graphsIdentical(e.G, c2[i].G) {
+			t.Fatalf("entry %d (%s) not deterministic", i, e.Name)
+		}
+		perClass[e.Class]++
+		if n := e.G.N(); n < 64 || n > spec.MaxN {
+			t.Errorf("%s: n = %d outside [64, %d]", e.Name, n, spec.MaxN)
+		}
+		if err := e.G.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+	}
+	for _, class := range []SizeClass{Small, Medium, Large} {
+		if perClass[class] < 3 {
+			t.Errorf("class %s has %d graphs, want >= 3", class, perClass[class])
+		}
+	}
+	if ClassDegree(Small) >= ClassDegree(Medium) || ClassDegree(Medium) >= ClassDegree(Large) {
+		t.Error("Table-1 class degrees must increase with size class")
+	}
+}
+
+// TestGNNDatasetsTable2Bounds: each synthetic GNN dataset stays inside
+// its Table-2 contract — deterministic per seed, scaled sizes bounded
+// by the paper sizes, features and labels shaped consistently, and
+// class labels within range.
+func TestGNNDatasetsTable2Bounds(t *testing.T) {
+	opt := GenOptions{Scale: 0.03, Seed: 5, MaxClasses: 6}
+	sets := GNNDatasets(opt)
+	if len(sets) != len(GNNDatasetMetas) {
+		t.Fatalf("got %d datasets, want %d", len(sets), len(GNNDatasetMetas))
+	}
+	again := GNNDatasets(opt)
+	for i, d := range sets {
+		meta := GNNDatasetMetas[i]
+		if d.Name != meta.Name {
+			t.Fatalf("dataset %d is %s, want %s", i, d.Name, meta.Name)
+		}
+		if !graphsIdentical(d.G, again[i].G) {
+			t.Errorf("%s: graph not deterministic", d.Name)
+		}
+		if d.G.N() > meta.N {
+			t.Errorf("%s: scaled n %d exceeds paper n %d", d.Name, d.G.N(), meta.N)
+		}
+		if d.PaperN != meta.N || d.PaperE != meta.E || d.PaperF != meta.F {
+			t.Errorf("%s: paper metadata not carried through", d.Name)
+		}
+		if d.X.Rows != d.G.N() {
+			t.Errorf("%s: feature rows %d != n %d", d.Name, d.X.Rows, d.G.N())
+		}
+		if len(d.Labels) != d.G.N() {
+			t.Errorf("%s: label count %d != n %d", d.Name, len(d.Labels), d.G.N())
+		}
+		if d.Classes > opt.MaxClasses {
+			t.Errorf("%s: %d classes exceed cap %d", d.Name, d.Classes, opt.MaxClasses)
+		}
+		for _, l := range d.Labels {
+			if l < 0 || l >= d.Classes {
+				t.Fatalf("%s: label %d outside [0,%d)", d.Name, l, d.Classes)
+			}
+		}
+	}
+}

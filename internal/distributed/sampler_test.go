@@ -1,0 +1,100 @@
+package distributed
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sampleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.BarabasiAlbert(600, 4, 77)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func samplesIdentical(a, b Sample) bool {
+	if len(a.Orig) != len(b.Orig) || a.G.N() != b.G.N() || a.G.NumEdges() != b.G.NumEdges() {
+		return false
+	}
+	for i := range a.Orig {
+		if a.Orig[i] != b.Orig[i] {
+			return false
+		}
+	}
+	for u := 0; u < a.G.N(); u++ {
+		na, nb := a.G.Neighbors(u), b.G.Neighbors(u)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestNeighborSampleReproducible: with a fixed seed the sampler is a
+// pure function of (config, sample index) — the property that makes
+// distributed runs and their Table-6 numbers replayable.
+func TestNeighborSampleReproducible(t *testing.T) {
+	g := sampleGraph(t)
+	cfg := SamplerConfig{Seeds: 24, Fanout: []int{6, 4}, Seed: 123}
+	for idx := 0; idx < 4; idx++ {
+		s1 := NeighborSample(g, cfg, idx)
+		s2 := NeighborSample(g, cfg, idx)
+		if !samplesIdentical(s1, s2) {
+			t.Fatalf("sample %d not reproducible under fixed seed", idx)
+		}
+		if err := s1.G.Validate(); err != nil {
+			t.Fatalf("sample %d: invalid subgraph: %v", idx, err)
+		}
+		// The subgraph must be induced: every sampled vertex maps back
+		// to an original vertex and every edge exists in g.
+		for u := 0; u < s1.G.N(); u++ {
+			for _, v := range s1.G.Neighbors(u) {
+				if !g.HasEdge(s1.Orig[u], s1.Orig[int(v)]) {
+					t.Fatalf("sample %d: edge (%d,%d) has no original counterpart", idx, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborSampleIndexAndSeedVary: distinct sample indices and
+// distinct base seeds draw distinct subgraphs (the sampler would
+// otherwise silently collapse a distributed run to one sample).
+func TestNeighborSampleIndexAndSeedVary(t *testing.T) {
+	g := sampleGraph(t)
+	cfg := SamplerConfig{Seeds: 24, Fanout: []int{6, 4}, Seed: 123}
+	if samplesIdentical(NeighborSample(g, cfg, 0), NeighborSample(g, cfg, 1)) {
+		t.Error("sample 0 and 1 identical")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 124
+	if samplesIdentical(NeighborSample(g, cfg, 0), NeighborSample(g, cfg2, 0)) {
+		t.Error("different base seeds produced identical samples")
+	}
+}
+
+// TestNeighborSampleBounds: the sample never exceeds the expansion
+// budget seeds * prod(1 + fanout) and never exceeds the graph.
+func TestNeighborSampleBounds(t *testing.T) {
+	g := sampleGraph(t)
+	cfg := SamplerConfig{Seeds: 10, Fanout: []int{3, 2}, Seed: 9}
+	s := NeighborSample(g, cfg, 0)
+	budget := 10 * (1 + 3 + 3*2)
+	if s.G.N() > budget {
+		t.Errorf("sample size %d exceeds budget %d", s.G.N(), budget)
+	}
+	if s.G.N() > g.N() {
+		t.Errorf("sample larger than graph")
+	}
+	if s.G.N() < cfg.Seeds {
+		t.Errorf("sample smaller than seed set: %d < %d", s.G.N(), cfg.Seeds)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/gnn"
@@ -37,6 +39,38 @@ func Default() Config {
 		Workers:    4,
 		Seed:       20250705,
 	}
+}
+
+// Validate checks a configuration is runnable before any experiment
+// spends time on it: positive scales and widths, a nonempty H sweep,
+// and a trainable learning schedule.
+func (c Config) Validate() error {
+	switch {
+	case c.Collection.Scale <= 0:
+		return fmt.Errorf("experiments: Collection.Scale %g must be > 0", c.Collection.Scale)
+	case c.Collection.MaxN <= 0:
+		return fmt.Errorf("experiments: Collection.MaxN %d must be > 0", c.Collection.MaxN)
+	case c.GNNOpt.Scale <= 0:
+		return fmt.Errorf("experiments: GNNOpt.Scale %g must be > 0", c.GNNOpt.Scale)
+	case c.Hidden <= 0:
+		return fmt.Errorf("experiments: Hidden %d must be > 0", c.Hidden)
+	case len(c.HSweep) == 0:
+		return fmt.Errorf("experiments: HSweep must be nonempty")
+	case c.TrainCfg.Epochs <= 0:
+		return fmt.Errorf("experiments: TrainCfg.Epochs %d must be > 0", c.TrainCfg.Epochs)
+	case c.TrainCfg.LR <= 0:
+		return fmt.Errorf("experiments: TrainCfg.LR %g must be > 0", c.TrainCfg.LR)
+	case c.OGBNScale <= 0:
+		return fmt.Errorf("experiments: OGBNScale %g must be > 0", c.OGBNScale)
+	case c.Workers < 0:
+		return fmt.Errorf("experiments: Workers %d must be >= 0", c.Workers)
+	}
+	for _, h := range c.HSweep {
+		if h <= 0 {
+			return fmt.Errorf("experiments: HSweep entry %d must be > 0", h)
+		}
+	}
+	return nil
 }
 
 // Quick returns a seconds-scale configuration for unit tests and

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidate is the table-driven contract of Config.Validate:
+// the shipped configurations pass, and each class of broken field is
+// rejected with a message naming it.
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatalf("Quick() invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero-collection-scale", func(c *Config) { c.Collection.Scale = 0 }, "Collection.Scale"},
+		{"negative-collection-scale", func(c *Config) { c.Collection.Scale = -1 }, "Collection.Scale"},
+		{"zero-maxn", func(c *Config) { c.Collection.MaxN = 0 }, "MaxN"},
+		{"zero-gnn-scale", func(c *Config) { c.GNNOpt.Scale = 0 }, "GNNOpt.Scale"},
+		{"zero-hidden", func(c *Config) { c.Hidden = 0 }, "Hidden"},
+		{"empty-hsweep", func(c *Config) { c.HSweep = nil }, "HSweep"},
+		{"bad-hsweep-entry", func(c *Config) { c.HSweep = []int{64, 0} }, "HSweep"},
+		{"zero-epochs", func(c *Config) { c.TrainCfg.Epochs = 0 }, "Epochs"},
+		{"zero-lr", func(c *Config) { c.TrainCfg.LR = 0 }, "LR"},
+		{"zero-ogbn", func(c *Config) { c.OGBNScale = 0 }, "OGBNScale"},
+		{"negative-workers", func(c *Config) { c.Workers = -1 }, "Workers"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name field %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunAllRejectsInvalidConfig(t *testing.T) {
+	cfg := Quick()
+	cfg.Hidden = -3
+	if _, err := RunAll(cfg, nil); err == nil {
+		t.Fatal("RunAll accepted an invalid configuration")
+	}
+}
+
+func sampleTable() *Table {
+	tb := &Table{ID: "tableX", Title: "determinism probe", Header: []string{"name", "speedup", "note"}}
+	tb.AddRow("alpha", f2(1.2345), "short")
+	tb.AddRow("a-much-longer-name", f3(0.5), "wide cell to stretch a column")
+	tb.AddRow("beta", pct(0.42), "x")
+	tb.AddNote("geomean %s", f2(geomean([]float64{1.2, 2.4})))
+	return tb
+}
+
+// TestTableFormattingDeterminism: rendering is a pure function of the
+// table content — identical tables render byte-identically in every
+// format, repeatedly.
+func TestTableFormattingDeterminism(t *testing.T) {
+	a, b := sampleTable(), sampleTable()
+	for i := 0; i < 3; i++ {
+		if a.String() != b.String() {
+			t.Fatal("String() differs across identical tables")
+		}
+		if a.Markdown() != b.Markdown() {
+			t.Fatal("Markdown() differs across identical tables")
+		}
+		aj, err := a.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := b.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatal("JSON() differs across identical tables")
+		}
+	}
+}
+
+// TestTableColumnsAligned: every rendered row of the plain format has
+// its columns at the same byte offsets (the alignment contract the CLI
+// output relies on).
+func TestTableColumnsAligned(t *testing.T) {
+	lines := strings.Split(strings.TrimRight(sampleTable().String(), "\n"), "\n")
+	// lines[0] is the banner; lines[1] the header; lines[2] the rule.
+	if len(lines) < 6 {
+		t.Fatalf("unexpected render: %q", lines)
+	}
+	rule := lines[2]
+	gap := strings.Index(rule, "  ")
+	if gap < 0 {
+		t.Fatalf("no column gap in rule %q", rule)
+	}
+	for _, ln := range lines[1:6] {
+		if len(ln) <= gap+2 {
+			t.Fatalf("line %q shorter than first column width", ln)
+		}
+		if ln[gap] != ' ' || ln[gap+1] != ' ' {
+			t.Errorf("line %q misaligned at offset %d", ln, gap)
+		}
+	}
+}
+
+// TestStatHelpersDeterministic covers the aggregation helpers the
+// tables are built from.
+func TestStatHelpersDeterministic(t *testing.T) {
+	vals := []float64{1.5, 2.5, 4.0, 8.0}
+	if geomean(vals) != geomean(append([]float64(nil), vals...)) {
+		t.Error("geomean not deterministic")
+	}
+	if mean(vals) != 4.0 {
+		t.Errorf("mean = %g, want 4", mean(vals))
+	}
+	if median(vals) != 3.25 {
+		t.Errorf("median = %g, want 3.25", median(vals))
+	}
+	if g := geomean([]float64{0, 0}); g != 0 {
+		t.Errorf("geomean of zeros = %g, want 0", g)
+	}
+}

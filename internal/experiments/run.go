@@ -9,6 +9,9 @@ import (
 // RunAll executes every experiment and writes the rendered tables to w.
 // Returns the tables for further processing (e.g. EXPERIMENTS.md).
 func RunAll(cfg Config, w io.Writer) ([]*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	type step struct {
 		name string
 		run  func() (*Table, error)

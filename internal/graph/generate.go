@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // The generators below synthesize graphs spanning the structural
@@ -80,7 +81,15 @@ func BarabasiAlbert(n, m int, seed int64) *Graph {
 				chosen[t] = true
 			}
 		}
+		// Drain the chosen set in sorted order: map iteration order
+		// would otherwise leak into the targets pool and make the
+		// generator nondeterministic for a fixed seed.
+		picks := make([]int, 0, len(chosen))
 		for t := range chosen {
+			picks = append(picks, t)
+		}
+		sort.Ints(picks)
+		for _, t := range picks {
 			edges = append(edges, [2]int{u, t})
 			targets = append(targets, u, t)
 		}

@@ -100,8 +100,15 @@ func Compress(a *csr.Matrix, p pattern.VNM) (*Matrix, error) {
 		}
 		blocks := map[int32]*blockInfo{}
 		for r := rLo; r < rHi; r++ {
-			cols, _ := a.Row(r)
-			for _, c := range cols {
+			cols, vals := a.Row(r)
+			for i, c := range cols {
+				// Explicitly stored zeros are numerically inert and not
+				// representable in the packed form (indistinguishable
+				// from padding): skip them rather than letting them
+				// consume column budget or value slots.
+				if vals[i] == 0 {
+					continue
+				}
 				seg := c / int32(p.M)
 				b := blocks[seg]
 				if b == nil {
@@ -151,7 +158,7 @@ func Compress(a *csr.Matrix, p pattern.VNM) (*Matrix, error) {
 				cols, vals := a.Row(r)
 				slot := 0
 				for i, c := range cols {
-					if c/int32(p.M) != seg {
+					if vals[i] == 0 || c/int32(p.M) != seg {
 						continue
 					}
 					if slot >= p.N {

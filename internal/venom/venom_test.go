@@ -277,3 +277,64 @@ func BenchmarkCompress(b *testing.B) {
 		}
 	}
 }
+
+// TestCompressIgnoresExplicitZeros is the regression test for the
+// explicit-zero bug the differential fuzzers surfaced: an explicitly
+// stored zero value (e.g. duplicate triplets summing to zero) used to
+// consume a packed slot and column budget, making Compress reject
+// conforming matrices and making Decompress (which cannot distinguish
+// a stored zero from padding) drop entries on the round trip.
+func TestCompressIgnoresExplicitZeros(t *testing.T) {
+	p := pattern.NM(2, 4)
+	// Row 0 holds two real nonzeros and one explicit zero in one
+	// segment: conforming once zeros are ignored, a horizontal
+	// violation if they are counted.
+	a, err := csr.FromEntries(4,
+		[]int32{0, 0, 0, 0, 1},
+		[]int32{0, 1, 2, 2, 1},
+		[]float32{1, 2, 0.5, -0.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.At(0, 2); got != 0 {
+		t.Fatalf("setup: want explicit zero at (0,2), got %g", got)
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("setup: want 4 stored entries, got %d", a.NNZ())
+	}
+	c, err := Compress(a, p)
+	if err != nil {
+		t.Fatalf("conforming matrix with explicit zero rejected: %v", err)
+	}
+	if err := c.ValidateMeta(); err != nil {
+		t.Fatal(err)
+	}
+	back := c.Decompress()
+	if back.NNZ() != 3 {
+		t.Errorf("round trip kept %d entries, want the 3 real nonzeros", back.NNZ())
+	}
+	for _, e := range []struct {
+		r, c int
+		v    float32
+	}{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}} {
+		if got := back.At(e.r, e.c); got != e.v {
+			t.Errorf("round trip (%d,%d) = %g, want %g", e.r, e.c, got, e.v)
+		}
+	}
+	// A whole column of explicit zeros must not count against the
+	// vertical K budget either.
+	b, err := csr.FromEntries(4,
+		[]int32{0, 0, 0, 0, 0},
+		[]int32{0, 1, 2, 3, 3},
+		[]float32{0, 0, 0, 0.5, -0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Compress(b, pattern.NM(1, 4))
+	if err != nil {
+		t.Fatalf("all-zero columns counted against budget: %v", err)
+	}
+	if got := cb.Decompress().NNZ(); got != 0 {
+		t.Errorf("round trip of numerically-empty matrix has %d entries", got)
+	}
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests, fuzz smoke, coverage floor.
+#
+# Usage: scripts/ci.sh [fuzztime]
+#   fuzztime   per-target fuzzing budget (default 5s; 0 skips fuzzing)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-5s}"
+COVER_FLOOR=85   # percent, for internal/check
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "$FUZZTIME" != "0" ]; then
+    echo "== fuzz smoke ($FUZZTIME per target) =="
+    for target in FuzzCompressDecompress FuzzReorderLossless \
+                  FuzzSpMMEquivalence FuzzMatrixMarketRoundTrip; do
+        echo "-- $target"
+        go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
+            -fuzztime "$FUZZTIME"
+    done
+fi
+
+echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
+cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
+echo "internal/check coverage: ${cov}%"
+awk -v c="$cov" -v f="$COVER_FLOOR" 'BEGIN { exit !(c >= f) }' || {
+    echo "FAIL: internal/check coverage ${cov}% below floor ${COVER_FLOOR}%" >&2
+    exit 1
+}
+
+echo "CI: all gates passed"

@@ -16,6 +16,9 @@
 //     cores, against the CSR baseline.
 //   - NewEngine (gnn.go): run GCN/GraphSAGE/ChebNet/SGC forward passes
 //     under the paper's four evaluation settings.
+//   - SelfCheck / Verify* (verify.go): the differential equivalence
+//     oracle certifying that reordering and compression never change
+//     SpMM results.
 //
 // Everything is pure Go with no dependencies outside the standard
 // library.

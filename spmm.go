@@ -51,6 +51,11 @@ func PruneToConform(a *CSRMatrix, p Pattern) (*CSRMatrix, venom.PruneStats, erro
 // cuSPARSE baseline stand-in).
 func SpMMCSR(a *CSRMatrix, b *Dense) *Dense { return spmm.CSR(a, b) }
 
+// SpMMCSRSerial computes C = A x B with the single-threaded CSR
+// reference kernel — the fixed-summation-order baseline the
+// differential equivalence checks (verify.go) compare against.
+func SpMMCSRSerial(a *CSRMatrix, b *Dense) *Dense { return spmm.CSRSerial(a, b) }
+
 // SpMMCompressed computes C = A x B over the compressed operand,
 // mirroring the SPTC execution structure.
 func SpMMCompressed(a *Compressed, b *Dense) *Dense { return spmm.VNM(a, b) }

@@ -1,0 +1,84 @@
+package sogre
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+)
+
+// This file is the public face of the internal/check subsystem: the
+// machine-checkable equivalence oracle behind the library's central
+// claim that reordering and compression never change SpMM results.
+// Embedders can run the same differential and invariant checks the
+// repository's tests, fuzz targets and the sogre-verify CLI use.
+
+// Tolerance is the float32 comparison policy of the differential
+// kernel harness (a paired forward-error bound; see internal/check).
+type Tolerance = check.Tol
+
+// DefaultTolerance returns the policy all repository checks use.
+func DefaultTolerance() Tolerance { return check.DefaultTol() }
+
+// VerifyKernelEquivalence runs A x B through every SpMM kernel (dense
+// reference, serial CSR, parallel CSR, BSR, compressed-SPTC hybrid)
+// and reports the first element-wise disagreement beyond tolerance.
+func VerifyKernelEquivalence(a *CSRMatrix, b *Dense, p Pattern, tol Tolerance) error {
+	return check.SpMMEquivalence(a, b, p, tol)
+}
+
+// VerifyReordering certifies a reordering result is lossless for g:
+// bijective permutation, exact symmetric permutation of the adjacency
+// matrix, edge-multiset preservation, symmetry intact.
+func VerifyReordering(g *Graph, r *ReorderResult) error {
+	return check.ReorderLossless(g, r)
+}
+
+// VerifyCompression checks the hybrid decomposition of a under p is
+// exact (compressed + residual reassembles A bit-for-bit) and the
+// compressed metadata is well-formed.
+func VerifyCompression(a *CSRMatrix, p Pattern) error {
+	return check.SplitReassembly(a, p)
+}
+
+// VerifyCostModel checks the structural sanity of a cycle model:
+// nonnegative estimates, monotone in work volume.
+func VerifyCostModel(cm CostModel) error { return check.CostModelSane(cm) }
+
+// SelfCheck runs the core oracles on seeded random inputs drawn from
+// every dataset regime — the programmatic equivalent of the
+// sogre-verify CLI. It returns the first failure.
+func SelfCheck(trials int, seed int64) error {
+	if trials <= 0 {
+		trials = 3
+	}
+	regimes := check.Regimes()
+	for t := 0; t < trials; t++ {
+		rg := regimes[t%len(regimes)]
+		s := seed + int64(t)*7919
+		g := rg.RandomGraph(150+t*13, s)
+		res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{MaxIter: 3})
+		if err != nil {
+			return fmt.Errorf("sogre: self-check reorder (regime %s): %w", rg.Name, err)
+		}
+		if err := check.ReorderLossless(g, res); err != nil {
+			return fmt.Errorf("sogre: self-check losslessness (regime %s): %w", rg.Name, err)
+		}
+		a := rg.RandomCSR(150+t*13, s, t%2 == 0)
+		b := check.RandomDense(a.N, 9, 1, s+1)
+		for _, p := range []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8)} {
+			if err := check.SpMMEquivalence(a, b, p, check.DefaultTol()); err != nil {
+				return fmt.Errorf("sogre: self-check kernels (regime %s, pattern %v): %w", rg.Name, p, err)
+			}
+			if err := check.SplitReassembly(a, p); err != nil {
+				return fmt.Errorf("sogre: self-check compression (regime %s, pattern %v): %w", rg.Name, p, err)
+			}
+		}
+	}
+	if err := check.CostModelSane(sptc.DefaultCostModel()); err != nil {
+		return fmt.Errorf("sogre: self-check cost model: %w", err)
+	}
+	return nil
+}

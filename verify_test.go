@@ -1,0 +1,38 @@
+package sogre
+
+import "testing"
+
+// TestSelfCheck runs the embedded equivalence oracle end to end — the
+// facade-level guarantee that the public pipeline (reorder, compress,
+// SpMM) is self-consistent.
+func TestSelfCheck(t *testing.T) {
+	if err := SelfCheck(3, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFacades(t *testing.T) {
+	g, err := NewGraph(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reorder(g, NM(2, 4), ReorderOptions{MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReordering(g, res); err != nil {
+		t.Errorf("VerifyReordering: %v", err)
+	}
+	a := CSRFromGraph(g)
+	b := NewDense(6, 4)
+	b.Randomize(1, 3)
+	if err := VerifyKernelEquivalence(a, b, NM(2, 4), DefaultTolerance()); err != nil {
+		t.Errorf("VerifyKernelEquivalence: %v", err)
+	}
+	if err := VerifyCompression(a, NM(2, 4)); err != nil {
+		t.Errorf("VerifyCompression: %v", err)
+	}
+	if err := VerifyCostModel(DefaultCostModel()); err != nil {
+		t.Errorf("VerifyCostModel: %v", err)
+	}
+}
