@@ -1,0 +1,79 @@
+// Command sogre-bench runs the reproducible SpMM benchmark suite and
+// writes BENCH_spmm.json — the performance-trajectory artifact tracked
+// across PRs. For each seeded regime graph and dense width it times
+// the serial and sched-parallel CSR kernels and the serial and
+// parallel V:N:M/SPTC hybrid kernels, reporting ns/op, measured
+// GFLOP/s, effective FLOP-per-cycle under the calibrated cycle model,
+// and speedup versus the serial twin.
+//
+// Usage:
+//
+//	sogre-bench [-seed 20250806] [-out BENCH_spmm.json] [-widths 64,128]
+//	            [-repeats 3] [-workers 0]
+//
+// With a fixed -seed, everything in the JSON except the timing fields
+// (ns_per_op, gflops, speedup_vs_serial) is byte-identical across runs
+// (tested in internal/bench).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 20250806, "operand generator seed")
+	out := flag.String("out", "BENCH_spmm.json", "output JSON path (- for stdout)")
+	widths := flag.String("widths", "64,128", "comma-separated dense widths")
+	repeats := flag.Int("repeats", 3, "timing repetitions per kernel (best wins)")
+	workers := flag.Int("workers", 0, "parallel pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Repeats = *repeats
+	cfg.Workers = *workers
+	cfg.Widths = nil
+	for _, s := range strings.Split(*widths, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "sogre-bench: bad width %q\n", s)
+			os.Exit(2)
+		}
+		cfg.Widths = append(cfg.Widths, v)
+	}
+
+	suite, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-14s %-6s %-16s %-8s %10s %9s %9s %9s\n",
+		"graph", "H", "kernel", "workers", "ns/op", "GFLOP/s", "f/cycle", "speedup")
+	for _, r := range suite.Results {
+		fmt.Printf("%-14s %-6d %-16s %-8d %10.0f %9.3f %9.3f %9.2f\n",
+			r.Graph, r.H, r.Kernel, r.Workers, r.NsPerOp, r.GFLOPS, r.ModelFLOPPerCycle, r.SpeedupVsSerial)
+	}
+
+	data, err := suite.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results, seed %d, %d workers)\n",
+		*out, len(suite.Results), suite.Seed, suite.Workers)
+}

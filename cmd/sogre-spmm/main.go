@@ -14,11 +14,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
 	"repro/internal/venom"
@@ -30,7 +32,9 @@ func main() {
 	n := flag.Int("n", 2048, "vertex count for -gen")
 	seed := flag.Int64("seed", 1, "generator seed")
 	hs := flag.String("h", "64,128,256,512", "comma-separated dense widths to sweep")
+	workers := flag.Int("workers", 0, "scheduler pool size for the parallel kernels (0 = GOMAXPROCS)")
 	flag.Parse()
+	pool := sched.New(*workers)
 
 	g, err := loadGraph(*in, *gen, *n, *seed)
 	if err != nil {
@@ -69,22 +73,26 @@ func main() {
 		fmt.Printf("residual entries outside pattern: %d of %d\n", resid.NNZ(), reordered.NNZ())
 	}
 	cm := sptc.DefaultCostModel()
+	fmt.Printf("scheduler: %d workers\n", pool.Workers())
 	fmt.Printf("%-6s  %-14s  %-14s  %-10s  %-12s  %-12s\n",
 		"H", "CSR cycles", "SPTC cycles", "speedup", "CSR wall", "SPTC wall")
 	for _, h := range widths {
 		b := dense.NewMatrix(g.N(), h)
 		b.Randomize(1, *seed+int64(h))
-		baseRep := spmm.RunCSR(a, b, cm)
-		revRep := spmm.RunVNM(comp, b, cm)
-		revCycles := revRep.Cycles
+		baseStart := time.Now()
+		spmm.CSRPool(pool, a, b)
+		baseWall := time.Since(baseStart)
+		baseCycles := cm.CSRSpMMCycles(a.NNZ(), a.N, h)
+		revStart := time.Now()
+		spmm.HybridPool(pool, comp, resid, b)
+		revWall := time.Since(revStart)
+		revCycles := cm.VNMSpMMCycles(sptc.Stats(comp, cm), h)
 		if resid.NNZ() > 0 {
-			residRep := spmm.RunCSR(resid, b, cm)
-			revCycles += residRep.Cycles
-			revRep.Wall += residRep.Wall
+			revCycles += cm.CSRSpMMCycles(resid.NNZ(), resid.N, h)
 		}
 		fmt.Printf("%-6d  %-14.0f  %-14.0f  %-10.2f  %-12v  %-12v\n",
-			h, baseRep.Cycles, revCycles, baseRep.Cycles/revCycles,
-			baseRep.Wall.Round(1000), revRep.Wall.Round(1000))
+			h, baseCycles, revCycles, baseCycles/revCycles,
+			baseWall.Round(1000), revWall.Round(1000))
 	}
 }
 

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// tinyConfig keeps test runs fast: two small graphs, one width, one
+// timing repetition.
+func tinyConfig() Config {
+	return Config{
+		Seed:   7,
+		Widths: []int{8},
+		Graphs: []GraphSpec{
+			{Name: "er-tiny", Family: "er", N: 256, Degree: 6},
+			{Name: "powerlaw-tiny", Family: "powerlaw", N: 200, Degree: 5},
+		},
+		Repeats: 1,
+		Workers: 2,
+		Pattern: pattern.NM(2, 4),
+	}
+}
+
+// TestSuiteDeterminism: two runs with the same seed produce
+// byte-identical JSON once the timing fields are canonicalized — the
+// satellite contract that makes BENCH_spmm.json diffable across PRs.
+func TestSuiteDeterminism(t *testing.T) {
+	s1, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := Canonical(s1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Canonical(s2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same-seed runs disagree canonically:\n%s\n---\n%s", j1, j2)
+	}
+}
+
+// TestSuiteSchema: the JSON layout carries the fields trajectory
+// tooling depends on, with sane values.
+func TestSuiteSchema(t *testing.T) {
+	s, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("suite JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"schema", "seed", "workers", "gomaxprocs", "pattern", "widths", "results"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("suite JSON missing top-level key %q", key)
+		}
+	}
+	if decoded["schema"] != Schema {
+		t.Fatalf("schema = %v, want %q", decoded["schema"], Schema)
+	}
+	results, ok := decoded["results"].([]any)
+	if !ok || len(results) == 0 {
+		t.Fatal("suite JSON has no results")
+	}
+	// 2 graphs x 1 width x 4 kernels.
+	if len(s.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(s.Results))
+	}
+	kernels := map[string]int{}
+	for _, r := range s.Results {
+		kernels[r.Kernel]++
+		if r.FLOPs <= 0 || r.ModelCycles <= 0 || r.NsPerOp <= 0 || r.NNZ <= 0 {
+			t.Fatalf("result %+v has non-positive metrics", r)
+		}
+		if r.ModelFLOPPerCycle <= 0 || r.GFLOPS <= 0 {
+			t.Fatalf("result %+v missing derived rates", r)
+		}
+	}
+	for _, k := range []string{"csr-serial", "csr-parallel", "hybrid-serial", "hybrid-parallel"} {
+		if kernels[k] != 2 {
+			t.Fatalf("kernel %q appears %d times, want 2 (kernels: %v)", k, kernels[k], kernels)
+		}
+	}
+}
+
+// TestSpeedupFieldConsistency: speedup_vs_serial is exactly the ratio
+// of the twin's ns_per_op to the kernel's, and 1.0 for serial rows.
+func TestSpeedupFieldConsistency(t *testing.T) {
+	s, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialNs := map[string]float64{}
+	for _, r := range s.Results {
+		if r.Kernel == "csr-serial" || r.Kernel == "hybrid-serial" {
+			serialNs[r.Graph+"/"+r.Kernel[:3]] = r.NsPerOp
+			if r.SpeedupVsSerial != 1 {
+				t.Fatalf("serial row %q has speedup %g, want 1", r.Kernel, r.SpeedupVsSerial)
+			}
+		}
+	}
+	for _, r := range s.Results {
+		var twin string
+		switch r.Kernel {
+		case "csr-parallel":
+			twin = r.Graph + "/csr"
+		case "hybrid-parallel":
+			twin = r.Graph + "/hyb"
+		default:
+			continue
+		}
+		want := serialNs[twin] / r.NsPerOp
+		if diff := r.SpeedupVsSerial - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s speedup %g, want %g", r.Kernel, r.SpeedupVsSerial, want)
+		}
+	}
+}
+
+// TestCanonicalZeroesOnlyTimingFields: the canonical projection keeps
+// every deterministic field and zeroes every timing field.
+func TestCanonicalZeroesOnlyTimingFields(t *testing.T) {
+	s, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Canonical(s)
+	for i, r := range c.Results {
+		if r.NsPerOp != 0 || r.GFLOPS != 0 || r.SpeedupVsSerial != 0 {
+			t.Fatalf("canonical result %d keeps timing fields: %+v", i, r)
+		}
+		orig := s.Results[i]
+		if r.Graph != orig.Graph || r.Kernel != orig.Kernel || r.FLOPs != orig.FLOPs ||
+			r.ModelCycles != orig.ModelCycles || r.NNZ != orig.NNZ {
+			t.Fatalf("canonical result %d lost deterministic fields: %+v vs %+v", i, r, orig)
+		}
+	}
+	if s.Results[0].NsPerOp == 0 {
+		t.Fatal("Canonical mutated the original suite")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.Widths = nil },
+		func(c *Config) { c.Graphs = nil },
+		func(c *Config) { c.Repeats = 0 },
+		func(c *Config) { c.Workers = -1 },
+		func(c *Config) { c.Graphs[0].N = 0 },
+	} {
+		cfg := tinyConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted the zero config")
+	}
+	bad := tinyConfig()
+	bad.Graphs[0].Family = "no-such-family"
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run accepted an unknown graph family")
+	}
+}

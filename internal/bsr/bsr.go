@@ -32,6 +32,12 @@ func (b *Matrix) NumBlockRows() int { return (b.N + b.M - 1) / b.M }
 // NumBlocks returns the number of stored nonzero blocks.
 func (b *Matrix) NumBlocks() int { return len(b.ColInd) }
 
+// BlockRowBlocks returns the number of stored blocks in block row br —
+// the per-block-row work estimate the tile scheduler balances.
+func (b *Matrix) BlockRowBlocks(br int) int {
+	return int(b.RowPtr[br+1] - b.RowPtr[br])
+}
+
 // FromBitMatrix converts a bit matrix into BSR form with block size M.
 func FromBitMatrix(m *bitmat.Matrix, M int) (*Matrix, error) {
 	if M < 1 || M > 64 {

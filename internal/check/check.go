@@ -32,6 +32,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/dense"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/venom"
 )
@@ -117,11 +118,20 @@ func Kernels() []KernelCase {
 			if err := comp.ValidateMeta(); err != nil {
 				return nil, err
 			}
-			c := spmm.VNM(comp, b)
-			if resid.NNZ() > 0 {
-				c.Add(spmm.CSR(resid, b))
+			return spmm.Hybrid(comp, resid, b), nil
+		}},
+		// Tiled entries pin the scheduler's edge cases inside the same
+		// matrix (and fuzz targets): a pathologically fine tiling on an
+		// odd worker count, and the hybrid on a two-worker pool.
+		{Name: "csr-tiled-fine", Run: func(a *csr.Matrix, b *dense.Matrix, _ pattern.VNM) (*dense.Matrix, error) {
+			return spmm.CSRPool(sched.NewWithTarget(3, 1), a, b), nil
+		}},
+		{Name: "hybrid-tiled-w2", Run: func(a *csr.Matrix, b *dense.Matrix, p pattern.VNM) (*dense.Matrix, error) {
+			comp, resid, err := venom.SplitToConform(a, p)
+			if err != nil {
+				return nil, err
 			}
-			return c, nil
+			return spmm.HybridPool(sched.New(2), comp, resid, b), nil
 		}},
 	}
 }

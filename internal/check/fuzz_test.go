@@ -3,6 +3,7 @@ package check
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -77,6 +78,47 @@ func FuzzSpMMEquivalence(f *testing.F) {
 		b := RandomDense(a.N, 5, 1, int64(len(data)))
 		for _, p := range fuzzPatterns {
 			if err := SpMMEquivalence(a, b, p, DefaultTol()); err != nil {
+				t.Fatalf("pattern %v: %v", p, err)
+			}
+		}
+	})
+}
+
+// FuzzParallelSerialEquivalence drives arbitrary decoded operands
+// through every parallel kernel at several worker counts and tile
+// targets, asserting bit-identity with the serial twins — the
+// scheduler's determinism contract under adversarial sparsity
+// patterns (empty rows, heavy rows, duplicates, explicit zeros). The
+// seed corpus reuses the regime generators: one seed per
+// density/degree regime, re-encoded through the total CSR decoder's
+// byte format.
+func FuzzParallelSerialEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 32})
+	// Regime-derived seeds: sample each regime family and re-encode
+	// its entries as decoder bytes (row, col, value triples).
+	for i, rg := range Regimes() {
+		a := rg.RandomCSR(24, int64(i+1), true)
+		enc := []byte{byte(a.N)}
+		for r := 0; r < a.N && len(enc) < 120; r++ {
+			cols, vals := a.Row(r)
+			for k, c := range cols {
+				vb := byte(math.Abs(float64(vals[k])) * 32)
+				if vals[k] < 0 {
+					vb |= 1
+				}
+				enc = append(enc, byte(r), byte(c), vb)
+			}
+		}
+		f.Add(enc)
+	}
+	workers := []int{1, 2, 3}
+	targets := []int64{1, 16, 0}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := CSRFromBytes(data, 24)
+		b := RandomDense(a.N, 5, 1, int64(len(data)))
+		for _, p := range fuzzPatterns {
+			if err := ParallelEquivalence(a, b, p, workers, targets); err != nil {
 				t.Fatalf("pattern %v: %v", p, err)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/framework"
 	"repro/internal/gnn"
+	"repro/internal/sched"
 )
 
 // TrainingThroughputExperiment extends the paper's forward-pass
@@ -61,7 +62,7 @@ func TrainingThroughputExperiment(cfg Config) (*Table, error) {
 func epochCost(prep *framework.Prep, kind gnn.ModelKind, setting framework.Setting, cfg Config) (agg, total float64, err error) {
 	ds, engine := prep.SettingData(setting)
 	ledger := &gnn.Ledger{}
-	factory := &gnn.Factory{Kind: engine, Pattern: prep.Pattern, Cost: cfg.Cost, Ledger: ledger}
+	factory := &gnn.Factory{Kind: engine, Pattern: prep.Pattern, Cost: cfg.Cost, Ledger: ledger, Pool: sched.New(cfg.Workers)}
 	model, err := framework.BuildModel(kind, ds, factory, framework.RunConfig{Hidden: cfg.Hidden, Seed: cfg.Seed})
 	if err != nil {
 		return 0, 0, err

@@ -13,6 +13,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/dense"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
 	"repro/internal/venom"
@@ -80,6 +81,12 @@ type Factory struct {
 	Pattern pattern.VNM // used by EngineSPTC
 	Cost    sptc.CostModel
 	Ledger  *Ledger
+	// Pool is the scheduler pool aggregation kernels execute on; nil
+	// means the default GOMAXPROCS-sized pool. Because the tiled
+	// kernels are bit-deterministic, the pool choice never changes
+	// results — only wall time. sched.Serial() forces the serial twins
+	// (the convergence regression tests rely on this).
+	Pool *sched.Pool
 }
 
 // NewFactory returns a Factory with the default cost model and a fresh
@@ -90,11 +97,15 @@ func NewFactory(kind EngineKind, p pattern.VNM) *Factory {
 
 // Make wraps the weighted operator matrix w for this factory's engine.
 func (f *Factory) Make(w *csr.Matrix) (Operator, error) {
+	pool := f.Pool
+	if pool == nil {
+		pool = sched.Default()
+	}
 	switch f.Kind {
 	case EngineSPTC:
-		return newSPTCOperator(w, f.Pattern, f.Cost, f.Ledger)
+		return newSPTCOperator(w, f.Pattern, f.Cost, f.Ledger, pool)
 	default:
-		return &csrOperator{w: w, wt: w.Transpose(), cost: f.Cost, ledger: f.Ledger}, nil
+		return &csrOperator{w: w, wt: w.Transpose(), cost: f.Cost, ledger: f.Ledger, pool: pool}, nil
 	}
 }
 
@@ -103,6 +114,7 @@ type csrOperator struct {
 	w, wt  *csr.Matrix
 	cost   sptc.CostModel
 	ledger *Ledger
+	pool   *sched.Pool
 }
 
 func (o *csrOperator) N() int { return o.w.N }
@@ -112,7 +124,7 @@ func (o *csrOperator) MulT(x *dense.Matrix) *dense.Matrix { return o.run(o.wt, x
 
 func (o *csrOperator) run(w *csr.Matrix, x *dense.Matrix) *dense.Matrix {
 	start := time.Now()
-	out := spmm.CSR(w, x)
+	out := spmm.CSRPool(o.pool, w, x)
 	o.ledger.AggWall += time.Since(start)
 	o.ledger.AggCycles += o.cost.CSRSpMMCycles(w.NNZ(), w.N, x.Cols)
 	o.ledger.AggCalls++
@@ -126,10 +138,11 @@ type sptcOperator struct {
 	res, resT   *csr.Matrix
 	cost        sptc.CostModel
 	ledger      *Ledger
+	pool        *sched.Pool
 	n           int
 }
 
-func newSPTCOperator(w *csr.Matrix, p pattern.VNM, cost sptc.CostModel, ledger *Ledger) (*sptcOperator, error) {
+func newSPTCOperator(w *csr.Matrix, p pattern.VNM, cost sptc.CostModel, ledger *Ledger, pool *sched.Pool) (*sptcOperator, error) {
 	comp, res, err := venom.SplitToConform(w, p)
 	if err != nil {
 		return nil, err
@@ -142,7 +155,7 @@ func newSPTCOperator(w *csr.Matrix, p pattern.VNM, cost sptc.CostModel, ledger *
 	return &sptcOperator{
 		comp: comp, compT: compT,
 		res: res, resT: resT,
-		cost: cost, ledger: ledger, n: w.N,
+		cost: cost, ledger: ledger, pool: pool, n: w.N,
 	}, nil
 }
 
@@ -162,10 +175,7 @@ func (o *sptcOperator) MulT(x *dense.Matrix) *dense.Matrix {
 
 func (o *sptcOperator) run(comp *venom.Matrix, res *csr.Matrix, x *dense.Matrix) *dense.Matrix {
 	start := time.Now()
-	out := spmm.VNM(comp, x)
-	if res.NNZ() > 0 {
-		out.Add(spmm.CSR(res, x))
-	}
+	out := spmm.HybridPool(o.pool, comp, res, x)
 	o.ledger.AggWall += time.Since(start)
 	o.ledger.AggCycles += o.cost.VNMSpMMCycles(sptc.Stats(comp, o.cost), x.Cols)
 	if res.NNZ() > 0 {

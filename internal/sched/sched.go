@@ -1,0 +1,230 @@
+// Package sched is the shared parallel execution engine the SpMM
+// kernels run on: a work-stealing worker pool over cache-blocked,
+// degree-aware row tiles. It is the CPU stand-in for the GPU's warp
+// scheduler — the paper's speedups only materialize when row-window
+// work is load-balanced across execution units (HC-SpMM, TC-GNN), and
+// the same holds for the CPU kernels here.
+//
+// Determinism contract (DESIGN.md §7): every tile owns a disjoint
+// rectangle of the output matrix, and each output element is
+// accumulated by exactly one worker in the same operand order the
+// serial kernel uses. Kernels built on this package therefore return
+// results bit-identical to their serial twins at every worker count
+// and tile size — no atomics on float32, no unordered reductions —
+// which is what lets internal/check hold parallel kernels to an exact
+// (tolerance-zero) differential oracle.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a sizing policy for the work-stealing execution engine: a
+// worker count and an optional tile-cost target. The zero-cost way to
+// think about it: a Pool is the CPU analog of a kernel launch
+// configuration. Pools are immutable and safe for concurrent use; the
+// per-run scheduling state lives on the calling goroutine's stack.
+type Pool struct {
+	workers int
+	target  int64 // per-tile cost target; 0 = auto
+}
+
+// New returns a pool with the given worker count; workers <= 0 sizes
+// the pool by runtime.GOMAXPROCS(0). New(1) is the serial pool: Run
+// executes inline on the caller.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// NewWithTarget returns a pool that tiles work toward the given
+// per-tile cost target instead of the automatic one — the knob the
+// metamorphic tile-size-invariance checks turn.
+func NewWithTarget(workers int, target int64) *Pool {
+	p := New(workers)
+	p.target = target
+	return p
+}
+
+// Default returns the GOMAXPROCS-sized pool every kernel uses unless
+// handed an explicit one.
+func Default() *Pool { return New(0) }
+
+// Serial returns the one-worker pool (kernels run inline, unchanged
+// from their serial twins).
+func Serial() *Pool { return New(1) }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Options returns the tile options this pool applies to a job whose
+// total row cost is totalCost: the pool's explicit target if set,
+// otherwise enough tiles for stealing to balance load (a few tiles per
+// worker) without fragmenting small jobs.
+func (p *Pool) Options(totalCost int64) TileOptions {
+	if p.target > 0 {
+		return TileOptions{TargetCost: p.target}
+	}
+	target := totalCost / int64(p.workers*4)
+	if target < 64 {
+		target = 64
+	}
+	return TileOptions{TargetCost: target}
+}
+
+// span is one worker's contiguous chunk of the tile index space, with
+// head and tail packed into a single atomic word so owner pops and
+// half-steals linearize on one CAS. Indices only move inward, so there
+// is no ABA hazard. The pad keeps hot spans on distinct cache lines.
+type span struct {
+	hl  atomic.Uint64 // head<<32 | tail, both indices into [0, n)
+	_   [56]byte
+}
+
+func pack(h, t uint32) uint64 { return uint64(h)<<32 | uint64(t) }
+
+// pop takes the next index from the front of the span (owner side).
+func (s *span) pop() (int, bool) {
+	for {
+		v := s.hl.Load()
+		h, t := uint32(v>>32), uint32(v)
+		if h >= t {
+			return 0, false
+		}
+		if s.hl.CompareAndSwap(v, pack(h+1, t)) {
+			return int(h), true
+		}
+	}
+}
+
+// stealHalf removes the back half of the span (thief side) and returns
+// the stolen range.
+func (s *span) stealHalf() (lo, hi int, ok bool) {
+	for {
+		v := s.hl.Load()
+		h, t := uint32(v>>32), uint32(v)
+		if h >= t {
+			return 0, 0, false
+		}
+		k := (t - h + 1) / 2
+		if s.hl.CompareAndSwap(v, pack(h, t-k)) {
+			return int(t - k), int(t), true
+		}
+	}
+}
+
+// Run executes fn(i) exactly once for every i in [0, n), distributed
+// across the pool's workers by work stealing: each worker starts on a
+// contiguous chunk of the index space and, when drained, steals the
+// back half of another worker's remaining chunk. fn must be safe to
+// call from multiple goroutines for distinct i; no two calls share an
+// index, and Run returns only after every call has finished.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	spans := make([]span, w)
+	chunk := (n + w - 1) / w
+	for i := range spans {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			lo = hi
+		}
+		spans[i].hl.Store(pack(uint32(lo), uint32(hi)))
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < w; id++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if i, ok := spans[self].pop(); ok {
+					fn(i)
+					continue
+				}
+				// Own span drained: scan for a victim. Spans never
+				// grow, so a full empty scan means global completion.
+				stole := false
+				for d := 1; d < w; d++ {
+					victim := (self + d) % w
+					if lo, hi, ok := spans[victim].stealHalf(); ok {
+						for i := lo; i < hi; i++ {
+							fn(i)
+						}
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into at most k contiguous, non-empty ranges of
+// near-equal length, in order. Used by ordered reductions: compute one
+// partial per chunk in parallel, then fold the partials in chunk order
+// so the reduction is deterministic.
+func Chunks(n, k int) [][2]int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	size := (n + k - 1) / k
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// ReduceInt computes the sum of fn over a partition of [0, n) with the
+// partials folded in chunk order — an ordered parallel reduction. For
+// integer sums the order is immaterial to the value, but keeping the
+// fold ordered means the same helper is safe for any associative-only
+// accumulator.
+func (p *Pool) ReduceInt(n int, fn func(lo, hi int) int) int {
+	chunks := Chunks(n, p.workers)
+	if len(chunks) <= 1 {
+		if n <= 0 {
+			return 0
+		}
+		return fn(0, n)
+	}
+	partials := make([]int, len(chunks))
+	p.Run(len(chunks), func(ci int) {
+		partials[ci] = fn(chunks[ci][0], chunks[ci][1])
+	})
+	total := 0
+	for _, v := range partials {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+// Race hammer tests for the scheduler itself: pools are stateless and
+// safe for concurrent Run/RunTiles/ReduceInt calls from many
+// goroutines; the work-stealing deques are per-call. Run under -race
+// by scripts/ci.sh at default GOMAXPROCS and GOMAXPROCS=2.
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRaceSharedPoolRun issues overlapping Run calls on one shared
+// pool; each call must still execute every index exactly once.
+func TestRaceSharedPoolRun(t *testing.T) {
+	p := New(4)
+	const callers = 8
+	const n = 500
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				hits := make([]atomic.Int32, n)
+				p.Run(n, func(i int) { hits[i].Add(1) })
+				for i := range hits {
+					if got := hits[i].Load(); got != 1 {
+						t.Errorf("caller %d: index %d executed %d times", seed, i, got)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestRaceSharedPoolRunTiles issues overlapping tiled runs; every
+// call's tiles must still partition its output rectangle exactly.
+func TestRaceSharedPoolRunTiles(t *testing.T) {
+	p := NewWithTarget(3, 7)
+	const callers = 6
+	const rows, cols = 64, 9
+	rowCost := func(r int) int64 { return int64(r % 13) }
+	var total int64
+	for r := 0; r < rows; r++ {
+		total += rowCost(r)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				covered := make([]atomic.Int32, rows*cols)
+				p.RunTiles(rows, cols, total, rowCost, func(tl Tile) {
+					for r := tl.RowLo; r < tl.RowHi; r++ {
+						for j := tl.ColLo; j < tl.ColHi; j++ {
+							covered[r*cols+j].Add(1)
+						}
+					}
+				})
+				for i := range covered {
+					if got := covered[i].Load(); got != 1 {
+						t.Errorf("caller %d: output cell %d written %d times", seed, i, got)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestRaceSharedPoolReduceInt issues overlapping ordered reductions;
+// each must return the exact serial sum.
+func TestRaceSharedPoolReduceInt(t *testing.T) {
+	p := New(4)
+	const callers = 8
+	const n = 2000
+	want := n * (n - 1) / 2
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				got := p.ReduceInt(n, func(lo, hi int) int {
+					s := 0
+					for i := lo; i < hi; i++ {
+						s += i
+					}
+					return s
+				})
+				if got != want {
+					t.Errorf("ReduceInt = %d, want %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

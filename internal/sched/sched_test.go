@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewSizesByGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("New(3).Workers() = %d, want 3", got)
+	}
+	if got := Serial().Workers(); got != 1 {
+		t.Fatalf("Serial().Workers() = %d, want 1", got)
+	}
+}
+
+// TestRunCoversEveryIndexOnce: across worker counts and job sizes,
+// every index runs exactly once.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 97, 1000} {
+			p := New(workers)
+			counts := make([]int32, n)
+			p.Run(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStealsUnbalancedWork: one span holds all the slow work; the
+// job still completes with every index executed once (stealing or not,
+// correctness holds — this exercises the steal path under -race).
+func TestRunStealsUnbalancedWork(t *testing.T) {
+	const n = 64
+	p := New(4)
+	var ran int32
+	p.Run(n, func(i int) {
+		if i < 8 {
+			// Busy the first span's owner so others must steal.
+			for j := 0; j < 1000; j++ {
+				_ = j * j
+			}
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	if ran != n {
+		t.Fatalf("ran %d of %d indices", ran, n)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		want [][2]int
+	}{
+		{0, 4, nil},
+		{5, 0, nil},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{10, 3, [][2]int{{0, 4}, {4, 8}, {8, 10}}},
+	} {
+		if got := Chunks(tc.n, tc.k); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("Chunks(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+	// Chunks cover [0, n) in order, non-empty, for a sweep of shapes.
+	for n := 1; n < 40; n++ {
+		for k := 1; k < 10; k++ {
+			pos := 0
+			for _, c := range Chunks(n, k) {
+				if c[0] != pos || c[1] <= c[0] {
+					t.Fatalf("Chunks(%d, %d): bad chunk %v at pos %d", n, k, c, pos)
+				}
+				pos = c[1]
+			}
+			if pos != n {
+				t.Fatalf("Chunks(%d, %d) covers up to %d", n, k, pos)
+			}
+		}
+	}
+}
+
+func TestReduceInt(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		got := p.ReduceInt(100, func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		})
+		if got != 4950 {
+			t.Fatalf("workers=%d: ReduceInt = %d, want 4950", workers, got)
+		}
+		if p.ReduceInt(0, func(lo, hi int) int { return 1 }) != 0 {
+			t.Fatalf("workers=%d: ReduceInt over empty range != 0", workers)
+		}
+	}
+}
+
+// uniformCost is the degenerate all-rows-equal cost function.
+func uniformCost(c int64) func(int) int64 { return func(int) int64 { return c } }
+
+// checkTilePartition asserts tiles exactly cover rows x cols with no
+// overlap.
+func checkTilePartition(t *testing.T, tiles []Tile, rows, cols int) {
+	t.Helper()
+	covered := make([]bool, rows*cols)
+	for _, tl := range tiles {
+		if tl.RowLo < 0 || tl.RowHi > rows || tl.RowLo >= tl.RowHi ||
+			tl.ColLo < 0 || tl.ColHi > cols || tl.ColLo >= tl.ColHi {
+			t.Fatalf("malformed tile %+v for %dx%d", tl, rows, cols)
+		}
+		for r := tl.RowLo; r < tl.RowHi; r++ {
+			for c := tl.ColLo; c < tl.ColHi; c++ {
+				if covered[r*cols+c] {
+					t.Fatalf("output element (%d,%d) covered twice", r, c)
+				}
+				covered[r*cols+c] = true
+			}
+		}
+	}
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("output element (%d,%d) not covered", i/cols, i%cols)
+		}
+	}
+}
+
+func TestTilesPartitionInvariant(t *testing.T) {
+	costs := []int64{0, 5, 0, 0, 100, 1, 1, 1, 1, 400, 0, 2}
+	rowCost := func(r int) int64 { return costs[r] }
+	for _, target := range []int64{1, 8, 64, 1000} {
+		for _, maxCols := range []int{0, 3} {
+			tiles := Tiles(len(costs), 16, rowCost, TileOptions{TargetCost: target, MaxCols: maxCols})
+			checkTilePartition(t, tiles, len(costs), 16)
+		}
+	}
+	checkTilePartition(t, Tiles(1, 1, uniformCost(9), TileOptions{TargetCost: 2}), 1, 1)
+	if Tiles(0, 8, uniformCost(1), TileOptions{}) != nil {
+		t.Fatal("Tiles with zero rows should be nil")
+	}
+	if Tiles(8, 0, uniformCost(1), TileOptions{}) != nil {
+		t.Fatal("Tiles with zero cols should be nil")
+	}
+}
+
+// TestTilesSplitsHeavyRows: a row dominating the total cost is split
+// along the column dimension into multiple tiles, while runs of light
+// rows are batched into single tiles.
+func TestTilesSplitsHeavyRows(t *testing.T) {
+	costs := []int64{1, 1, 1, 1000, 1, 1}
+	tiles := Tiles(len(costs), 32, func(r int) int64 { return costs[r] }, TileOptions{TargetCost: 100})
+	heavy, lightBatches := 0, 0
+	for _, tl := range tiles {
+		if tl.RowLo == 3 && tl.RowHi == 4 {
+			heavy++
+		}
+		if tl.RowHi-tl.RowLo > 1 {
+			lightBatches++
+		}
+	}
+	if heavy < 2 {
+		t.Fatalf("heavy row split into %d tiles, want >= 2 column chunks (tiles: %+v)", heavy, tiles)
+	}
+	if lightBatches == 0 {
+		t.Fatalf("light rows were not batched (tiles: %+v)", tiles)
+	}
+	checkTilePartition(t, tiles, len(costs), 32)
+}
+
+// TestTilesDeterministic: the partition is a pure function of its
+// inputs — independent of how many workers later execute it.
+func TestTilesDeterministic(t *testing.T) {
+	rowCost := func(r int) int64 { return int64(r % 17) }
+	a := Tiles(200, 24, rowCost, TileOptions{TargetCost: 50})
+	b := Tiles(200, 24, rowCost, TileOptions{TargetCost: 50})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Tiles is not deterministic")
+	}
+}
+
+func TestPoolOptions(t *testing.T) {
+	if got := NewWithTarget(4, 33).Options(1 << 20).TargetCost; got != 33 {
+		t.Fatalf("explicit target not honored: got %d", got)
+	}
+	if got := New(4).Options(16).TargetCost; got < 1 {
+		t.Fatalf("auto target must be positive, got %d", got)
+	}
+	big := New(4).Options(1 << 20).TargetCost
+	if big <= 64 || big > 1<<20 {
+		t.Fatalf("auto target for large jobs should scale with cost, got %d", big)
+	}
+}
+
+func TestRunTiles(t *testing.T) {
+	p := New(3)
+	var cells int64
+	p.RunTiles(50, 8, 50, uniformCost(1), func(tl Tile) {
+		atomic.AddInt64(&cells, int64((tl.RowHi-tl.RowLo)*(tl.ColHi-tl.ColLo)))
+	})
+	if cells != 50*8 {
+		t.Fatalf("RunTiles covered %d cells, want %d", cells, 50*8)
+	}
+}

@@ -1,0 +1,115 @@
+package sched
+
+// Tile is one unit of kernel work: the output rectangle spanning rows
+// [RowLo, RowHi) and dense output columns [ColLo, ColHi). Tiles
+// produced by Tiles are pairwise disjoint and cover the full
+// rows x cols rectangle, so a kernel that writes only its tile's
+// rectangle needs no synchronization on the output.
+type Tile struct {
+	RowLo, RowHi int
+	ColLo, ColHi int
+	// Cost is the tile's estimated work (row costs scaled by the
+	// tile's column fraction), the quantity the partitioner balances.
+	Cost int64
+}
+
+// TileOptions control the partitioner.
+type TileOptions struct {
+	// TargetCost is the per-tile work target. Row groups whose cost
+	// exceeds it are split along the dense-column dimension; light rows
+	// are batched until they reach it.
+	TargetCost int64
+	// MaxCols caps a tile's dense-column width (cache blocking for
+	// very wide B). 0 means no cap.
+	MaxCols int
+}
+
+// Tiles partitions the rows x cols output rectangle into tiles of
+// near-TargetCost work, where rowCost(r) is the full-width cost of row
+// r (for SpMM: its nonzero count). The partition is degree-aware in
+// the sense the paper's row-class imbalance demands:
+//
+//   - light rows are batched into one tile until the batch reaches the
+//     target (amortizing per-tile overhead over many near-empty rows);
+//   - a heavy row — one whose cost alone exceeds the target — becomes
+//     its own row group and is split along the dense-column dimension
+//     into near-equal column chunks.
+//
+// Splitting along columns rather than along the row's nonzeros is what
+// preserves bit-determinism: every output element is still accumulated
+// by exactly one tile, over the row's nonzeros in their serial order.
+//
+// The result is a pure function of (rows, cols, rowCost, opt): it does
+// not depend on worker count or execution order.
+func Tiles(rows, cols int, rowCost func(r int) int64, opt TileOptions) []Tile {
+	if rows <= 0 || cols <= 0 {
+		return nil
+	}
+	target := opt.TargetCost
+	if target < 1 {
+		target = 1
+	}
+	var tiles []Tile
+	emit := func(rowLo, rowHi int, groupCost int64) {
+		// Column chunks: floor division, so a batch that merely crossed
+		// the target stays whole (a chunk may carry up to 2x target-1;
+		// with several tiles per worker that still balances). Ceiling
+		// here would split nearly every batch in two, doubling the
+		// sparse-metadata walks for no balance gain. Bounded by the
+		// column count, and by MaxCols if set.
+		chunks := int(groupCost / target)
+		if chunks < 1 {
+			chunks = 1
+		}
+		if opt.MaxCols > 0 {
+			if byWidth := (cols + opt.MaxCols - 1) / opt.MaxCols; byWidth > chunks {
+				chunks = byWidth
+			}
+		}
+		if chunks > cols {
+			chunks = cols
+		}
+		width := (cols + chunks - 1) / chunks
+		for colLo := 0; colLo < cols; colLo += width {
+			colHi := colLo + width
+			if colHi > cols {
+				colHi = cols
+			}
+			tiles = append(tiles, Tile{
+				RowLo: rowLo, RowHi: rowHi,
+				ColLo: colLo, ColHi: colHi,
+				Cost: groupCost * int64(colHi-colLo) / int64(cols),
+			})
+		}
+	}
+	groupLo := 0
+	var groupCost int64
+	for r := 0; r < rows; r++ {
+		// +1 charges fixed per-row bookkeeping so empty rows still
+		// close batches eventually.
+		c := rowCost(r) + 1
+		if c >= target && r > groupLo {
+			// Heavy row: flush the pending batch, then the row alone.
+			emit(groupLo, r, groupCost)
+			groupLo, groupCost = r, 0
+		}
+		groupCost += c
+		if groupCost >= target {
+			emit(groupLo, r+1, groupCost)
+			groupLo, groupCost = r+1, 0
+		}
+	}
+	if groupLo < rows {
+		emit(groupLo, rows, groupCost)
+	}
+	return tiles
+}
+
+// RunTiles partitions the rows x cols rectangle with the pool's tile
+// options and executes fn over every tile with work stealing. totalCost
+// should be the sum of rowCost over all rows (for SpMM: the matrix
+// NNZ); it only influences the automatic tile-cost target.
+func (p *Pool) RunTiles(rows, cols int, totalCost int64, rowCost func(r int) int64, fn func(t Tile)) {
+	tiles := Tiles(rows, cols, rowCost, p.Options(totalCost))
+	p.Run(len(tiles), func(i int) { fn(tiles[i]) })
+}

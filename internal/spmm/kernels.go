@@ -3,32 +3,64 @@ package spmm
 import (
 	"math"
 
-	"repro/internal/bitmat"
 	"repro/internal/bsr"
 	"repro/internal/csr"
 	"repro/internal/dense"
+	"repro/internal/sched"
 )
+
+// SpMVSerial computes y = A x for a CSR matrix and dense vector on a
+// single goroutine (reference implementation).
+func SpMVSerial(a *csr.Matrix, x []float32) []float32 {
+	if len(x) != a.N {
+		panic("spmm: SpMV dimension mismatch")
+	}
+	y := make([]float32, a.N)
+	spmvRange(a, x, y, 0, a.N)
+	return y
+}
 
 // SpMV computes y = A x for a CSR matrix and dense vector, row-parallel
 // — the H = 1 degenerate case of SpMM, included because several graph
 // algorithms (PageRank-style iterations, power iteration) are SpMV
 // loops.
 func SpMV(a *csr.Matrix, x []float32) []float32 {
+	return SpMVPool(sched.Default(), a, x)
+}
+
+// SpMVPool computes y = A x on an explicit scheduler pool. With a
+// single output column there is no column dimension to split heavy
+// rows over; each row's dot product stays with one worker, which is
+// exactly what keeps the accumulation order — and hence the bits —
+// identical to SpMVSerial.
+func SpMVPool(p *sched.Pool, a *csr.Matrix, x []float32) []float32 {
 	if len(x) != a.N {
 		panic("spmm: SpMV dimension mismatch")
 	}
 	y := make([]float32, a.N)
-	bitmat.ParallelRows(a.N, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			cols, vals := a.Row(i)
-			var sum float32
-			for k, c := range cols {
-				sum += vals[k] * x[c]
-			}
-			y[i] = sum
-		}
+	p.RunTiles(a.N, 1, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
+		spmvRange(a, x, y, t.RowLo, t.RowHi)
 	})
 	return y
+}
+
+func spmvRange(a *csr.Matrix, x, y []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		cols, vals := a.Row(i)
+		var sum float32
+		for k, c := range cols {
+			sum += vals[k] * x[c]
+		}
+		y[i] = sum
+	}
+}
+
+// BSRSerial computes C = A x B for a binary BSR matrix and dense B on
+// a single goroutine (reference implementation).
+func BSRSerial(a *bsr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(a.N, b.Cols)
+	bsrTile(a, b, c, sched.Tile{RowLo: 0, RowHi: a.NumBlockRows(), ColLo: 0, ColHi: b.Cols})
+	return c
 }
 
 // BSR computes C = A x B for a binary BSR matrix (the paper's Listing-1
@@ -36,38 +68,51 @@ func SpMV(a *csr.Matrix, x []float32) []float32 {
 // values driving unit-weight accumulations. Used to validate that the
 // BSR storage layer carries exactly the adjacency structure.
 func BSR(a *bsr.Matrix, b *dense.Matrix) *dense.Matrix {
+	return BSRPool(sched.Default(), a, b)
+}
+
+// BSRPool computes the BSR kernel on an explicit scheduler pool,
+// tiling block rows by their stored-block population.
+func BSRPool(p *sched.Pool, a *bsr.Matrix, b *dense.Matrix) *dense.Matrix {
 	c := dense.NewMatrix(a.N, b.Cols)
-	nb := a.NumBlockRows()
+	blockWork := int64(a.M) * int64(a.M)
+	p.RunTiles(a.NumBlockRows(), b.Cols, int64(a.NumBlocks())*blockWork,
+		func(br int) int64 { return int64(a.BlockRowBlocks(br)) * blockWork },
+		func(t sched.Tile) { bsrTile(a, b, c, t) })
+	return c
+}
+
+// bsrTile executes the BSR kernel over block rows [RowLo, RowHi)
+// restricted to output columns [ColLo, ColHi). Block rows map to
+// disjoint matrix-row ranges, so partition tiles never share output.
+func bsrTile(a *bsr.Matrix, b, c *dense.Matrix, t sched.Tile) {
 	h := b.Cols
-	bitmat.ParallelRows(nb, func(lo, hi int) {
-		for br := lo; br < hi; br++ {
-			for bi := a.RowPtr[br]; bi < a.RowPtr[br+1]; bi++ {
-				bc := int(a.ColInd[bi])
-				block := a.Val[int(bi)*a.M*a.M : (int(bi)+1)*a.M*a.M]
-				for dr := 0; dr < a.M; dr++ {
-					r := br*a.M + dr
-					if r >= a.N {
-						break
+	for br := t.RowLo; br < t.RowHi; br++ {
+		for bi := a.RowPtr[br]; bi < a.RowPtr[br+1]; bi++ {
+			bc := int(a.ColInd[bi])
+			block := a.Val[int(bi)*a.M*a.M : (int(bi)+1)*a.M*a.M]
+			for dr := 0; dr < a.M; dr++ {
+				r := br*a.M + dr
+				if r >= a.N {
+					break
+				}
+				cr := c.Data[r*h+t.ColLo : r*h+t.ColHi]
+				for dc := 0; dc < a.M; dc++ {
+					if block[dr*a.M+dc] == 0 {
+						continue
 					}
-					cr := c.Row(r)
-					for dc := 0; dc < a.M; dc++ {
-						if block[dr*a.M+dc] == 0 {
-							continue
-						}
-						col := bc*a.M + dc
-						if col >= a.N {
-							continue
-						}
-						brow := b.Row(col)
-						for j := 0; j < h; j++ {
-							cr[j] += brow[j]
-						}
+					col := bc*a.M + dc
+					if col >= a.N {
+						continue
+					}
+					brow := b.Data[col*h+t.ColLo : col*h+t.ColHi]
+					for j, bv := range brow {
+						cr[j] += bv
 					}
 				}
 			}
 		}
-	})
-	return c
+	}
 }
 
 // PowerIteration runs iters SpMV steps y <- normalize(A y) and returns

@@ -5,14 +5,22 @@
 // computes C = A x B for a sparse n-by-n A and dense n-by-h B, returns
 // the same numerical result, and reports both measured wall time and
 // modeled GPU cycles (see internal/sptc).
+//
+// Each kernel comes in two forms: a single-goroutine serial reference
+// (XxxSerial) and a parallel version executed on the internal/sched
+// tiled work-stealing engine (Xxx / XxxPool). The parallel forms are
+// bit-deterministic: tiles own disjoint output rectangles and
+// accumulate each element in the serial operand order, so for any
+// worker count and tile size the parallel result equals the serial
+// reference exactly (internal/check enforces this bitwise).
 package spmm
 
 import (
 	"time"
 
-	"repro/internal/bitmat"
 	"repro/internal/csr"
 	"repro/internal/dense"
+	"repro/internal/sched"
 	"repro/internal/sptc"
 	"repro/internal/venom"
 )
@@ -36,22 +44,40 @@ func CSRSerial(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 }
 
 // CSR computes C = A x B with the row-parallel CSR kernel — the
-// cuSPARSE CSR-SpMM (CUSPARSE_SPMM_CSR_ALG2) stand-in.
+// cuSPARSE CSR-SpMM (CUSPARSE_SPMM_CSR_ALG2) stand-in — on the default
+// GOMAXPROCS-sized pool.
 func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	return CSRPool(sched.Default(), a, b)
+}
+
+// CSRPool computes C = A x B on an explicit scheduler pool, tiling
+// rows by nonzero count (heavy rows split across B's columns, light
+// rows batched).
+func CSRPool(p *sched.Pool, a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 	c := dense.NewMatrix(a.N, b.Cols)
-	bitmat.ParallelRows(a.N, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	h := b.Cols
+	p.RunTiles(a.N, h, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
+		for i := t.RowLo; i < t.RowHi; i++ {
 			cols, vals := a.Row(i)
-			cr := c.Row(i)
+			cr := c.Data[i*h+t.ColLo : i*h+t.ColHi]
 			for k, col := range cols {
 				v := vals[k]
-				br := b.Row(int(col))
+				br := b.Data[int(col)*h+t.ColLo : int(col)*h+t.ColHi]
 				for j, bv := range br {
 					cr[j] += v * bv
 				}
 			}
 		}
 	})
+	return c
+}
+
+// VNMSerial computes C = A x B over the V:N:M compressed
+// representation on a single goroutine — the serial twin the parallel
+// kernel is checked against.
+func VNMSerial(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := dense.NewMatrix(m.N, b.Cols)
+	vnmTile(m, b, c, sched.Tile{RowLo: 0, RowHi: len(m.BlockRowPtr) - 1, ColLo: 0, ColHi: b.Cols})
 	return c
 }
 
@@ -63,41 +89,83 @@ func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 // lacks that hardware) it runs at rough parity with CSR, and the
 // hardware advantage is captured by the cycle model instead.
 func VNM(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
+	return VNMPool(sched.Default(), m, b)
+}
+
+// VNMPool computes the V:N:M kernel on an explicit scheduler pool,
+// tiling block rows by their stored-slot count.
+func VNMPool(p *sched.Pool, m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
 	c := dense.NewMatrix(m.N, b.Cols)
-	vpb := m.ValuesPerBlock()
 	blockRows := len(m.BlockRowPtr) - 1
+	vpb := int64(m.ValuesPerBlock())
+	p.RunTiles(blockRows, b.Cols, int64(m.NumBlocks())*vpb,
+		func(br int) int64 { return int64(m.BlockRowBlocks(br)) * vpb },
+		func(t sched.Tile) { vnmTile(m, b, c, t) })
+	return c
+}
+
+// vnmTile executes the compressed kernel over one output tile: block
+// rows [RowLo, RowHi) restricted to output columns [ColLo, ColHi).
+// Block rows map to disjoint matrix-row ranges, so tiles from a
+// partition never share an output element.
+func vnmTile(m *venom.Matrix, b, c *dense.Matrix, t sched.Tile) {
+	vpb := m.ValuesPerBlock()
 	h := b.Cols
 	nVals := m.P.N
 	bData := b.Data
 	cData := c.Data
-	bitmat.ParallelRows(blockRows, func(lo, hi int) {
-		for br := lo; br < hi; br++ {
-			rowBase := br * m.P.V
-			vRows := m.P.V
-			if rowBase+vRows > m.N {
-				vRows = m.N - rowBase
-			}
-			for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
-				colBase := int(bi) * m.K
-				valBase := int(bi) * vpb
-				for dr := 0; dr < vRows; dr++ {
-					cr := cData[(rowBase+dr)*h : (rowBase+dr)*h+h]
-					off := valBase + dr*nVals
-					for s := 0; s < nVals; s++ {
-						v := m.Values[off+s]
-						if v == 0 {
-							continue
-						}
-						col := int(m.BlockCols[colBase+int(m.Meta[off+s])])
-						brow := bData[col*h : col*h+h]
-						for j, bv := range brow {
-							cr[j] += v * bv
-						}
+	for br := t.RowLo; br < t.RowHi; br++ {
+		rowBase := br * m.P.V
+		vRows := m.P.V
+		if rowBase+vRows > m.N {
+			vRows = m.N - rowBase
+		}
+		for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
+			colBase := int(bi) * m.K
+			valBase := int(bi) * vpb
+			for dr := 0; dr < vRows; dr++ {
+				cr := cData[(rowBase+dr)*h+t.ColLo : (rowBase+dr)*h+t.ColHi]
+				off := valBase + dr*nVals
+				for s := 0; s < nVals; s++ {
+					v := m.Values[off+s]
+					if v == 0 {
+						continue
+					}
+					col := int(m.BlockCols[colBase+int(m.Meta[off+s])])
+					brow := bData[col*h+t.ColLo : col*h+t.ColHi]
+					for j, bv := range brow {
+						cr[j] += v * bv
 					}
 				}
 			}
 		}
-	})
+	}
+}
+
+// HybridSerial computes the V:N:M/SPTC hybrid C = (comp + resid) x B
+// serially: the compressed kernel plus the CSR residual for entries
+// outside the pattern.
+func HybridSerial(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := VNMSerial(comp, b)
+	if resid != nil && resid.NNZ() > 0 {
+		c.Add(CSRSerial(resid, b))
+	}
+	return c
+}
+
+// Hybrid computes the V:N:M/SPTC hybrid on the default pool.
+func Hybrid(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	return HybridPool(sched.Default(), comp, resid, b)
+}
+
+// HybridPool computes the V:N:M/SPTC hybrid on an explicit pool. Both
+// summands are bit-deterministic and the final element-wise Add runs
+// in index order, so the hybrid matches HybridSerial exactly.
+func HybridPool(p *sched.Pool, comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	c := VNMPool(p, comp, b)
+	if resid != nil && resid.NNZ() > 0 {
+		c.Add(CSRPool(p, resid, b))
+	}
 	return c
 }
 

@@ -1,6 +1,7 @@
 package spmm
 
 import (
+	"repro/internal/sched"
 	"repro/internal/sptc"
 	"repro/internal/venom"
 )
@@ -10,6 +11,10 @@ import (
 // model. The suite's correctness argument for the model is that
 // Trace's structural counts coincide with sptc.Stats (tested), so the
 // modeled cycles are a deterministic function of executed work.
+//
+// Tracing is per-call: all tally state lives in the returned value (no
+// package-level mutable state), so traces may run concurrently with
+// each other and with the kernels they describe.
 type Trace struct {
 	Blocks       int // meta-blocks visited
 	ActiveSlots  int // packed value slots holding nonzeros (FMA count / H)
@@ -22,19 +27,57 @@ type Trace struct {
 	BytesColumns int // bytes of column ids streamed
 }
 
+// merge folds another partial tally into this one. Only used for
+// partials over disjoint block-row ranges, where every counter —
+// RowsTouched included, since block rows own disjoint matrix rows —
+// is a plain sum.
+func (tr *Trace) merge(o Trace) {
+	tr.Blocks += o.Blocks
+	tr.ActiveSlots += o.ActiveSlots
+	tr.PaddedSlots += o.PaddedSlots
+	tr.BRowLoads += o.BRowLoads
+	tr.RowsTouched += o.RowsTouched
+}
+
 // TraceVNM walks the compressed matrix exactly as the VNM kernel does
-// and tallies the executed operations.
+// and tallies the executed operations. The walk is parallel over
+// block-row chunks with one private Trace per chunk, folded in chunk
+// order (ordered reduction), so the result is identical at every
+// worker count.
 func TraceVNM(m *venom.Matrix) Trace {
+	return TraceVNMPool(sched.Default(), m)
+}
+
+// TraceVNMPool traces the compressed kernel on an explicit pool.
+func TraceVNMPool(p *sched.Pool, m *venom.Matrix) Trace {
+	blockRows := len(m.BlockRowPtr) - 1
+	chunks := sched.Chunks(blockRows, p.Workers()*4)
+	partials := make([]Trace, len(chunks))
+	p.Run(len(chunks), func(ci int) {
+		partials[ci] = traceBlockRows(m, chunks[ci][0], chunks[ci][1])
+	})
+	var tr Trace
+	for _, pt := range partials {
+		tr.merge(pt)
+	}
+	tr.InstrGroups = sptc.FragmentCount(m, sptc.MmaM)
+	tr.BytesValues = len(m.Values) * 4
+	tr.BytesMeta = sptc.MetaWordsFor(len(m.Meta)) * 4
+	tr.BytesColumns = len(m.BlockCols) * 4
+	return tr
+}
+
+// traceBlockRows tallies block rows [lo, hi) into a private Trace.
+func traceBlockRows(m *venom.Matrix, lo, hi int) Trace {
 	var tr Trace
 	vpb := m.ValuesPerBlock()
-	blockRows := len(m.BlockRowPtr) - 1
-	rowTouched := make([]bool, m.N)
-	for br := 0; br < blockRows; br++ {
+	for br := lo; br < hi; br++ {
 		rowBase := br * m.P.V
 		vRows := m.P.V
 		if rowBase+vRows > m.N {
 			vRows = m.N - rowBase
 		}
+		rowTouched := make([]bool, vRows)
 		for bi := m.BlockRowPtr[br]; bi < m.BlockRowPtr[br+1]; bi++ {
 			tr.Blocks++
 			colBase := int(bi) * m.K
@@ -55,17 +98,13 @@ func TraceVNM(m *venom.Matrix) Trace {
 						tr.PaddedSlots++
 					}
 				}
-				if touched && !rowTouched[rowBase+dr] {
-					rowTouched[rowBase+dr] = true
+				if touched && !rowTouched[dr] {
+					rowTouched[dr] = true
 					tr.RowsTouched++
 				}
 			}
 		}
 	}
-	tr.InstrGroups = sptc.FragmentCount(m, sptc.MmaM)
-	tr.BytesValues = len(m.Values) * 4
-	tr.BytesMeta = sptc.MetaWordsFor(len(m.Meta)) * 4
-	tr.BytesColumns = len(m.BlockCols) * 4
 	return tr
 }
 

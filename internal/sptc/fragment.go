@@ -1,6 +1,9 @@
 package sptc
 
-import "repro/internal/venom"
+import (
+	"repro/internal/sched"
+	"repro/internal/venom"
+)
 
 // The V:N:M execution model follows Spatha's condensed layout: each
 // stored meta-block contributes its K selected columns to a condensed
@@ -27,37 +30,44 @@ func FragmentCount(m *venom.Matrix, fragRows int) int {
 	if blockRowsPerBand < 1 {
 		blockRowsPerBand = 1
 	}
-	// Blocks per band of fragRows matrix rows.
+	// Blocks per band of fragRows matrix rows; bands are independent,
+	// so the count reduces over bands on the shared scheduler.
 	blockRows := len(m.BlockRowPtr) - 1
-	instrs := 0
-	for start := 0; start < blockRows; start += blockRowsPerBand {
-		end := start + blockRowsPerBand
-		if end > blockRows {
-			end = blockRows
+	bands := (blockRows + blockRowsPerBand - 1) / blockRowsPerBand
+	return sched.Default().ReduceInt(bands, func(lo, hi int) int {
+		instrs := 0
+		for band := lo; band < hi; band++ {
+			start := band * blockRowsPerBand
+			end := start + blockRowsPerBand
+			if end > blockRows {
+				end = blockRows
+			}
+			blocks := int(m.BlockRowPtr[end] - m.BlockRowPtr[start])
+			if blocks == 0 {
+				continue
+			}
+			instrs += (blocks + blocksPerInstr - 1) / blocksPerInstr
+			if m.P.V > fragRows {
+				// Tall blocks span multiple hardware fragments.
+				instrs += blocks * (m.P.V/fragRows - 1)
+			}
 		}
-		blocks := int(m.BlockRowPtr[end] - m.BlockRowPtr[start])
-		if blocks == 0 {
-			continue
-		}
-		instrs += (blocks + blocksPerInstr - 1) / blocksPerInstr
-		if m.P.V > fragRows {
-			// Tall blocks span multiple hardware fragments.
-			instrs += blocks * (m.P.V/fragRows - 1)
-		}
-	}
-	return instrs
+		return instrs
+	})
 }
 
 // UsedColumns counts the selected (non-padded) columns across all
 // stored meta-blocks — the B rows the kernel must stage.
 func UsedColumns(m *venom.Matrix) int {
-	used := 0
-	for _, c := range m.BlockCols {
-		if c >= 0 {
-			used++
+	return sched.Default().ReduceInt(len(m.BlockCols), func(lo, hi int) int {
+		used := 0
+		for _, c := range m.BlockCols[lo:hi] {
+			if c >= 0 {
+				used++
+			}
 		}
-	}
-	return used
+		return used
+	})
 }
 
 // Stats bundles the structural counts the cost model consumes.

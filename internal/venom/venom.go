@@ -51,6 +51,12 @@ type Matrix struct {
 // NumBlocks returns the number of stored meta-blocks.
 func (m *Matrix) NumBlocks() int { return len(m.BlockSeg) }
 
+// BlockRowBlocks returns the number of stored meta-blocks in block row
+// br — the per-block-row work estimate the tile scheduler balances.
+func (m *Matrix) BlockRowBlocks(br int) int {
+	return int(m.BlockRowPtr[br+1] - m.BlockRowPtr[br])
+}
+
 // ValuesPerBlock returns V*N, the packed-value count per meta-block.
 func (m *Matrix) ValuesPerBlock() int { return m.P.V * m.P.N }
 

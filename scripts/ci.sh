@@ -12,16 +12,40 @@ COVER_FLOOR=85   # percent, for internal/check
 echo "== go vet =="
 go vet ./...
 
+echo "== kernel-package purity lint (no package-level vars) =="
+# The scheduler's determinism contract forbids mutable package-level
+# state in kernel code paths: a package-level var is either shared
+# mutable state (a data race under the parallel engine) or avoidable
+# global configuration. Test files are exempt.
+lint_fail=0
+for pkg in spmm csr bsr sptc venom sched dense bitmat; do
+    hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
+    if [ -n "$hits" ]; then
+        echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
+        echo "$hits" >&2
+        lint_fail=1
+    fi
+done
+[ "$lint_fail" -eq 0 ] || exit 1
+
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
+echo "== go test -race (default GOMAXPROCS) =="
 go test -race ./...
+
+echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
+# A second scheduling regime for the parallel engine: two schedulable
+# CPUs force worker multiplexing and stealing interleavings a 1-CPU
+# (or many-CPU) run never exercises.
+GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
+    ./internal/check/ ./internal/gnn/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     for target in FuzzCompressDecompress FuzzReorderLossless \
-                  FuzzSpMMEquivalence FuzzMatrixMarketRoundTrip; do
+                  FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
+                  FuzzMatrixMarketRoundTrip; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
