@@ -1,19 +1,29 @@
-// Command sogre-bench runs the reproducible SpMM benchmark suite and
-// writes BENCH_spmm.json — the performance-trajectory artifact tracked
-// across PRs. For each seeded regime graph and dense width it times
-// the serial and sched-parallel CSR kernels and the serial and
-// parallel V:N:M/SPTC hybrid kernels, reporting ns/op, measured
+// Command sogre-bench runs the reproducible benchmark suites and
+// writes the performance-trajectory artifacts tracked across PRs.
+//
+// The spmm suite (default) times the serial and sched-parallel CSR
+// kernels and the serial and parallel V:N:M/SPTC hybrid kernels over
+// seeded regime graphs, writing BENCH_spmm.json with ns/op, measured
 // GFLOP/s, effective FLOP-per-cycle under the calibrated cycle model,
 // and speedup versus the serial twin.
 //
+// The reorder suite times the parallel partitioned reordering engine
+// (core.ReorderLarge) at several worker counts, writing
+// BENCH_reorder.json with reorder wall-clock, partitions/sec,
+// improvement rate, and the amortization break-even metric (reorder
+// cost divided by the per-epoch SpMM cycle savings the reordering
+// buys). The permutation digest is verified identical across worker
+// counts before any row is emitted.
+//
 // Usage:
 //
-//	sogre-bench [-seed 20250806] [-out BENCH_spmm.json] [-widths 64,128]
-//	            [-repeats 3] [-workers 0]
+//	sogre-bench [-suite spmm] [-seed 20250806] [-out BENCH_spmm.json]
+//	            [-widths 64,128] [-repeats 3] [-workers 0]
+//	sogre-bench -suite reorder [-seed 20250806] [-out BENCH_reorder.json]
+//	            [-repeats 2]
 //
-// With a fixed -seed, everything in the JSON except the timing fields
-// (ns_per_op, gflops, speedup_vs_serial) is byte-identical across runs
-// (tested in internal/bench).
+// With a fixed -seed, everything in either JSON except the timing
+// fields is byte-identical across runs (tested in internal/bench).
 package main
 
 import (
@@ -27,53 +37,100 @@ import (
 )
 
 func main() {
+	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm or reorder")
 	seed := flag.Int64("seed", 20250806, "operand generator seed")
-	out := flag.String("out", "BENCH_spmm.json", "output JSON path (- for stdout)")
-	widths := flag.String("widths", "64,128", "comma-separated dense widths")
-	repeats := flag.Int("repeats", 3, "timing repetitions per kernel (best wins)")
-	workers := flag.Int("workers", 0, "parallel pool size (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<suite>.json)")
+	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
+	repeats := flag.Int("repeats", 0, "timing repetitions per measurement, best wins (0 = suite default)")
+	workers := flag.Int("workers", 0, "parallel pool size for the spmm suite (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	var data []byte
+	var summary string
+	var err error
+	switch *suiteName {
+	case "spmm":
+		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers)
+	case "reorder":
+		data, summary, err = runReorder(*seed, *repeats)
+	default:
+		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm or reorder)\n", *suiteName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *suiteName + ".json"
+	}
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%s)\n", path, summary)
+}
+
+func runSpMM(seed int64, widths string, repeats, workers int) ([]byte, string, error) {
 	cfg := bench.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Repeats = *repeats
-	cfg.Workers = *workers
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	cfg.Workers = workers
 	cfg.Widths = nil
-	for _, s := range strings.Split(*widths, ",") {
+	for _, s := range strings.Split(widths, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "sogre-bench: bad width %q\n", s)
-			os.Exit(2)
+			return nil, "", fmt.Errorf("bad width %q", s)
 		}
 		cfg.Widths = append(cfg.Widths, v)
 	}
 
 	suite, err := bench.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
-		os.Exit(1)
+		return nil, "", err
 	}
-
 	fmt.Printf("%-14s %-6s %-16s %-8s %10s %9s %9s %9s\n",
 		"graph", "H", "kernel", "workers", "ns/op", "GFLOP/s", "f/cycle", "speedup")
 	for _, r := range suite.Results {
 		fmt.Printf("%-14s %-6d %-16s %-8d %10.0f %9.3f %9.3f %9.2f\n",
 			r.Graph, r.H, r.Kernel, r.Workers, r.NsPerOp, r.GFLOPS, r.ModelFLOPPerCycle, r.SpeedupVsSerial)
 	}
-
 	data, err := suite.JSON()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
-		os.Exit(1)
+		return nil, "", err
 	}
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	return data, fmt.Sprintf("%d results, seed %d, %d workers", len(suite.Results), suite.Seed, suite.Workers), nil
+}
+
+func runReorder(seed int64, repeats int) ([]byte, string, error) {
+	cfg := bench.DefaultReorderConfig()
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
-		os.Exit(1)
+
+	suite, err := bench.RunReorder(cfg)
+	if err != nil {
+		return nil, "", err
 	}
-	fmt.Printf("wrote %s (%d results, seed %d, %d workers)\n",
-		*out, len(suite.Results), suite.Seed, suite.Workers)
+	fmt.Printf("%-14s %-6s %-8s %12s %10s %9s %9s %11s\n",
+		"graph", "parts", "workers", "reorder ns", "parts/s", "imprv", "speedup", "break-even")
+	for _, r := range suite.Results {
+		fmt.Printf("%-14s %-6d %-8d %12.0f %10.1f %8.2f%% %9.2f %11.2f\n",
+			r.Graph, r.Partitions, r.Workers, r.ReorderNs, r.PartitionsPerSec,
+			r.ImprovementRate*100, r.SpeedupVsSerial, r.BreakEvenEpochs)
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		return nil, "", err
+	}
+	return data, fmt.Sprintf("%d results, seed %d", len(suite.Results), suite.Seed), nil
 }

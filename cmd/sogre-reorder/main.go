@@ -6,6 +6,12 @@
 //
 //	sogre-reorder -in graph.mtx [-pattern V:N:M | -auto] [-out reordered.mtx]
 //	sogre-reorder -gen banded -n 1024 [-pattern 2:4]
+//	sogre-reorder -gen er -n 8192 -large -maxn 1024 -workers 4
+//
+// -workers sizes the parallel reordering engine (0 = GOMAXPROCS,
+// 1 = serial); every setting produces the same permutation. -large
+// routes through the partitioned ReorderLarge path with -maxn capping
+// each partition.
 package main
 
 import (
@@ -26,6 +32,9 @@ func main() {
 	pat := flag.String("pattern", "2:4", "target pattern, N:M or V:N:M")
 	auto := flag.Bool("auto", false, "auto-select the best V:N:M format")
 	out := flag.String("out", "", "write the reordered graph (MatrixMarket)")
+	workers := flag.Int("workers", 0, "parallel reordering workers (0 = GOMAXPROCS, 1 = serial)")
+	large := flag.Bool("large", false, "use the partitioned ReorderLarge path")
+	maxn := flag.Int("maxn", 0, "partition size cap for -large (0 = default 8192)")
 	flag.Parse()
 
 	g, err := loadGraph(*in, *gen, *n, *seed)
@@ -35,36 +44,63 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d edges=%d\n", g.N(), g.NumUndirectedEdges())
 
+	ropt := core.Options{Workers: *workers}
+	var perm []int
 	var res *core.Result
-	if *auto {
-		autoRes, err := core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
-			os.Exit(1)
-		}
-		res = autoRes.Best
-		fmt.Printf("formats tried: %v\n", autoRes.Tried)
-	} else {
+	if *large {
 		p, err := pattern.Parse(*pat)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 			os.Exit(2)
 		}
-		res, err = core.Reorder(g.ToBitMatrix(), p, core.Options{})
+		lres, err := core.ReorderLarge(g, core.LargeOptions{
+			MaxN:    *maxn,
+			Reorder: ropt,
+			Pattern: p,
+			Workers: *workers,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 			os.Exit(1)
 		}
+		perm = lres.Perm
+		fmt.Printf("pattern:          %v\n", lres.Pattern)
+		fmt.Printf("partitions:       %d (max %d vertices)\n", len(lres.Partitions), *maxn)
+		fmt.Printf("invalid segvecs:  %d -> %d (improvement %.2f%%)\n",
+			lres.InitialPScore, lres.FinalPScore, lres.ImprovementRate()*100)
+		fmt.Printf("elapsed:          %v\n", lres.Elapsed)
+	} else {
+		if *auto {
+			autoRes, err := core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{Reorder: ropt})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+				os.Exit(1)
+			}
+			res = autoRes.Best
+			fmt.Printf("formats tried: %v\n", autoRes.Tried)
+		} else {
+			p, err := pattern.Parse(*pat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+				os.Exit(2)
+			}
+			res, err = core.Reorder(g.ToBitMatrix(), p, ropt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		perm = res.Perm
+		fmt.Printf("pattern:          %v\n", res.Pattern)
+		fmt.Printf("invalid segvecs:  %d -> %d (improvement %.2f%%)\n",
+			res.InitialPScore, res.FinalPScore, res.ImprovementRate()*100)
+		fmt.Printf("invalid blocks:   %d -> %d\n", res.InitialMBScore, res.FinalMBScore)
+		fmt.Printf("conforming:       %v\n", res.Conforming())
+		fmt.Printf("iterations:       %d (swaps %d) in %v\n", res.Iterations, res.Swaps, res.Elapsed)
 	}
-	fmt.Printf("pattern:          %v\n", res.Pattern)
-	fmt.Printf("invalid segvecs:  %d -> %d (improvement %.2f%%)\n",
-		res.InitialPScore, res.FinalPScore, res.ImprovementRate()*100)
-	fmt.Printf("invalid blocks:   %d -> %d\n", res.InitialMBScore, res.FinalMBScore)
-	fmt.Printf("conforming:       %v\n", res.Conforming())
-	fmt.Printf("iterations:       %d (swaps %d) in %v\n", res.Iterations, res.Swaps, res.Elapsed)
 
 	if *out != "" {
-		rg, err := g.ApplyPermutation(res.Perm)
+		rg, err := g.ApplyPermutation(perm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/datasets"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// ReorderSchema identifies the reorder-suite JSON layout
+// (BENCH_reorder.json); bump on breaking changes.
+const ReorderSchema = "sogre-bench-reorder/v1"
+
+// ReorderConfig sizes a reordering benchmark run. The same
+// reproducibility contract as Config holds: everything except the
+// timing-derived fields is byte-identical across runs for a fixed
+// config, because the parallel engine returns the serial permutation
+// at every worker count (DESIGN.md §8).
+type ReorderConfig struct {
+	Seed    int64
+	Graphs  []GraphSpec
+	MaxN    int   // partition cap handed to ReorderLarge
+	Workers []int // pool sizes to time; 1 is the serial baseline
+	Repeats int   // best-of wall-time repetitions
+	Pattern pattern.VNM
+	H       int // feature width for the amortization cycle model
+}
+
+// DefaultReorderConfig returns the checked-in reorder-trajectory
+// workload: the three regime families at 4K vertices with a 512-vertex
+// partition cap (8+ partitions each, enough for the fan-out to
+// matter), timed at 1/2/4 workers.
+func DefaultReorderConfig() ReorderConfig {
+	return ReorderConfig{
+		Seed: 20250806,
+		Graphs: []GraphSpec{
+			{Name: "er-4k", Family: "er", N: 4096, Degree: 6},
+			{Name: "powerlaw-4k", Family: "powerlaw", N: 4096, Degree: 6},
+			{Name: "banded-4k", Family: "banded", N: 4096, Degree: 6},
+		},
+		MaxN:    512,
+		Workers: []int{1, 2, 4},
+		Repeats: 2,
+		Pattern: pattern.New(4, 2, 8),
+		H:       128,
+	}
+}
+
+// Validate rejects configurations that cannot produce a meaningful
+// suite.
+func (c ReorderConfig) Validate() error {
+	switch {
+	case len(c.Graphs) == 0:
+		return fmt.Errorf("bench: Graphs must be nonempty")
+	case len(c.Workers) == 0:
+		return fmt.Errorf("bench: Workers must be nonempty")
+	case c.MaxN < 1:
+		return fmt.Errorf("bench: MaxN %d must be >= 1", c.MaxN)
+	case c.Repeats < 1:
+		return fmt.Errorf("bench: Repeats %d must be >= 1", c.Repeats)
+	case c.H < 1:
+		return fmt.Errorf("bench: H %d must be >= 1", c.H)
+	}
+	for _, w := range c.Workers {
+		if w < 1 {
+			return fmt.Errorf("bench: worker count %d must be >= 1", w)
+		}
+	}
+	for _, g := range c.Graphs {
+		if g.N < 1 {
+			return fmt.Errorf("bench: graph %q has N %d", g.Name, g.N)
+		}
+	}
+	return nil
+}
+
+// ReorderResult is one (graph, worker-count) row. The deterministic
+// block pins the engine's output (digest, scores, modeled cycles); the
+// timing block (reorder_ns, partitions_per_sec, speedup_vs_serial,
+// break_even_epochs) varies run to run and is zeroed by
+// CanonicalReorder.
+type ReorderResult struct {
+	Graph      string `json:"graph"`
+	N          int    `json:"n"`
+	Edges      int    `json:"edges"`
+	Partitions int    `json:"partitions"`
+	Workers    int    `json:"workers"`
+
+	// PermDigest fingerprints the composed permutation; identical for
+	// every worker count of the same graph by the determinism contract
+	// (Run fails loudly if not).
+	PermDigest      string  `json:"perm_digest"`
+	InitialPScore   int     `json:"initial_pscore"`
+	FinalPScore     int     `json:"final_pscore"`
+	ImprovementRate float64 `json:"improvement_rate"`
+
+	// CSRCycles and HybridCycles are the per-epoch SpMM costs of the
+	// cycle model before and after reordering (CSR baseline vs
+	// compressed V:N:M plus CSR residual at width H); their difference
+	// SavedCyclesPerEpoch is what one epoch of training saves — the
+	// denominator of the amortization metric. Pure model outputs,
+	// hardware-independent.
+	CSRCycles           float64 `json:"csr_cycles"`
+	HybridCycles        float64 `json:"hybrid_cycles"`
+	SavedCyclesPerEpoch float64 `json:"saved_cycles_per_epoch"`
+
+	ReorderNs        float64 `json:"reorder_ns"`
+	PartitionsPerSec float64 `json:"partitions_per_sec"`
+	// SpeedupVsSerial is the workers=1 wall time divided by this row's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// BreakEvenEpochs is the amortization metric: reorder wall-clock
+	// (ns, at a nominal 1 cycle/ns) divided by SavedCyclesPerEpoch —
+	// the number of training epochs after which the one-time reorder
+	// has paid for itself. 0 when the model shows no savings.
+	BreakEvenEpochs float64 `json:"break_even_epochs"`
+}
+
+// ReorderSuite is the full reorder-benchmark output.
+type ReorderSuite struct {
+	Schema     string          `json:"schema"`
+	Seed       int64           `json:"seed"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Pattern    string          `json:"pattern"`
+	MaxN       int             `json:"max_n"`
+	H          int             `json:"h"`
+	Results    []ReorderResult `json:"results"`
+}
+
+// RunReorder executes the reorder suite: every graph reordered through
+// the partitioned engine at every configured worker count, timed
+// best-of-Repeats, with the permutation digest checked identical
+// across worker counts before any row is emitted.
+func RunReorder(cfg ReorderConfig) (*ReorderSuite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cm := sptc.DefaultCostModel()
+	s := &ReorderSuite{
+		Schema:     ReorderSchema,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Pattern:    cfg.Pattern.String(),
+		MaxN:       cfg.MaxN,
+		H:          cfg.H,
+	}
+	for gi, spec := range cfg.Graphs {
+		g, err := datasets.Family(spec.Family, spec.N, spec.Degree, cfg.Seed+int64(gi))
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		opt := core.LargeOptions{MaxN: cfg.MaxN, Pattern: cfg.Pattern}
+
+		// One reference run pins the permutation and the model-side
+		// numbers; the timed runs below must reproduce its digest.
+		opt.Workers = 1
+		ref, err := core.ReorderLarge(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		refDigest := check.PermDigest(ref.Perm)
+
+		// Amortization model: per-epoch cycles before (CSR on the
+		// original adjacency) and after (hybrid on the reordered one).
+		orig := csr.FromGraph(g)
+		csrCycles := cm.CSRSpMMCycles(orig.NNZ(), orig.N, cfg.H)
+		rg, err := g.ApplyPermutation(ref.Perm)
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		ra := csr.FromGraph(rg)
+		comp, resid, err := venom.SplitToConform(ra, cfg.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		hybridCycles := cm.VNMSpMMCycles(sptc.Stats(comp, cm), cfg.H)
+		if resid.NNZ() > 0 {
+			hybridCycles += cm.CSRSpMMCycles(resid.NNZ(), resid.N, cfg.H)
+		}
+		saved := csrCycles - hybridCycles
+		if saved < 0 {
+			saved = 0
+		}
+
+		base := ReorderResult{
+			Graph: spec.Name, N: g.N(), Edges: g.NumUndirectedEdges(),
+			Partitions:          len(ref.Partitions),
+			PermDigest:          refDigest,
+			InitialPScore:       ref.InitialPScore,
+			FinalPScore:         ref.FinalPScore,
+			ImprovementRate:     ref.ImprovementRate(),
+			CSRCycles:           csrCycles,
+			HybridCycles:        hybridCycles,
+			SavedCyclesPerEpoch: saved,
+		}
+		serialNs := 0.0
+		for _, w := range cfg.Workers {
+			opt.Workers = w
+			var last *core.LargeResult
+			ns := time1(cfg.Repeats, func() {
+				res, err := core.ReorderLarge(g, opt)
+				if err == nil {
+					last = res
+				}
+			})
+			if last == nil {
+				return nil, fmt.Errorf("bench: graph %q workers=%d: reorder failed", spec.Name, w)
+			}
+			if d := check.PermDigest(last.Perm); d != refDigest {
+				return nil, fmt.Errorf("bench: graph %q workers=%d: perm digest %s != serial %s — determinism contract broken",
+					spec.Name, w, d, refDigest)
+			}
+			r := base
+			r.Workers = w
+			r.ReorderNs = ns
+			if ns > 0 {
+				r.PartitionsPerSec = float64(len(ref.Partitions)) / (ns / 1e9)
+				if w == 1 || serialNs == 0 {
+					serialNs = ns
+				}
+				r.SpeedupVsSerial = serialNs / ns
+				if saved > 0 {
+					r.BreakEvenEpochs = ns / saved // nominal 1 cycle/ns
+				}
+			}
+			s.Results = append(s.Results, r)
+		}
+	}
+	return s, nil
+}
+
+// CanonicalReorder returns a copy with every timing-derived field
+// zeroed — the byte-comparable projection two same-seed runs must
+// agree on. GoMaxProcs is also cleared: it describes the machine, not
+// the workload.
+func CanonicalReorder(s *ReorderSuite) *ReorderSuite {
+	c := *s
+	c.GoMaxProcs = 0
+	c.Results = append([]ReorderResult(nil), s.Results...)
+	for i := range c.Results {
+		c.Results[i].ReorderNs = 0
+		c.Results[i].PartitionsPerSec = 0
+		c.Results[i].SpeedupVsSerial = 0
+		c.Results[i].BreakEvenEpochs = 0
+	}
+	return &c
+}
+
+// JSON renders the suite as indented JSON with a trailing newline.
+func (s *ReorderSuite) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// tinyReorderConfig keeps test runs fast: two small graphs split into
+// a handful of partitions, one timing repetition.
+func tinyReorderConfig() ReorderConfig {
+	return ReorderConfig{
+		Seed: 7,
+		Graphs: []GraphSpec{
+			{Name: "er-tiny", Family: "er", N: 256, Degree: 6},
+			{Name: "banded-tiny", Family: "banded", N: 200, Degree: 5},
+		},
+		MaxN:    64,
+		Workers: []int{1, 2},
+		Repeats: 1,
+		Pattern: pattern.NM(2, 4),
+		H:       16,
+	}
+}
+
+// TestReorderSuiteDeterminism: two runs with the same seed produce
+// byte-identical JSON once the timing fields are canonicalized — the
+// contract that makes BENCH_reorder.json diffable across PRs.
+func TestReorderSuiteDeterminism(t *testing.T) {
+	s1, err := RunReorder(tinyReorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunReorder(tinyReorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := CanonicalReorder(s1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := CanonicalReorder(s2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same-seed runs disagree canonically:\n%s\n---\n%s", j1, j2)
+	}
+}
+
+// TestReorderSuiteSchema: the JSON layout carries the fields trajectory
+// tooling depends on, with sane values, and the digest is identical
+// across worker counts of the same graph.
+func TestReorderSuiteSchema(t *testing.T) {
+	s, err := RunReorder(tinyReorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("suite JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"schema", "seed", "gomaxprocs", "pattern", "max_n", "h", "results"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("suite JSON missing top-level key %q", key)
+		}
+	}
+	if decoded["schema"] != ReorderSchema {
+		t.Fatalf("schema = %v, want %q", decoded["schema"], ReorderSchema)
+	}
+	// 2 graphs x 2 worker counts.
+	if len(s.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(s.Results))
+	}
+	digests := map[string]string{}
+	for _, r := range s.Results {
+		if r.PermDigest == "" || r.Partitions < 2 || r.ReorderNs <= 0 || r.N <= 0 {
+			t.Fatalf("result %+v has missing or non-positive metrics", r)
+		}
+		if r.CSRCycles <= 0 || r.HybridCycles <= 0 {
+			t.Fatalf("result %+v missing cycle-model fields", r)
+		}
+		if r.SavedCyclesPerEpoch > 0 && r.BreakEvenEpochs <= 0 {
+			t.Fatalf("result %+v has savings but no break-even", r)
+		}
+		if prev, ok := digests[r.Graph]; ok && prev != r.PermDigest {
+			t.Fatalf("graph %q digest differs across worker counts: %s vs %s", r.Graph, prev, r.PermDigest)
+		}
+		digests[r.Graph] = r.PermDigest
+	}
+	if len(digests) != 2 {
+		t.Fatalf("expected 2 graphs, saw %v", digests)
+	}
+}
+
+// TestCanonicalReorderZeroesOnlyTimingFields: the canonical projection
+// keeps every deterministic field and zeroes every timing-derived one.
+func TestCanonicalReorderZeroesOnlyTimingFields(t *testing.T) {
+	s, err := RunReorder(tinyReorderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CanonicalReorder(s)
+	if c.GoMaxProcs != 0 {
+		t.Fatalf("canonical suite keeps gomaxprocs %d", c.GoMaxProcs)
+	}
+	for i, r := range c.Results {
+		if r.ReorderNs != 0 || r.PartitionsPerSec != 0 || r.SpeedupVsSerial != 0 || r.BreakEvenEpochs != 0 {
+			t.Fatalf("canonical result %d keeps timing fields: %+v", i, r)
+		}
+		orig := s.Results[i]
+		if r.Graph != orig.Graph || r.PermDigest != orig.PermDigest ||
+			r.InitialPScore != orig.InitialPScore || r.FinalPScore != orig.FinalPScore ||
+			r.CSRCycles != orig.CSRCycles || r.SavedCyclesPerEpoch != orig.SavedCyclesPerEpoch {
+			t.Fatalf("canonical result %d lost deterministic fields: %+v vs %+v", i, r, orig)
+		}
+	}
+	if s.Results[0].ReorderNs == 0 {
+		t.Fatal("CanonicalReorder mutated the original suite")
+	}
+}
+
+func TestReorderConfigValidate(t *testing.T) {
+	for _, mut := range []func(*ReorderConfig){
+		func(c *ReorderConfig) { c.Graphs = nil },
+		func(c *ReorderConfig) { c.Workers = nil },
+		func(c *ReorderConfig) { c.Workers = []int{0} },
+		func(c *ReorderConfig) { c.MaxN = 0 },
+		func(c *ReorderConfig) { c.Repeats = 0 },
+		func(c *ReorderConfig) { c.H = 0 },
+		func(c *ReorderConfig) { c.Graphs[0].N = 0 },
+	} {
+		cfg := tinyReorderConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("invalid config %+v accepted", cfg)
+		}
+	}
+	if err := DefaultReorderConfig().Validate(); err != nil {
+		t.Fatalf("DefaultReorderConfig invalid: %v", err)
+	}
+	if _, err := RunReorder(ReorderConfig{}); err == nil {
+		t.Fatal("RunReorder accepted the zero config")
+	}
+	bad := tinyReorderConfig()
+	bad.Graphs[0].Family = "no-such-family"
+	if _, err := RunReorder(bad); err == nil {
+		t.Fatal("RunReorder accepted an unknown graph family")
+	}
+}

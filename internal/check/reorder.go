@@ -1,0 +1,150 @@
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// This file is the reordering engine's differential layer, the analog
+// of parallel.go for the preprocessing side: the parallel partitioned
+// engine owes its callers permutations bit-identical to the serial
+// run at every worker count (DESIGN.md §8), so the oracles here are
+// exact — digests compare equal or the contract is broken.
+
+// PermDigest returns a short stable fingerprint of a permutation: the
+// first 12 bytes of the SHA-256 of its values as little-endian int64s,
+// hex-encoded. Golden-permutation regression tests pin these digests,
+// so the encoding must never change.
+func PermDigest(perm []int) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, p := range perm {
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// LargeComposition certifies the composition invariants of a
+// partitioned reordering of g under opt: the global Perm is a
+// bijection on the vertex set, Offsets is a monotone contiguous cover
+// of [0, N] with one range per partition, no partition exceeds the
+// MaxN cap, each partition's slice of Perm is drawn from one BFS
+// partition's vertex set, and the reported score totals are exactly
+// the per-partition sums.
+func LargeComposition(g *graph.Graph, opt core.LargeOptions, res *core.LargeResult) error {
+	n := g.N()
+	if err := Permutation(res.Perm, n); err != nil {
+		return err
+	}
+	maxN := opt.MaxN
+	if maxN <= 0 {
+		maxN = 8192
+	}
+	if len(res.Offsets) != len(res.Partitions)+1 {
+		return fmt.Errorf("check: %d offsets for %d partitions, want len+1", len(res.Offsets), len(res.Partitions))
+	}
+	if res.Offsets[0] != 0 {
+		return fmt.Errorf("check: Offsets[0] = %d, want 0", res.Offsets[0])
+	}
+	if last := res.Offsets[len(res.Offsets)-1]; last != n {
+		return fmt.Errorf("check: Offsets end at %d, want %d", last, n)
+	}
+	sumInit, sumFinal := 0, 0
+	for i, pr := range res.Partitions {
+		lo, hi := res.Offsets[i], res.Offsets[i+1]
+		if hi <= lo {
+			return fmt.Errorf("check: partition %d range [%d,%d) is empty or reversed", i, lo, hi)
+		}
+		if hi-lo != pr.Vertices {
+			return fmt.Errorf("check: partition %d spans %d indices but reports %d vertices", i, hi-lo, pr.Vertices)
+		}
+		if pr.Vertices > maxN {
+			return fmt.Errorf("check: partition %d has %d vertices, cap is %d", i, pr.Vertices, maxN)
+		}
+		if pr.Result == nil {
+			return fmt.Errorf("check: partition %d has no result", i)
+		}
+		if len(pr.Result.Perm) != pr.Vertices {
+			return fmt.Errorf("check: partition %d local perm has %d entries for %d vertices", i, len(pr.Result.Perm), pr.Vertices)
+		}
+		sumInit += pr.Result.InitialPScore
+		sumFinal += pr.Result.FinalPScore
+	}
+	if sumInit != res.InitialPScore {
+		return fmt.Errorf("check: InitialPScore %d != partition sum %d", res.InitialPScore, sumInit)
+	}
+	if sumFinal != res.FinalPScore {
+		return fmt.Errorf("check: FinalPScore %d != partition sum %d", res.FinalPScore, sumFinal)
+	}
+	// The composed ranges must be exactly the BFS partitions: the same
+	// split is recomputable because BFSPartition is deterministic.
+	parts := core.BFSPartition(g, maxN)
+	if len(parts) != len(res.Partitions) {
+		return fmt.Errorf("check: result has %d partitions, BFSPartition yields %d", len(res.Partitions), len(parts))
+	}
+	for i, part := range parts {
+		lo, hi := res.Offsets[i], res.Offsets[i+1]
+		if hi-lo != len(part) {
+			return fmt.Errorf("check: partition %d has %d vertices, BFS piece has %d", i, hi-lo, len(part))
+		}
+		inPart := make(map[int]bool, len(part))
+		for _, v := range part {
+			inPart[v] = true
+		}
+		for _, v := range res.Perm[lo:hi] {
+			if !inPart[v] {
+				return fmt.Errorf("check: vertex %d landed in partition %d's range but is not in its BFS piece", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ReorderLargeAcrossWorkers runs the partitioned reordering of g at
+// every given worker count (nil selects WorkerCounts) and asserts the
+// permutation, offsets and score totals are bit-identical across all
+// of them — the engine's pool-size-invariance contract. Returns the
+// serial (workers=1) result for further inspection.
+func ReorderLargeAcrossWorkers(g *graph.Graph, opt core.LargeOptions, workers []int) (*core.LargeResult, error) {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	var ref *core.LargeResult
+	refDigest := ""
+	for _, w := range workers {
+		o := opt
+		o.Workers = w
+		o.Pool = nil
+		res, err := core.ReorderLarge(g, o)
+		if err != nil {
+			return nil, fmt.Errorf("check: ReorderLarge workers=%d: %w", w, err)
+		}
+		if err := LargeComposition(g, o, res); err != nil {
+			return nil, fmt.Errorf("check: workers=%d: %w", w, err)
+		}
+		d := PermDigest(res.Perm)
+		if ref == nil {
+			ref, refDigest = res, d
+			continue
+		}
+		if d != refDigest {
+			return nil, fmt.Errorf("check: ReorderLarge perm digest %s at workers=%d != %s at workers=%d", d, w, refDigest, workers[0])
+		}
+		if res.InitialPScore != ref.InitialPScore || res.FinalPScore != ref.FinalPScore {
+			return nil, fmt.Errorf("check: ReorderLarge scores (%d,%d) at workers=%d != (%d,%d) at workers=%d",
+				res.InitialPScore, res.FinalPScore, w, ref.InitialPScore, ref.FinalPScore, workers[0])
+		}
+		for i, off := range res.Offsets {
+			if off != ref.Offsets[i] {
+				return nil, fmt.Errorf("check: ReorderLarge offsets diverge at %d: %d vs %d (workers=%d)", i, off, ref.Offsets[i], w)
+			}
+		}
+	}
+	return ref, nil
+}

@@ -405,7 +405,7 @@ func TestReorderLosslessProperty(t *testing.T) {
 func TestEncodeRowsSparseMatchesDense(t *testing.T) {
 	m := randomSymmetric(60, 5, 31)
 	p := pattern.NM(2, 8)
-	codes := encodeRows(m, p, true, false)
+	codes := encodeRows(nil, m, p, true, false)
 	for i := 0; i < m.N(); i++ {
 		// Reconstruct the dense encoding and compare entry by entry.
 		si := 0

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 )
 
 // Section 4.4 of the paper: SPTC libraries (cusparseLt, Spatha) cap
@@ -26,6 +27,25 @@ type LargeOptions struct {
 	Reorder Options
 	// Pattern is the target V:N:M pattern.
 	Pattern pattern.VNM
+
+	// Workers sizes the partition fan-out: 0 uses GOMAXPROCS, 1 runs
+	// the partitions serially. Partitions are independent induced
+	// subgraphs and the composition always walks them in partition
+	// order, so every worker count produces bit-identical Perm,
+	// Offsets, and score totals (DESIGN.md §8).
+	Workers int
+	// Pool runs the fan-out on a caller-shared execution engine,
+	// overriding Workers — the handle concurrent ReorderLarge callers
+	// use so one process hosts a single bounded worker set.
+	Pool *sched.Pool
+}
+
+// pool resolves the fan-out engine for a run.
+func (o LargeOptions) pool() *sched.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return sched.New(o.Workers)
 }
 
 // PartitionResult reports one partition's reordering.
@@ -57,10 +77,17 @@ func (r *LargeResult) ImprovementRate() float64 {
 
 // ReorderLarge partitions g into BFS-contiguous pieces of at most
 // opt.MaxN vertices, reorders each piece's induced subgraph
-// independently, and composes the per-piece renumberings into one
-// global permutation. Cross-partition edges are untouched (they belong
-// to the accumulation step of a distributed SpMM, not to any
-// partition's local matrix).
+// independently — fanned out across the execution pool, since the
+// partitions share no state — and composes the per-piece renumberings
+// into one global permutation. Cross-partition edges are untouched
+// (they belong to the accumulation step of a distributed SpMM, not to
+// any partition's local matrix).
+//
+// Determinism contract: each partition's reordering is independent of
+// the pool (DESIGN.md §8), and Perm, Offsets, and the PScore totals
+// are composed in fixed partition order after every partition
+// finishes, never in completion order. The result is therefore
+// bit-identical at every worker count, serial included.
 func ReorderLarge(g *graph.Graph, opt LargeOptions) (*LargeResult, error) {
 	if err := opt.Pattern.Validate(); err != nil {
 		return nil, err
@@ -70,24 +97,40 @@ func ReorderLarge(g *graph.Graph, opt LargeOptions) (*LargeResult, error) {
 	}
 	start := time.Now()
 	parts := BFSPartition(g, opt.MaxN)
+	pool := opt.pool()
+	ropt := opt.Reorder
+	if ropt.Pool == nil {
+		// Partition runs share the fan-out engine, so the whole
+		// preprocessing step is bounded by one worker set.
+		ropt.Pool = pool
+	}
+	type partOutcome struct {
+		res  *Result
+		orig []int
+		err  error
+	}
+	outs := make([]partOutcome, len(parts))
+	pool.Run(len(parts), func(i int) {
+		sub, orig := g.Subgraph(parts[i])
+		res, err := Reorder(sub.ToBitMatrix(), opt.Pattern, ropt)
+		outs[i] = partOutcome{res: res, orig: orig, err: err}
+	})
 	out := &LargeResult{
 		Pattern: opt.Pattern,
 		Perm:    make([]int, 0, g.N()),
 		Offsets: []int{0},
 	}
-	for _, part := range parts {
-		sub, orig := g.Subgraph(part)
-		res, err := Reorder(sub.ToBitMatrix(), opt.Pattern, opt.Reorder)
-		if err != nil {
-			return nil, fmt.Errorf("core: partition of %d vertices: %w", len(part), err)
+	for i, po := range outs {
+		if po.err != nil {
+			return nil, fmt.Errorf("core: partition of %d vertices: %w", len(parts[i]), po.err)
 		}
-		out.Partitions = append(out.Partitions, PartitionResult{Vertices: len(part), Result: res})
-		out.InitialPScore += res.InitialPScore
-		out.FinalPScore += res.FinalPScore
+		out.Partitions = append(out.Partitions, PartitionResult{Vertices: len(parts[i]), Result: po.res})
+		out.InitialPScore += po.res.InitialPScore
+		out.FinalPScore += po.res.FinalPScore
 		// Compose: local new position j holds local vertex
 		// res.Perm[j], which is original vertex orig[res.Perm[j]].
-		for _, local := range res.Perm {
-			out.Perm = append(out.Perm, orig[local])
+		for _, local := range po.res.Perm {
+			out.Perm = append(out.Perm, po.orig[local])
 		}
 		out.Offsets = append(out.Offsets, len(out.Perm))
 	}
@@ -112,16 +155,23 @@ func BFSPartition(g *graph.Graph, maxN int) [][]int {
 			current = make([]int, 0, maxN)
 		}
 	}
-	var queue []int32
+	// One shared FIFO serves every component: each vertex is enqueued
+	// exactly once, so an N-capacity array never reallocates and head
+	// simply advances past drained frontiers. (The previous
+	// per-component `append(queue[:0], ...)` reuse re-sliced past the
+	// consumed prefix, shrinking the usable capacity every component
+	// and re-aliasing the backing array between components.)
+	queue := make([]int32, 0, g.N())
+	head := 0
 	for s := 0; s < g.N(); s++ {
 		if visited[s] {
 			continue
 		}
 		visited[s] = true
-		queue = append(queue[:0], int32(s))
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		queue = append(queue, int32(s))
+		for head < len(queue) {
+			u := queue[head]
+			head++
 			current = append(current, int(u))
 			if len(current) == maxN {
 				flush()

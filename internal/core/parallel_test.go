@@ -1,0 +1,257 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+)
+
+func permsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The parallel engine's core contract: Reorder returns the same
+// permutation and scores at every worker count, serial included.
+func TestReorderWorkerCountInvariant(t *testing.T) {
+	for _, fam := range []string{"er", "powerlaw", "banded"} {
+		g, err := datasets.Family(fam, 300, 6, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.ToBitMatrix()
+		p := pattern.NM(2, 4)
+		ref, err := Reorder(m, p, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			res, err := Reorder(m, p, Options{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !permsEqual(res.Perm, ref.Perm) {
+				t.Fatalf("%s: workers=%d permutation differs from serial", fam, w)
+			}
+			if res.FinalPScore != ref.FinalPScore || res.FinalMBScore != ref.FinalMBScore ||
+				res.Iterations != ref.Iterations || res.Swaps != ref.Swaps {
+				t.Fatalf("%s: workers=%d stats differ from serial", fam, w)
+			}
+		}
+	}
+}
+
+// Same contract for the partitioned engine, including a shared
+// externally-supplied pool.
+func TestReorderLargeWorkerCountInvariant(t *testing.T) {
+	g := graph.Banded(700, 3, 0.85, 23)
+	opt := LargeOptions{MaxN: 128, Pattern: pattern.NM(2, 4)}
+	opt.Workers = 1
+	ref, err := ReorderLarge(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		o := opt
+		o.Workers = w
+		res, err := ReorderLarge(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !permsEqual(res.Perm, ref.Perm) {
+			t.Fatalf("workers=%d composed permutation differs from serial", w)
+		}
+		if res.InitialPScore != ref.InitialPScore || res.FinalPScore != ref.FinalPScore {
+			t.Fatalf("workers=%d scores differ from serial", w)
+		}
+	}
+	shared := LargeOptions{MaxN: 128, Pattern: pattern.NM(2, 4), Pool: sched.New(3)}
+	res, err := ReorderLarge(g, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !permsEqual(res.Perm, ref.Perm) {
+		t.Fatal("shared-pool run differs from serial")
+	}
+}
+
+// Race hammer (run under -race in CI): eight concurrent ReorderLarge
+// callers share one pool on distinct graphs; every result must match
+// its precomputed serial permutation. Pools are stateless per Run, so
+// sharing must be safe.
+func TestReorderLargeConcurrentCallersSharedPool(t *testing.T) {
+	const callers = 8
+	graphs := make([]*graph.Graph, callers)
+	want := make([][]int, callers)
+	for i := range graphs {
+		fam := []string{"er", "powerlaw", "banded", "grid"}[i%4]
+		g, err := datasets.Family(fam, 300, 5, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[i] = g
+		ref, err := ReorderLarge(g, LargeOptions{MaxN: 64, Pattern: pattern.NM(2, 4), Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref.Perm
+	}
+	pool := sched.New(4)
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	bad := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ReorderLarge(graphs[i], LargeOptions{MaxN: 64, Pattern: pattern.NM(2, 4), Pool: pool})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bad[i] = !permsEqual(res.Perm, want[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if bad[i] {
+			t.Fatalf("caller %d: concurrent result differs from its serial permutation", i)
+		}
+	}
+}
+
+// Speedup acceptance gate: on >= 4 schedulable CPUs, the partitioned
+// engine at GOMAXPROCS workers must beat the serial run by >= 2x
+// wall-clock on a >= 8-partition graph. Skips where the contract is
+// vacuous (the equality tests above still pin correctness there).
+func TestReorderLargeParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("speedup contract requires GOMAXPROCS >= 4, have %d", procs)
+	}
+	g, err := datasets.Family("er", 4096, 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := LargeOptions{MaxN: 512, Pattern: pattern.New(4, 2, 8)}
+	if parts := BFSPartition(g, opt.MaxN); len(parts) < 8 {
+		t.Fatalf("graph yields %d partitions, need >= 8", len(parts))
+	}
+	bestOf := func(n int, fn func()) time.Duration {
+		fn()
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			fn()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serialOpt := opt
+	serialOpt.Workers = 1
+	parOpt := opt
+	parOpt.Workers = procs
+	serial := bestOf(2, func() {
+		if _, err := ReorderLarge(g, serialOpt); err != nil {
+			t.Error(err)
+		}
+	})
+	parallel := bestOf(2, func() {
+		if _, err := ReorderLarge(g, parOpt); err != nil {
+			t.Error(err)
+		}
+	})
+	if speedup := float64(serial) / float64(parallel); speedup < 2 {
+		t.Errorf("partitioned reorder speedup %.2fx (serial %v, parallel %v), want >= 2x at %d workers",
+			speedup, serial, parallel, procs)
+	}
+}
+
+// BFS queue regression (multi-component graphs): the shared-FIFO queue
+// must traverse components in exactly the order a fresh per-component
+// queue would, with every vertex covered once. Many small components
+// stress the former `append(queue[:0], ...)` reuse pattern.
+func TestBFSPartitionMultiComponentOrder(t *testing.T) {
+	// 50 components: chains, triangles and isolated vertices mixed.
+	var edges [][2]int
+	n := 0
+	for c := 0; c < 50; c++ {
+		switch c % 3 {
+		case 0: // 5-chain
+			for i := 0; i < 4; i++ {
+				edges = append(edges, [2]int{n + i, n + i + 1})
+			}
+			n += 5
+		case 1: // triangle
+			edges = append(edges, [2]int{n, n + 1}, [2]int{n + 1, n + 2}, [2]int{n, n + 2})
+			n += 3
+		default: // isolated vertex
+			n++
+		}
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxN := range []int{1, 3, 4, 7, n} {
+		parts := BFSPartition(g, maxN)
+		var got []int
+		for _, p := range parts {
+			if len(p) > maxN {
+				t.Fatalf("maxN=%d: partition of %d vertices", maxN, len(p))
+			}
+			got = append(got, p...)
+		}
+		want := referenceBFSOrder(g)
+		if !permsEqual(got, want) {
+			t.Fatalf("maxN=%d: traversal order diverged from per-component reference", maxN)
+		}
+	}
+}
+
+// referenceBFSOrder is the naive specification: a fresh FIFO per
+// component, sources in ascending id order.
+func referenceBFSOrder(g *graph.Graph) []int {
+	visited := make([]bool, g.N())
+	var order []int
+	for s := 0; s < g.N(); s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range g.Neighbors(u) {
+				if !visited[v] {
+					visited[v] = true
+					queue = append(queue, int(v))
+				}
+			}
+		}
+	}
+	return order
+}

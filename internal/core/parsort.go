@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitmat"
+	"repro/internal/sched"
+)
+
+// parallelSortMin is the slice length below which stableSortInts always
+// runs the serial sort: chunk-and-merge overhead only pays off on the
+// multi-thousand-row orders the partitioned engine produces.
+const parallelSortMin = 2048
+
+// stableSortInts sorts a stably by less(x, y) over element values,
+// distributing the work across the pool's workers. A stable sort's
+// output is uniquely determined by the input — elements ordered by
+// (key, original position) — so the chunked merge sort here returns
+// exactly the permutation sort.SliceStable would, at every worker
+// count and chunking. That uniqueness is what lets the reordering
+// engine promise bit-identical results from serial and parallel runs.
+func stableSortInts(pool *sched.Pool, a []int, less func(x, y int) bool) {
+	n := len(a)
+	if pool == nil || pool.Workers() <= 1 || n < parallelSortMin {
+		sort.SliceStable(a, func(i, j int) bool { return less(a[i], a[j]) })
+		return
+	}
+	chunks := sched.Chunks(n, pool.Workers())
+	pool.Run(len(chunks), func(ci int) {
+		s := a[chunks[ci][0]:chunks[ci][1]]
+		sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
+	})
+	buf := make([]int, n)
+	src, dst := a, buf
+	for len(chunks) > 1 {
+		// Merge adjacent chunk pairs; a trailing odd chunk is copied
+		// through unchanged (mergeRuns with an empty right run).
+		merged := make([][2]int, 0, (len(chunks)+1)/2)
+		pairs := make([][3]int, 0, cap(merged))
+		for i := 0; i < len(chunks); i += 2 {
+			lo, mid := chunks[i][0], chunks[i][1]
+			hi := mid
+			if i+1 < len(chunks) {
+				hi = chunks[i+1][1]
+			}
+			pairs = append(pairs, [3]int{lo, mid, hi})
+			merged = append(merged, [2]int{lo, hi})
+		}
+		pool.Run(len(pairs), func(pi int) {
+			mergeRuns(dst, src, pairs[pi][0], pairs[pi][1], pairs[pi][2], less)
+		})
+		src, dst = dst, src
+		chunks = merged
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// mergeRuns merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi]. Ties take the left run's element first — the stability
+// invariant the uniqueness argument above rests on.
+func mergeRuns(dst, src []int, lo, mid, hi int, less func(x, y int) bool) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		if i < mid && (j >= hi || !less(src[j], src[i])) {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+	}
+}
+
+// runRows partitions [0, n) into contiguous row ranges and invokes fn
+// on each, using the pool when one is supplied (a nil pool falls back
+// to the GOMAXPROCS-wide bitmat helper the serial engine always used).
+// fn must write only rows in its range; range boundaries never affect
+// results.
+func runRows(pool *sched.Pool, n int, fn func(lo, hi int)) {
+	if pool == nil {
+		bitmat.ParallelRows(n, fn)
+		return
+	}
+	if pool.Workers() <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunks := sched.Chunks(n, pool.Workers())
+	pool.Run(len(chunks), func(ci int) { fn(chunks[ci][0], chunks[ci][1]) })
+}

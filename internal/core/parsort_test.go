@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// stableSortInts must reproduce sort.SliceStable's output exactly — a
+// stable sort's result is uniquely determined by (key, original
+// position) — at every worker count and slice size, duplicate-heavy
+// keys included (ties are where instability would show).
+func TestStableSortIntsMatchesSliceStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 17, 100, parallelSortMin - 1, parallelSortMin, 3 * parallelSortMin, 4*parallelSortMin + 13} {
+		// Heavy duplication: keys in [0, 8) make almost every comparison
+		// a tie, so positions (stability) dominate the output order.
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(8)
+		}
+		less := func(x, y int) bool { return keys[x] < keys[y] }
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(i, j int) bool { return less(want[i], want[j]) })
+		for _, w := range []int{1, 2, 3, 4, 7, 16} {
+			got := make([]int, n)
+			for i := range got {
+				got[i] = i
+			}
+			stableSortInts(sched.New(w), got, less)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: position %d holds %d, stable sort holds %d", n, w, i, got[i], want[i])
+				}
+			}
+		}
+		// A nil pool must also match (serial fallback path).
+		got := make([]int, n)
+		for i := range got {
+			got[i] = i
+		}
+		stableSortInts(nil, got, less)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d nil pool: position %d holds %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// mergeRuns must prefer the left run on ties — the invariant the
+// stability argument rests on.
+func TestMergeRunsLeftPreference(t *testing.T) {
+	keys := []int{5, 5, 5, 5} // all equal; indices 0,1 left run, 2,3 right
+	src := []int{0, 1, 2, 3}
+	dst := make([]int, 4)
+	mergeRuns(dst, src, 0, 2, 4, func(x, y int) bool { return keys[x] < keys[y] })
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("tie broke stability: merged order %v", dst)
+		}
+	}
+	// Odd trailing chunk: an empty right run copies the left through.
+	mergeRuns(dst, src, 0, 4, 4, func(x, y int) bool { return keys[x] < keys[y] })
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("empty right run corrupted copy: %v", dst)
+		}
+	}
+}
+
+// runRows must cover [0, n) exactly once regardless of pool shape.
+func TestRunRowsCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100} {
+		for _, pool := range []*sched.Pool{nil, sched.New(1), sched.New(4)} {
+			hit := make([]int32, n)
+			runRows(pool, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hit[i]++
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d: row %d visited %d times", n, i, h)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 )
 
 // Options configures the reordering driver. The zero value selects the
@@ -30,6 +31,29 @@ type Options struct {
 	DisableSparsestFallback bool // skip |I|==1 handling
 	Stage1Only              bool // run only Stage-1
 	Stage2Only              bool // run only Stage-2
+
+	// Workers sizes the execution pool the row-parallel phases (Stage-1
+	// encoding and sorting, conformity scoring) run on: 0 uses
+	// GOMAXPROCS, 1 runs serially. Every setting produces bit-identical
+	// results — the Stage-1 sort has a unique stable output and the
+	// score reductions are exact integer sums (DESIGN.md §8) — so the
+	// knob is purely about speed.
+	Workers int
+	// Pool overrides Workers with a caller-shared execution engine.
+	// ReorderLarge hands each partition the fan-out pool through this
+	// field so one bounded worker set drives the whole preprocessing
+	// step.
+	Pool *sched.Pool
+}
+
+// ExecutionPool resolves the pool a reordering run executes on:
+// opt.Pool when set, otherwise a pool sized by opt.Workers (0 =
+// GOMAXPROCS; 1 = inline serial execution).
+func (o Options) ExecutionPool() *sched.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return sched.New(o.Workers)
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +115,7 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	pool := opt.ExecutionPool()
 	start := time.Now()
 	cur := m.Clone()
 	perm := make([]int, m.N())
@@ -99,8 +124,8 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 	}
 	res := &Result{
 		Pattern:        p,
-		InitialPScore:  pattern.PScore(cur, p),
-		InitialMBScore: pattern.MBScore(cur, p),
+		InitialPScore:  pattern.PScoreOn(pool, cur, p),
+		InitialMBScore: pattern.MBScoreOn(pool, cur, p),
 	}
 	prevP, prevMB := res.InitialPScore, res.InitialMBScore
 	s2opts := stage2Opts{
@@ -128,7 +153,7 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 		}
 		res.OuterLoops++
 		if !opt.Stage2Only {
-			s1 := Stage1(&cur, perm, p, opt.Stage1MaxIter, !opt.DisableNegation, opt.PlainBitSort)
+			s1 := stage1On(pool, &cur, perm, p, opt.Stage1MaxIter, !opt.DisableNegation, opt.PlainBitSort)
 			res.Iterations += s1.Iterations
 		}
 		if !opt.Stage1Only {
@@ -136,8 +161,8 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 			res.Iterations += s2.PrimaryTreatments
 			res.Swaps += s2.Swaps
 		}
-		nowP := pattern.PScore(cur, p)
-		nowMB := pattern.MBScore(cur, p)
+		nowP := pattern.PScoreOn(pool, cur, p)
+		nowMB := pattern.MBScoreOn(pool, cur, p)
 		if better(nowP, nowMB, bestP, bestMB) {
 			bestP, bestMB = nowP, nowMB
 			bestMat = cur.Clone()

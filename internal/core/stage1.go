@@ -13,11 +13,10 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/bitmat"
 	"repro/internal/hamming"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 )
 
 // rowCode is the sparse Hamming-position encoding of one matrix row:
@@ -39,11 +38,11 @@ const zeroVectorCode = int64(1) // hamming.SignedCode(0, n) for any n >= 0
 // of horizontally-invalid vectors (lines 9–10) is skipped — an ablation
 // knob. When plainBits is true, raw segment bits replace the Hamming
 // position code (ablation: plain lexicographic bit sort).
-func encodeRows(m *bitmat.Matrix, p pattern.VNM, negate, plainBits bool) []rowCode {
+func encodeRows(pool *sched.Pool, m *bitmat.Matrix, p pattern.VNM, negate, plainBits bool) []rowCode {
 	n := m.N()
 	segs := m.NumSegments(p.M)
 	codes := make([]rowCode, n)
-	bitmat.ParallelRows(n, func(lo, hi int) {
+	runRows(pool, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rc := rowCode{row: i}
 			for s := 0; s < segs; s++ {
@@ -123,25 +122,34 @@ type Stage1Result struct {
 // The matrix m is permuted in place (replaced via pointer) and perm is
 // updated so that perm[newPos] = original vertex. Returns statistics.
 func Stage1(m **bitmat.Matrix, perm []int, p pattern.VNM, maxIter int, negate, plainBits bool) Stage1Result {
+	return stage1On(nil, m, perm, p, maxIter, negate, plainBits)
+}
+
+// stage1On is Stage1 on an explicit execution pool: row encoding, the
+// stable sort, and the MBScore reductions all run on the pool's
+// workers. The sorted order is the unique stable order of the row
+// codes and the reductions are exact, so every pool size produces the
+// same permutation and statistics as the serial run.
+func stage1On(pool *sched.Pool, m **bitmat.Matrix, perm []int, p pattern.VNM, maxIter int, negate, plainBits bool) Stage1Result {
 	res := Stage1Result{}
 	cur := *m
-	res.InitialMBScore = pattern.MBScore(cur, p)
+	res.InitialMBScore = pattern.MBScoreOn(pool, cur, p)
 	score := res.InitialMBScore
 	res.FinalMBScore = score
 	for iter := 0; iter < maxIter && score > 0; iter++ {
-		codes := encodeRows(cur, p, negate, plainBits)
+		codes := encodeRows(pool, cur, p, negate, plainBits)
 		order := make([]int, cur.N())
 		for i := range order {
 			order[i] = i
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return lessRowCode(&codes[order[a]], &codes[order[b]])
+		stableSortInts(pool, order, func(x, y int) bool {
+			return lessRowCode(&codes[x], &codes[y])
 		})
 		if isIdentity(order) {
 			break
 		}
 		next := cur.Permute(order)
-		nextScore := pattern.MBScore(next, p)
+		nextScore := pattern.MBScoreOn(pool, next, p)
 		res.Iterations++
 		if nextScore >= score {
 			// No progress; keep the better (original) ordering and stop.

@@ -2,7 +2,6 @@ package distributed
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bitmat"
 	"repro/internal/core"
@@ -43,51 +42,52 @@ func PartitionedSpMM(g *graph.Graph, b *dense.Matrix, maxN int, p pattern.VNM, o
 		}
 	}
 
-	// Diagonal blocks: reorder + compress + SPTC kernel, in parallel
-	// across partitions (one simulated device each).
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(parts))
-	for pi, part := range parts {
-		wg.Add(1)
-		go func(pi int, part []int) {
-			defer wg.Done()
-			sub, orig := g.Subgraph(part)
-			res, err := core.Reorder(sub.ToBitMatrix(), p, opt)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			results[pi] = res
-			a := csr.FromBitMatrix(res.Matrix)
-			comp, resid, err := venom.SplitToConform(a, p)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			// Gather B rows in the partition's reordered order:
-			// local row j corresponds to original vertex
-			// orig[res.Perm[j]].
-			localB := dense.NewMatrix(len(part), b.Cols)
-			for j := 0; j < len(part); j++ {
-				copy(localB.Row(j), b.Row(orig[res.Perm[j]]))
-			}
-			localC := spmm.VNM(comp, localB)
-			if resid.NNZ() > 0 {
-				localC.Add(spmm.CSR(resid, localB))
-			}
-			// Reorder back before accumulation (the paper's phrase):
-			// scatter local row j to global row orig[res.Perm[j]].
-			// Partitions own disjoint global rows, so no locking.
-			for j := 0; j < len(part); j++ {
-				copy(c.Row(orig[res.Perm[j]]), localC.Row(j))
-			}
-		}(pi, part)
+	// Diagonal blocks: reorder + compress + SPTC kernel, fanned out on
+	// the execution pool (one simulated device each) — a bounded worker
+	// set rather than a goroutine per partition, shared with each
+	// partition's internal reordering phases.
+	pool := opt.ExecutionPool()
+	if opt.Pool == nil {
+		opt.Pool = pool
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, nil, err
-	default:
+	errs := make([]error, len(parts))
+	pool.Run(len(parts), func(pi int) {
+		part := parts[pi]
+		sub, orig := g.Subgraph(part)
+		res, err := core.Reorder(sub.ToBitMatrix(), p, opt)
+		if err != nil {
+			errs[pi] = err
+			return
+		}
+		results[pi] = res
+		a := csr.FromBitMatrix(res.Matrix)
+		comp, resid, err := venom.SplitToConform(a, p)
+		if err != nil {
+			errs[pi] = err
+			return
+		}
+		// Gather B rows in the partition's reordered order:
+		// local row j corresponds to original vertex
+		// orig[res.Perm[j]].
+		localB := dense.NewMatrix(len(part), b.Cols)
+		for j := 0; j < len(part); j++ {
+			copy(localB.Row(j), b.Row(orig[res.Perm[j]]))
+		}
+		localC := spmm.VNM(comp, localB)
+		if resid.NNZ() > 0 {
+			localC.Add(spmm.CSR(resid, localB))
+		}
+		// Reorder back before accumulation (the paper's phrase):
+		// scatter local row j to global row orig[res.Perm[j]].
+		// Partitions own disjoint global rows, so no locking.
+		for j := 0; j < len(part); j++ {
+			copy(c.Row(orig[res.Perm[j]]), localC.Row(j))
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Cross-partition contributions on the CSR path: C[u] += B[v] for

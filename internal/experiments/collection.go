@@ -91,7 +91,9 @@ func reorderCollection(col []datasets.CollectionEntry, p pattern.VNM, opt core.O
 // count and reordering time, aggregated per size class.
 func Table7(cfg Config) *Table {
 	col := datasets.SuiteSparseCollection(cfg.Collection)
-	outcomes := reorderCollection(col, pattern.NM(2, 4), core.Options{})
+	// The sweep is already graph-parallel; run each graph's reorder
+	// serially (Workers: 1) so the two levels don't oversubscribe.
+	outcomes := reorderCollection(col, pattern.NM(2, 4), core.Options{Workers: 1})
 	t := &Table{
 		ID:     "table7",
 		Title:  "1:2:4 reordering quality on the synthetic collection",
@@ -140,7 +142,7 @@ func Table8(cfg Config) *Table {
 	for _, m := range []int{8, 16} {
 		for _, v := range vvals {
 			p := pattern.New(v, 2, m)
-			outcomes := reorderCollection(col, p, core.Options{})
+			outcomes := reorderCollection(col, p, core.Options{Workers: 1})
 			byClass := map[datasets.SizeClass][2]int{} // conforming, total
 			for _, o := range outcomes {
 				c := byClass[o.entry.Class]

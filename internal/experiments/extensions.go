@@ -96,6 +96,7 @@ func LargeGraphExperiment(cfg Config) (*Table, error) {
 		res, err := core.ReorderLarge(c.g, core.LargeOptions{
 			MaxN:    2048,
 			Pattern: pattern.NM(2, 4),
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/bitmat"
+	"repro/internal/sched"
 )
 
 // DefaultK is the SPTC hardware limit on the number of nonzero columns
@@ -118,8 +119,17 @@ func (p VNM) VectorValid(segBits uint64) bool {
 // the horizontal N:M constraint — F_p(phi) in the paper. Rows are
 // scanned in parallel.
 func PScore(m *bitmat.Matrix, p VNM) int {
+	return PScoreOn(nil, m, p)
+}
+
+// PScoreOn computes PScore on an explicit execution pool — the handle
+// the reordering engine uses to keep every scoring pass inside one
+// bounded worker set. A nil pool selects the GOMAXPROCS-wide bitmat
+// helper. The count is an exact integer reduction over disjoint row
+// ranges, so every pool size returns the same value.
+func PScoreOn(pool *sched.Pool, m *bitmat.Matrix, p VNM) int {
 	segs := m.NumSegments(p.M)
-	return bitmat.ParallelReduceInt(m.N(), func(lo, hi int) int {
+	body := func(lo, hi int) int {
 		count := 0
 		for i := lo; i < hi; i++ {
 			for s := 0; s < segs; s++ {
@@ -129,7 +139,11 @@ func PScore(m *bitmat.Matrix, p VNM) int {
 			}
 		}
 		return count
-	})
+	}
+	if pool == nil {
+		return bitmat.ParallelReduceInt(m.N(), body)
+	}
+	return pool.ReduceInt(m.N(), body)
 }
 
 // SegmentPScores returns, for each of the ceil(n/M) segments (column
@@ -196,9 +210,15 @@ func MetaBlockVerticalValid(m *bitmat.Matrix, p VNM, rowStart, seg int) bool {
 // MBScore returns the number of meta-blocks violating the vertical
 // constraint — F_MB(phi) in the paper (Algorithm 2's GetMbScore).
 func MBScore(m *bitmat.Matrix, p VNM) int {
+	return MBScoreOn(nil, m, p)
+}
+
+// MBScoreOn computes MBScore on an explicit execution pool (nil falls
+// back to the bitmat helper); like PScoreOn it is pool-size-invariant.
+func MBScoreOn(pool *sched.Pool, m *bitmat.Matrix, p VNM) int {
 	segs := m.NumSegments(p.M)
 	blocksPerCol := (m.N() + p.V - 1) / p.V
-	return bitmat.ParallelReduceInt(blocksPerCol, func(lo, hi int) int {
+	body := func(lo, hi int) int {
 		count := 0
 		for b := lo; b < hi; b++ {
 			rowStart := b * p.V
@@ -209,7 +229,11 @@ func MBScore(m *bitmat.Matrix, p VNM) int {
 			}
 		}
 		return count
-	})
+	}
+	if pool == nil {
+		return bitmat.ParallelReduceInt(blocksPerCol, body)
+	}
+	return pool.ReduceInt(blocksPerCol, body)
 }
 
 // Violations aggregates both violation counts for a matrix under a

@@ -18,8 +18,10 @@ type LargeResult = core.LargeResult
 
 // ReorderLarge partitions the graph into BFS-contiguous pieces of at
 // most opt.MaxN vertices (mirroring the ~45K operand caps of
-// cusparseLt/Spatha the paper notes), reorders each independently, and
-// composes one global renumbering.
+// cusparseLt/Spatha the paper notes), reorders each independently —
+// fanned out across opt.Workers pool workers (0 = GOMAXPROCS, 1 =
+// serial) — and composes one global renumbering. Every worker count
+// returns the same permutation bit for bit (DESIGN.md §8).
 func ReorderLarge(g *Graph, opt LargeOptions) (*LargeResult, error) {
 	return core.ReorderLarge(g, opt)
 }

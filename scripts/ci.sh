@@ -39,13 +39,13 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 # CPUs force worker multiplexing and stealing interleavings a 1-CPU
 # (or many-CPU) run never exercises.
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
-    ./internal/check/ ./internal/gnn/
+    ./internal/check/ ./internal/gnn/ ./internal/core/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     for target in FuzzCompressDecompress FuzzReorderLossless \
                   FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
-                  FuzzMatrixMarketRoundTrip; do
+                  FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"

@@ -79,7 +79,9 @@ func VNM(v, n, m int) Pattern { return pattern.New(v, n, m) }
 
 // ReorderOptions configures the dual-level reordering algorithm; the
 // zero value selects the paper's defaults (max 10 iterations per
-// level).
+// level). Workers sizes the parallel engine the row-parallel phases
+// run on (0 = GOMAXPROCS, 1 = serial); every setting returns the same
+// permutation bit for bit (DESIGN.md §8).
 type ReorderOptions = core.Options
 
 // ReorderResult reports a completed reordering: the vertex renumbering
