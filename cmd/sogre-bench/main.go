@@ -24,6 +24,12 @@
 //
 // With a fixed -seed, everything in either JSON except the timing
 // fields is byte-identical across runs (tested in internal/bench).
+//
+// -metrics writes an observability snapshot (kernel dispatch counters,
+// tiling histograms, reorder spans) as JSON after the suite; with
+// -metrics-canonical the volatile wall-clock fields are zeroed for
+// byte-comparable output. -debug-addr serves /debug/metrics,
+// /debug/vars and /debug/pprof while the suite runs.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,16 +50,33 @@ func main() {
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
 	repeats := flag.Int("repeats", 0, "timing repetitions per measurement, best wins (0 = suite default)")
 	workers := flag.Int("workers", 0, "parallel pool size for the spmm suite (0 = GOMAXPROCS)")
+	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
+	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the suite runs")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", srv.Addr())
+	}
 
 	var data []byte
 	var summary string
 	var err error
 	switch *suiteName {
 	case "spmm":
-		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers)
+		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers, reg)
 	case "reorder":
-		data, summary, err = runReorder(*seed, *repeats)
+		data, summary, err = runReorder(*seed, *repeats, reg)
 	default:
 		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm or reorder)\n", *suiteName)
 		os.Exit(2)
@@ -60,6 +84,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := obs.WriteFile(reg, *metrics, *metricsCanonical); err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	path := *out
@@ -77,13 +107,14 @@ func main() {
 	fmt.Printf("wrote %s (%s)\n", path, summary)
 }
 
-func runSpMM(seed int64, widths string, repeats, workers int) ([]byte, string, error) {
+func runSpMM(seed int64, widths string, repeats, workers int, reg *obs.Registry) ([]byte, string, error) {
 	cfg := bench.DefaultConfig()
 	cfg.Seed = seed
 	if repeats > 0 {
 		cfg.Repeats = repeats
 	}
 	cfg.Workers = workers
+	cfg.Obs = reg
 	cfg.Widths = nil
 	for _, s := range strings.Split(widths, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -110,12 +141,13 @@ func runSpMM(seed int64, widths string, repeats, workers int) ([]byte, string, e
 	return data, fmt.Sprintf("%d results, seed %d, %d workers", len(suite.Results), suite.Seed, suite.Workers), nil
 }
 
-func runReorder(seed int64, repeats int) ([]byte, string, error) {
+func runReorder(seed int64, repeats int, reg *obs.Registry) ([]byte, string, error) {
 	cfg := bench.DefaultReorderConfig()
 	cfg.Seed = seed
 	if repeats > 0 {
 		cfg.Repeats = repeats
 	}
+	cfg.Obs = reg
 
 	suite, err := bench.RunReorder(cfg)
 	if err != nil {

@@ -12,6 +12,12 @@
 // 1 = serial); every setting produces the same permutation. -large
 // routes through the partitioned ReorderLarge path with -maxn capping
 // each partition.
+//
+// -metrics writes an observability snapshot (per-stage spans, swap and
+// partition counters) as JSON after the run; with -metrics-canonical
+// the volatile wall-clock fields are zeroed so two same-seed runs emit
+// byte-identical files. -debug-addr serves /debug/metrics, /debug/vars
+// and /debug/pprof while the command runs.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 )
 
@@ -35,7 +42,24 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel reordering workers (0 = GOMAXPROCS, 1 = serial)")
 	large := flag.Bool("large", false, "use the partitioned ReorderLarge path")
 	maxn := flag.Int("maxn", 0, "partition size cap for -large (0 = default 8192)")
+	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
+	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while reordering")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", srv.Addr())
+	}
 
 	g, err := loadGraph(*in, *gen, *n, *seed)
 	if err != nil {
@@ -44,7 +68,7 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d edges=%d\n", g.N(), g.NumUndirectedEdges())
 
-	ropt := core.Options{Workers: *workers}
+	ropt := core.Options{Workers: *workers, Obs: reg}
 	var perm []int
 	var res *core.Result
 	if *large {
@@ -58,6 +82,7 @@ func main() {
 			Reorder: ropt,
 			Pattern: p,
 			Workers: *workers,
+			Obs:     reg,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
@@ -116,6 +141,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote reordered graph to %s\n", *out)
+	}
+
+	if *metrics != "" {
+		if err := obs.WriteFile(reg, *metrics, *metricsCanonical); err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -6,6 +6,12 @@
 //
 //	sogre-spmm -in graph.mtx [-h 64,128,256,512]
 //	sogre-spmm -gen banded -n 2048
+//
+// -metrics writes an observability snapshot (dispatch counters, tiling
+// histograms, reorder spans) as JSON after the sweep; with
+// -metrics-canonical the volatile wall-clock fields are zeroed for
+// byte-comparable output. -debug-addr serves /debug/metrics,
+// /debug/vars and /debug/pprof while the sweep runs.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/dense"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
@@ -33,8 +40,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	hs := flag.String("h", "64,128,256,512", "comma-separated dense widths to sweep")
 	workers := flag.Int("workers", 0, "scheduler pool size for the parallel kernels (0 = GOMAXPROCS)")
+	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
+	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the sweep runs")
 	flag.Parse()
 	pool := sched.New(*workers)
+
+	var reg *obs.Registry
+	if *metrics != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		pool = pool.WithObs(reg)
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", srv.Addr())
+	}
 
 	g, err := loadGraph(*in, *gen, *n, *seed)
 	if err != nil {
@@ -54,7 +79,7 @@ func main() {
 	fmt.Printf("graph: n=%d edges=%d density=%.4f%%\n",
 		g.N(), g.NumUndirectedEdges(),
 		100*float64(g.NumEdges())/(float64(g.N())*float64(g.N())))
-	auto, err := core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{})
+	auto, err := core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{Reorder: core.Options{Obs: reg}})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
 		os.Exit(1)
@@ -93,6 +118,13 @@ func main() {
 		fmt.Printf("%-6d  %-14.0f  %-14.0f  %-10.2f  %-12v  %-12v\n",
 			h, baseCycles, revCycles, baseCycles/revCycles,
 			baseWall.Round(1000), revWall.Round(1000))
+	}
+
+	if *metrics != "" {
+		if err := obs.WriteFile(reg, *metrics, *metricsCanonical); err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/datasets"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/spmm"
@@ -49,6 +50,11 @@ type Config struct {
 	Repeats int // timing repetitions per kernel; best (minimum) wall time wins
 	Workers int // parallel pool size; 0 = GOMAXPROCS
 	Pattern pattern.VNM
+	// Obs, when set, instruments the benchmark pool: kernel dispatch
+	// counters and tiling histograms accumulate across the whole suite.
+	// Timed loops include the (negligible, nil-checked) recording cost
+	// uniformly, so speedup ratios remain comparable.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the checked-in trajectory workload: three
@@ -158,6 +164,9 @@ func Run(cfg Config) (*Suite, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	pool := sched.New(workers)
+	if cfg.Obs != nil {
+		pool = pool.WithObs(cfg.Obs)
+	}
 	cm := sptc.DefaultCostModel()
 	s := &Suite{
 		Schema:     Schema,

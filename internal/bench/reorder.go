@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sptc"
 	"repro/internal/venom"
@@ -31,6 +32,9 @@ type ReorderConfig struct {
 	Repeats int   // best-of wall-time repetitions
 	Pattern pattern.VNM
 	H       int // feature width for the amortization cycle model
+	// Obs, when set, instruments every reordering run in the suite
+	// (per-stage spans, partition counts) through the same registry.
+	Obs *obs.Registry
 }
 
 // DefaultReorderConfig returns the checked-in reorder-trajectory
@@ -155,7 +159,7 @@ func RunReorder(cfg ReorderConfig) (*ReorderSuite, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
 		}
-		opt := core.LargeOptions{MaxN: cfg.MaxN, Pattern: cfg.Pattern}
+		opt := core.LargeOptions{MaxN: cfg.MaxN, Pattern: cfg.Pattern, Obs: cfg.Obs}
 
 		// One reference run pins the permutation and the model-side
 		// numbers; the timed runs below must reproduce its digest.

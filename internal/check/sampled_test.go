@@ -1,0 +1,62 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/distributed"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+)
+
+func sampledCase() (*graph.Graph, *dense.Matrix, []int, []int, distributed.TrainSampledConfig) {
+	g, labels := graph.SBM([]int{80, 80, 80}, 0.15, 0.005, 21)
+	x := dense.NewMatrix(g.N(), 8)
+	x.Randomize(1, 5)
+	for i, l := range labels {
+		x.Set(i, l, x.At(i, l)+1.5)
+	}
+	var test []int
+	for i := 0; i < g.N(); i += 5 {
+		test = append(test, i)
+	}
+	cfg := distributed.TrainSampledConfig{
+		Sampler: distributed.SamplerConfig{Seeds: 25, Fanout: []int{5}, Seed: 9},
+		AutoOpt: core.AutoOptions{MaxM: 8, MaxV: 4},
+		Epochs:  4,
+		Batches: 2,
+		Seed:    2,
+	}
+	return g, x, labels, test, cfg
+}
+
+func TestSampledDeterminismBothEngines(t *testing.T) {
+	g, x, labels, test, cfg := sampledCase()
+	for _, engine := range []gnn.EngineKind{gnn.EngineCSR, gnn.EngineSPTC} {
+		c := cfg
+		c.Engine = engine
+		if err := SampledDeterminism(g, x, labels, 3, test, c, []int{2, 4}); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestSampledEngineAgreement(t *testing.T) {
+	g, x, labels, test, cfg := sampledCase()
+	if err := SampledEngineAgreement(g, x, labels, 3, test, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampledDeterminismReportsBadConfig(t *testing.T) {
+	g, x, _, _, cfg := sampledCase()
+	// Labels of the wrong length must surface the underlying error, not
+	// panic inside the ladder.
+	if err := SampledDeterminism(g, x, []int{0}, 3, nil, cfg, []int{2}); err == nil {
+		t.Error("want size-mismatch error from the serial run")
+	}
+	if err := SampledEngineAgreement(g, x, []int{0}, 3, nil, cfg); err == nil {
+		t.Error("want size-mismatch error from the csr run")
+	}
+}

@@ -50,6 +50,9 @@ func (o AutoOptions) withDefaults() AutoOptions {
 // still run pruned/hybrid execution on it.
 func AutoReorder(m *bitmat.Matrix, opt AutoOptions) (*AutoResult, error) {
 	opt = opt.withDefaults()
+	opt.Reorder.Obs.Counter("reorder/auto_runs").Inc()
+	sp := opt.Reorder.Obs.Span("reorder/auto")
+	defer sp.End()
 	auto := &AutoResult{}
 	// Phase 1: grow M while the graph still conforms after reordering.
 	var best *Result
@@ -88,5 +91,6 @@ func AutoReorder(m *bitmat.Matrix, opt AutoOptions) (*AutoResult, error) {
 		best = res
 	}
 	auto.Best = best
+	opt.Reorder.Obs.Counter("reorder/auto_formats_tried").Add(int64(len(auto.Tried)))
 	return auto, nil
 }

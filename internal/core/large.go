@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 )
@@ -38,6 +39,10 @@ type LargeOptions struct {
 	// overriding Workers — the handle concurrent ReorderLarge callers
 	// use so one process hosts a single bounded worker set.
 	Pool *sched.Pool
+	// Obs charges observability metrics for the whole partitioned run
+	// (partition counts, per-stage spans); it is handed down to every
+	// partition's Reorder unless Reorder.Obs is already set.
+	Obs *obs.Registry
 }
 
 // pool resolves the fan-out engine for a run.
@@ -96,13 +101,22 @@ func ReorderLarge(g *graph.Graph, opt LargeOptions) (*LargeResult, error) {
 		opt.MaxN = 8192
 	}
 	start := time.Now()
+	sp := opt.Obs.Span("reorder/large")
+	defer sp.End()
+	partSp := opt.Obs.Span("reorder/partition_bfs")
 	parts := BFSPartition(g, opt.MaxN)
+	partSp.End()
+	opt.Obs.Counter("reorder/large_runs").Inc()
+	opt.Obs.Counter("reorder/partitions").Add(int64(len(parts)))
 	pool := opt.pool()
 	ropt := opt.Reorder
 	if ropt.Pool == nil {
 		// Partition runs share the fan-out engine, so the whole
 		// preprocessing step is bounded by one worker set.
 		ropt.Pool = pool
+	}
+	if ropt.Obs == nil {
+		ropt.Obs = opt.Obs
 	}
 	type partOutcome struct {
 		res  *Result

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/bitmat"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 )
@@ -44,6 +45,12 @@ type Options struct {
 	// field so one bounded worker set drives the whole preprocessing
 	// step.
 	Pool *sched.Pool
+	// Obs, when set, charges observability metrics: per-stage span
+	// timers (reorder/stage1, reorder/stage2, reorder/score) and
+	// deterministic run/iteration/swap counters. Reorder may run
+	// concurrently (the ReorderLarge fan-out); counter totals still
+	// compose deterministically because integer adds commute.
+	Obs *obs.Registry
 }
 
 // ExecutionPool resolves the pool a reordering run executes on:
@@ -116,17 +123,27 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 	}
 	opt = opt.withDefaults()
 	pool := opt.ExecutionPool()
+	ob := opt.Obs // nil-safe: every method no-ops on a nil registry
+	if ob != nil && pool.Obs() == nil {
+		pool = pool.WithObs(ob)
+	}
+	ob.Counter("reorder/runs").Inc()
+	ob.Counter("reorder/vertices").Add(int64(m.N()))
+	total := ob.Span("reorder/total")
+	defer total.End()
 	start := time.Now()
 	cur := m.Clone()
 	perm := make([]int, m.N())
 	for i := range perm {
 		perm[i] = i
 	}
+	scoreSp := ob.Span("reorder/score")
 	res := &Result{
 		Pattern:        p,
 		InitialPScore:  pattern.PScoreOn(pool, cur, p),
 		InitialMBScore: pattern.MBScoreOn(pool, cur, p),
 	}
+	scoreSp.End()
 	prevP, prevMB := res.InitialPScore, res.InitialMBScore
 	s2opts := stage2Opts{
 		immediateSwaps:          opt.ImmediateSwaps,
@@ -153,16 +170,22 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 		}
 		res.OuterLoops++
 		if !opt.Stage2Only {
+			sp := ob.Span("reorder/stage1")
 			s1 := stage1On(pool, &cur, perm, p, opt.Stage1MaxIter, !opt.DisableNegation, opt.PlainBitSort)
+			sp.End()
 			res.Iterations += s1.Iterations
 		}
 		if !opt.Stage1Only {
+			sp := ob.Span("reorder/stage2")
 			s2 := Stage2(&cur, perm, p, opt.Stage2MaxIter, s2opts)
+			sp.End()
 			res.Iterations += s2.PrimaryTreatments
 			res.Swaps += s2.Swaps
 		}
+		sp := ob.Span("reorder/score")
 		nowP := pattern.PScoreOn(pool, cur, p)
 		nowMB := pattern.MBScoreOn(pool, cur, p)
+		sp.End()
 		if better(nowP, nowMB, bestP, bestMB) {
 			bestP, bestMB = nowP, nowMB
 			bestMat = cur.Clone()
@@ -178,5 +201,8 @@ func Reorder(m *bitmat.Matrix, p pattern.VNM, opt Options) (*Result, error) {
 	res.Perm = bestPerm
 	res.Matrix = bestMat
 	res.Elapsed = time.Since(start)
+	ob.Counter("reorder/outer_loops").Add(int64(res.OuterLoops))
+	ob.Counter("reorder/iterations").Add(int64(res.Iterations))
+	ob.Counter("reorder/swaps").Add(int64(res.Swaps))
 	return res, nil
 }

@@ -233,8 +233,14 @@ func SoftmaxRows(m *Matrix) {
 // the pre-softmax logits, already divided by len(idx). Rows outside idx
 // get zero gradient (masked loss, as in semi-supervised node
 // classification).
+// An empty idx yields zero loss and an all-zero gradient: dividing by
+// len(idx) == 0 would return a NaN loss and an Inf-scaled gradient that
+// silently corrupts the optimizer's moment estimates.
 func CrossEntropy(probs *Matrix, labels []int, idx []int) (float64, *Matrix) {
 	grad := NewMatrix(probs.Rows, probs.Cols)
+	if len(idx) == 0 {
+		return 0, grad
+	}
 	var loss float64
 	inv := float32(1.0 / float64(len(idx)))
 	for _, i := range idx {

@@ -1,0 +1,56 @@
+package dense
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: CrossEntropy over an empty index set used to compute
+// 1/len(idx) == +Inf and loss 0/0 == NaN — a NaN loss and an Inf-scaled
+// gradient that silently corrupt Adam's moment estimates. The masked
+// semantics of an empty set are "no supervised nodes": zero loss, zero
+// gradient.
+func TestCrossEntropyEmptyIdx(t *testing.T) {
+	probs := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		probs.Set(i, 0, 0.25)
+		probs.Set(i, 1, 0.75)
+	}
+	labels := []int{0, 1, 0}
+	for _, idx := range [][]int{nil, {}} {
+		loss, grad := CrossEntropy(probs, labels, idx)
+		if loss != 0 || math.IsNaN(loss) {
+			t.Errorf("CrossEntropy(empty idx) loss = %v, want 0", loss)
+		}
+		for k, v := range grad.Data {
+			if v != 0 || math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("CrossEntropy(empty idx) grad[%d] = %v, want 0", k, v)
+			}
+		}
+	}
+}
+
+// The empty-set guard must not change the populated path: an Adam step
+// fed the empty-set gradient must leave parameters untouched, where the
+// pre-fix NaN/Inf gradient poisoned them permanently.
+func TestCrossEntropyEmptyIdxKeepsAdamClean(t *testing.T) {
+	probs := NewMatrix(2, 2)
+	probs.Set(0, 0, 0.5)
+	probs.Set(0, 1, 0.5)
+	probs.Set(1, 0, 0.5)
+	probs.Set(1, 1, 0.5)
+	labels := []int{0, 1}
+	param := NewMatrix(2, 2)
+	param.Set(0, 0, 1)
+	opt := NewAdam(0.1)
+	_, grad := CrossEntropy(probs, labels, nil)
+	opt.Step([]*Matrix{param}, []*Matrix{grad})
+	for k, v := range param.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("param[%d] corrupted to %v after empty-batch step", k, v)
+		}
+	}
+	if param.At(0, 0) != 1 {
+		t.Errorf("param moved on zero gradient: %v", param.At(0, 0))
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"repro/internal/dense"
 	"repro/internal/gnn"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sptc"
 )
 
@@ -26,23 +28,42 @@ type TrainSampledConfig struct {
 	LR       float32          // default 0.05
 	Seed     int64
 	Features int // inferred from x if zero
+	// Pool is the execution engine every aggregation — sampled batches
+	// and the full-graph evaluation alike — runs on; nil means the
+	// default GOMAXPROCS-sized pool. The tiled kernels are
+	// bit-deterministic, so the worker count never changes results
+	// (DESIGN.md §7).
+	Pool *sched.Pool
+	// Obs, when set, charges the run's observability registry: the
+	// ledger mirror (gnn/agg_cycles, gnn/agg_calls) plus the kernel
+	// dispatch counters recorded by the sched/spmm layers.
+	Obs *obs.Registry
 }
 
 // TrainSampledResult reports a sampled training run.
 type TrainSampledResult struct {
 	TestAcc   float64
 	Losses    []float64
-	AggCycles float64 // total aggregation cycles across all samples
-	W         *dense.Matrix
-	B         *dense.Matrix
+	AggCycles float64 // total aggregation cycles, training and eval
+	// EvalAggCycles is the slice of AggCycles charged by the full-graph
+	// evaluation pass. The evaluation used to run through a private CSR
+	// loop that bypassed the engine factory, so these cycles were
+	// silently dropped from the ledger; routed through the factory they
+	// are accounted like every other aggregation.
+	EvalAggCycles float64
+	W             *dense.Matrix
+	B             *dense.Matrix
 }
 
 // TrainSampledSGC trains a single shared SGC classifier over
 // neighbor-sampled subgraphs of a large graph. With Engine ==
 // EngineSPTC, each sample is SOGRE-reordered before its aggregations
-// run on the compressed path; results are numerically identical to the
-// CSR engine given the same sampling seed (the losslessness claim,
-// extended to training).
+// run on the compressed path. For a fixed engine and sampling seed the
+// run is bit-identical at every worker count (the kernels are
+// bit-deterministic, DESIGN.md §7). Across engines the reordering
+// permutes float summation order, so CSR and SPTC runs agree to a
+// tight tolerance rather than bitwise — the losslessness claim is
+// about the values aggregated, not the order they are added in.
 func TrainSampledSGC(g *graph.Graph, x *dense.Matrix, labels []int, classes int, test []int, cfg TrainSampledConfig) (*TrainSampledResult, error) {
 	if x.Rows != g.N() || len(labels) != g.N() {
 		return nil, fmt.Errorf("distributed: features/labels size mismatch")
@@ -66,7 +87,7 @@ func TrainSampledSGC(g *graph.Graph, x *dense.Matrix, labels []int, classes int,
 	}
 	res.W.Randomize(0.2, cfg.Seed+1)
 	opt := dense.NewAdam(cfg.LR)
-	ledger := &gnn.Ledger{}
+	ledger := &gnn.Ledger{Obs: cfg.Obs}
 	sampleIdx := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var epochLoss float64
@@ -102,13 +123,22 @@ func TrainSampledSGC(g *graph.Graph, x *dense.Matrix, labels []int, classes int,
 		}
 		res.Losses = append(res.Losses, epochLoss/float64(cfg.Batches))
 	}
-	res.AggCycles = ledger.AggCycles
-	// Full-graph evaluation with the shared classifier.
-	full := csr.SymNormalized(g)
+	// Full-graph evaluation with the shared classifier, routed through
+	// the same engine factory as the training aggregations so the
+	// ledger (and the obs registry behind it) sees the eval hops too —
+	// a hand-rolled CSR loop here used to leave them unaccounted.
+	preEval := ledger.AggCycles
+	evalFactory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}
+	evalOp, err := evalFactory.Make(csr.SymNormalized(g))
+	if err != nil {
+		return nil, err
+	}
 	h := x
 	for i := 0; i < cfg.Hops; i++ {
-		h = mulCSR(full, h)
+		h = evalOp.Mul(h)
 	}
+	res.EvalAggCycles = ledger.AggCycles - preEval
+	res.AggCycles = ledger.AggCycles
 	logits := dense.MatMul(h, res.W)
 	logits.AddBias(res.B.Row(0))
 	res.TestAcc = dense.Accuracy(logits, labels, test)
@@ -138,7 +168,7 @@ func propagateSample(s Sample, g *graph.Graph, x *dense.Matrix, cfg TrainSampled
 		for j := 0; j < sub.N(); j++ {
 			copy(lx.Row(j), x.Row(orig[auto.Best.Perm[j]]))
 		}
-		factory := &gnn.Factory{Kind: gnn.EngineSPTC, Pattern: auto.Best.Pattern, Cost: sptc.DefaultCostModel(), Ledger: ledger}
+		factory := &gnn.Factory{Kind: gnn.EngineSPTC, Pattern: auto.Best.Pattern, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}
 		op, err := factory.Make(csr.SymNormalized(subR))
 		if err != nil {
 			return nil, err
@@ -158,7 +188,7 @@ func propagateSample(s Sample, g *graph.Graph, x *dense.Matrix, cfg TrainSampled
 	for j, o := range orig {
 		copy(lx.Row(j), x.Row(o))
 	}
-	factory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger}
+	factory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}
 	op, err := factory.Make(csr.SymNormalized(sub))
 	if err != nil {
 		return nil, err
@@ -170,18 +200,3 @@ func propagateSample(s Sample, g *graph.Graph, x *dense.Matrix, cfg TrainSampled
 	return h, nil
 }
 
-func mulCSR(a *csr.Matrix, x *dense.Matrix) *dense.Matrix {
-	out := dense.NewMatrix(a.N, x.Cols)
-	for i := 0; i < a.N; i++ {
-		cols, vals := a.Row(i)
-		r := out.Row(i)
-		for k, c := range cols {
-			v := vals[k]
-			br := x.Row(int(c))
-			for j, bv := range br {
-				r[j] += v * bv
-			}
-		}
-	}
-	return out
-}

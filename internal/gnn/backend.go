@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/csr"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/spmm"
@@ -23,12 +24,45 @@ import (
 // measured wall time and modeled GPU cycles, split between sparse
 // aggregation and dense (linear-layer) work. "LYR" speedups in the
 // paper compare AggCycles; "ALL" compares the totals.
+//
+// The flat fields remain the quick-access accounting every experiment
+// reads; setting Obs additionally mirrors every charge into the
+// hierarchical observability registry (gauges gnn/agg_cycles,
+// gnn/dense_cycles, counters gnn/agg_calls, volatile wall-clock
+// tallies), which subsumes the ledger in the internal/obs layer.
+// Charges happen on the training goroutine, so the mirrored gauge
+// accumulation order — and therefore the snapshot — is deterministic.
 type Ledger struct {
 	AggCycles   float64
 	AggWall     time.Duration
 	AggCalls    int
 	DenseCycles float64
 	DenseWall   time.Duration
+
+	Obs *obs.Registry
+}
+
+// chargeAgg books one sparse-aggregation execution.
+func (l *Ledger) chargeAgg(cycles float64, wall time.Duration) {
+	l.AggCycles += cycles
+	l.AggWall += wall
+	l.AggCalls++
+	if l.Obs != nil {
+		l.Obs.Gauge("gnn/agg_cycles").Add(cycles)
+		l.Obs.Counter("gnn/agg_calls").Inc()
+		l.Obs.Volatile("gnn/agg_wall_ns").Add(wall.Nanoseconds())
+	}
+}
+
+// chargeDense books one dense (linear-layer) execution.
+func (l *Ledger) chargeDense(cycles float64, wall time.Duration) {
+	l.DenseCycles += cycles
+	l.DenseWall += wall
+	if l.Obs != nil {
+		l.Obs.Gauge("gnn/dense_cycles").Add(cycles)
+		l.Obs.Counter("gnn/dense_calls").Inc()
+		l.Obs.Volatile("gnn/dense_wall_ns").Add(wall.Nanoseconds())
+	}
 }
 
 // Total returns modeled end-to-end cycles.
@@ -101,6 +135,11 @@ func (f *Factory) Make(w *csr.Matrix) (Operator, error) {
 	if pool == nil {
 		pool = sched.Default()
 	}
+	if f.Ledger != nil && f.Ledger.Obs != nil && pool.Obs() == nil {
+		// One wiring point instruments the whole stack: the pool carries
+		// the registry down into the sched/spmm layers.
+		pool = pool.WithObs(f.Ledger.Obs)
+	}
 	switch f.Kind {
 	case EngineSPTC:
 		return newSPTCOperator(w, f.Pattern, f.Cost, f.Ledger, pool)
@@ -125,9 +164,9 @@ func (o *csrOperator) MulT(x *dense.Matrix) *dense.Matrix { return o.run(o.wt, x
 func (o *csrOperator) run(w *csr.Matrix, x *dense.Matrix) *dense.Matrix {
 	start := time.Now()
 	out := spmm.CSRPool(o.pool, w, x)
-	o.ledger.AggWall += time.Since(start)
-	o.ledger.AggCycles += o.cost.CSRSpMMCycles(w.NNZ(), w.N, x.Cols)
-	o.ledger.AggCalls++
+	cycles := o.cost.CSRSpMMCycles(w.NNZ(), w.N, x.Cols)
+	o.ledger.chargeAgg(cycles, time.Since(start))
+	o.ledger.Obs.Gauge("sptc/cycles/csr").Add(cycles)
 	return out
 }
 
@@ -176,12 +215,22 @@ func (o *sptcOperator) MulT(x *dense.Matrix) *dense.Matrix {
 func (o *sptcOperator) run(comp *venom.Matrix, res *csr.Matrix, x *dense.Matrix) *dense.Matrix {
 	start := time.Now()
 	out := spmm.HybridPool(o.pool, comp, res, x)
-	o.ledger.AggWall += time.Since(start)
-	o.ledger.AggCycles += o.cost.VNMSpMMCycles(sptc.Stats(comp, o.cost), x.Cols)
+	detail := o.cost.VNMSpMMCyclesDetail(sptc.Stats(comp, o.cost), x.Cols)
+	cycles := detail.Total()
+	var residCycles float64
 	if res.NNZ() > 0 {
-		o.ledger.AggCycles += o.cost.CSRSpMMCycles(res.NNZ(), res.N, x.Cols)
+		residCycles = o.cost.CSRSpMMCycles(res.NNZ(), res.N, x.Cols)
+		cycles += residCycles
 	}
-	o.ledger.AggCalls++
+	o.ledger.chargeAgg(cycles, time.Since(start))
+	if r := o.ledger.Obs; r != nil {
+		// Modeled cycles per instruction class — pure functions of the
+		// operands, so deterministic snapshot fields.
+		r.Gauge("sptc/cycles/mma_compute").Add(detail.MMACompute)
+		r.Gauge("sptc/cycles/b_load").Add(detail.BLoad)
+		r.Gauge("sptc/cycles/frag_overhead").Add(detail.FragOverhead)
+		r.Gauge("sptc/cycles/csr_residual").Add(residCycles)
+	}
 	return out
 }
 
@@ -191,9 +240,8 @@ func (o *sptcOperator) run(comp *venom.Matrix, res *csr.Matrix, x *dense.Matrix)
 func timedMatMul(l *Ledger, a, b *dense.Matrix) *dense.Matrix {
 	start := time.Now()
 	out := dense.MatMul(a, b)
-	l.DenseWall += time.Since(start)
 	// Dense cost: one FMA per (i, k, j) triple on tensor cores.
 	cm := sptc.DefaultCostModel()
-	l.DenseCycles += float64(a.Rows) * float64(a.Cols) * float64(b.Cols) * cm.DenseTCElemCost
+	l.chargeDense(float64(a.Rows)*float64(a.Cols)*float64(b.Cols)*cm.DenseTCElemCost, time.Since(start))
 	return out
 }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the opt-in live-inspection endpoint for long runs,
+// started by the CLIs' -debug-addr flag:
+//
+//	/debug/metrics — the registry's current Snapshot as JSON
+//	/debug/vars    — expvar (memstats, cmdline)
+//	/debug/pprof/  — runtime profiles (CPU, heap, goroutine, trace)
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug listens on addr and serves the debug endpoints in a
+// background goroutine until Close. The registry may be nil (the
+// metrics endpoint then serves an empty snapshot); profiling still
+// works.
+func StartDebug(addr string, r *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,491 @@
+// Package obs is the execution observability layer: a hierarchical,
+// deterministic, low-overhead registry of counters, gauges, series,
+// histograms and span-style stage timers threaded through every
+// execution layer — the scheduler (tiles, steals, per-worker shares),
+// the SpMM/SPTC kernels (dispatch counts, modeled cycles per
+// instruction class), the reorder engine (per-stage timings, partitions
+// processed) and the GNN/distributed training loops (per-epoch
+// loss/accuracy/aggregation cycles).
+//
+// Determinism contract (DESIGN.md §9): metrics are segregated by class.
+//
+//   - Counters, gauges, series and histograms hold values that are pure
+//     functions of the workload (dispatch counts, modeled cycles,
+//     per-epoch losses): for a fixed seed and configuration they are
+//     byte-identical across runs — the same contract internal/bench
+//     keeps for its canonical suites.
+//   - Volatile counters hold scheduling-dependent counts (steals,
+//     per-worker execution shares) and span timers hold wall-clock
+//     durations; both vary run to run.
+//
+// Snapshot partitions the two; Snapshot.Canonical zeroes every
+// volatile/wall field (keeping the key structure and deterministic span
+// counts) so the deterministic projection is snapshot-testable byte for
+// byte. encoding/json sorts map keys, so two snapshots with equal
+// contents marshal to identical bytes.
+//
+// A nil *Registry is the disabled-instrumentation path: every Registry
+// method is a no-op on a nil receiver and returns nil-safe handles, so
+// instrumented code never guards call sites and pays only a pointer
+// test when observability is off.
+//
+// Ordering caveat: integer counter additions commute exactly, so
+// counters may be charged from concurrent workers (the reorder
+// partition fan-out does). Gauge and series mutations are
+// order-sensitive for floats and must happen on a single goroutine
+// (the training loops do) to stay deterministic.
+package obs
+
+import (
+	"encoding/json"
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schema identifies the snapshot JSON layout; bump on breaking changes.
+const Schema = "sogre-obs/v1"
+
+// histBuckets is the number of log2 buckets a histogram carries: bucket
+// k counts observations v with floor(log2(v)) == k (v <= 0 lands in
+// bucket 0), enough for any int64.
+const histBuckets = 64
+
+// Counter is a monotonically-growing integer metric. Additions are
+// atomic and commute exactly, so a counter charged from concurrent
+// workers still totals deterministically.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; no-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one; no-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding an accumulated or last-set value
+// (modeled cycles, final accuracies). To stay deterministic it must be
+// mutated from a single goroutine at a time per name: float addition
+// order matters.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add accumulates v into the gauge; no-op on a nil receiver.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Set overwrites the gauge (last write wins); no-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Series is an append-only float64 sequence (per-epoch losses,
+// validation accuracies). Appends must happen in a deterministic order
+// — one goroutine per name — for the series to be deterministic.
+type Series struct {
+	mu sync.Mutex
+	vs []float64
+}
+
+// Append adds v to the end of the series; no-op on a nil receiver.
+func (s *Series) Append(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.vs = append(s.vs, v)
+	s.mu.Unlock()
+}
+
+// Values returns a copy of the series (nil on a nil receiver).
+func (s *Series) Values() []float64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.vs...)
+}
+
+// Hist is a log2-bucketed histogram of integer observations (tile
+// costs, block sizes). Observations from concurrent workers total
+// deterministically — bucket counts are integer sums.
+type Hist struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value; no-op on a nil receiver.
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v)) - 1
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// spanStats aggregates the completed spans of one name. The invocation
+// count is deterministic (stage structure is a pure function of the
+// workload); the nanosecond fields are wall clock and volatile.
+type spanStats struct {
+	mu      sync.Mutex
+	count   int64
+	totalNs int64
+	minNs   int64
+	maxNs   int64
+	buckets [histBuckets]int64
+}
+
+// Span is one in-flight stage timing, started by Registry.Span and
+// closed by End. The zero Span (from a nil registry) is a no-op.
+type Span struct {
+	stats *spanStats
+	start time.Time
+}
+
+// End closes the span, folding its wall duration into the registry's
+// per-name aggregate; no-op on the zero Span. End may be called from
+// any goroutine.
+func (s Span) End() {
+	if s.stats == nil {
+		return
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	b := 0
+	if ns > 0 {
+		b = bits.Len64(uint64(ns)) - 1
+	}
+	st := s.stats
+	st.mu.Lock()
+	st.count++
+	st.totalNs += ns
+	if st.count == 1 || ns < st.minNs {
+		st.minNs = ns
+	}
+	if ns > st.maxNs {
+		st.maxNs = ns
+	}
+	st.buckets[b]++
+	st.mu.Unlock()
+}
+
+// Registry is the hierarchical metric namespace ("layer/metric" names
+// by convention: "sched/tiles", "reorder/stage1", "gnn/agg_cycles").
+// All methods are safe for concurrent use and no-ops on a nil receiver.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	volatile map[string]*Counter
+	gauges   map[string]*Gauge
+	series   map[string]*Series
+	hists    map[string]*Hist
+	spans    map[string]*spanStats
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		volatile: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		series:   make(map[string]*Series),
+		hists:    make(map[string]*Hist),
+		spans:    make(map[string]*spanStats),
+	}
+}
+
+// Counter returns the named deterministic counter, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Volatile returns the named scheduling-dependent counter (steal
+// counts, per-worker shares) — reported under the volatile section and
+// zeroed by Canonical. Returns nil on a nil registry.
+func (r *Registry) Volatile(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.volatile[name]
+	if !ok {
+		c = &Counter{}
+		r.volatile[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named deterministic float gauge. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Series returns the named deterministic series. Returns nil on a nil
+// registry.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Hist returns the named deterministic histogram. Returns nil on a nil
+// registry.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span starts a stage timer under the given name:
+//
+//	sp := reg.Span("reorder/stage1")
+//	... stage work ...
+//	sp.End()
+//
+// The per-name invocation count is deterministic; the durations are
+// wall clock (volatile). Returns the no-op zero Span on a nil registry.
+func (r *Registry) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	st, ok := r.spans[name]
+	if !ok {
+		st = &spanStats{}
+		r.spans[name] = st
+	}
+	r.mu.Unlock()
+	return Span{stats: st, start: time.Now()}
+}
+
+// HistSnapshot is one histogram's rendered state. Buckets is the log2
+// bucket array trimmed after the last nonzero bucket (deterministic for
+// deterministic observations).
+type HistSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// SpanSnapshot is one span aggregate. Count is deterministic; the
+// nanosecond fields and buckets are wall clock, zeroed by Canonical.
+type SpanSnapshot struct {
+	Count     int64   `json:"count"`
+	TotalNs   int64   `json:"total_ns"`
+	MinNs     int64   `json:"min_ns"`
+	MaxNs     int64   `json:"max_ns"`
+	BucketsNs []int64 `json:"buckets_ns,omitempty"`
+}
+
+// Snapshot is a point-in-time rendering of a registry, partitioned into
+// the deterministic sections (counters, gauges, series, hists, span
+// counts) and the volatile ones (volatile counters, span durations).
+type Snapshot struct {
+	Schema   string                  `json:"schema"`
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Series   map[string][]float64    `json:"series"`
+	Hists    map[string]HistSnapshot `json:"hists"`
+	Volatile map[string]int64        `json:"volatile"`
+	Spans    map[string]SpanSnapshot `json:"spans"`
+}
+
+func trimBuckets(b *[histBuckets]int64) []int64 {
+	last := -1
+	for i, v := range b {
+		if v != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return append([]int64(nil), b[:last+1]...)
+}
+
+// Snapshot renders the registry's current state. Safe to call
+// concurrently with instrumentation (the live /debug/metrics endpoint
+// does). A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Schema:   Schema,
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Series:   map[string][]float64{},
+		Hists:    map[string]HistSnapshot{},
+		Volatile: map[string]int64{},
+		Spans:    map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, c := range r.volatile {
+		s.Volatile[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, sr := range r.series {
+		s.Series[name] = sr.Values()
+	}
+	for name, h := range r.hists {
+		h.mu.Lock()
+		s.Hists[name] = HistSnapshot{Count: h.count, Sum: h.sum, Buckets: trimBuckets(&h.buckets)}
+		h.mu.Unlock()
+	}
+	for name, st := range r.spans {
+		st.mu.Lock()
+		s.Spans[name] = SpanSnapshot{
+			Count: st.count, TotalNs: st.totalNs,
+			MinNs: st.minNs, MaxNs: st.maxNs,
+			BucketsNs: trimBuckets(&st.buckets),
+		}
+		st.mu.Unlock()
+	}
+	return s
+}
+
+// Canonical returns a copy with every volatile/wall-clock value zeroed
+// — volatile counter values (keys kept, so the worker structure is
+// still checked) and span duration fields — leaving exactly the
+// byte-comparable deterministic projection.
+func (s *Snapshot) Canonical() *Snapshot {
+	c := &Snapshot{
+		Schema:   s.Schema,
+		Counters: s.Counters,
+		Gauges:   s.Gauges,
+		Series:   s.Series,
+		Hists:    s.Hists,
+		Volatile: make(map[string]int64, len(s.Volatile)),
+		Spans:    make(map[string]SpanSnapshot, len(s.Spans)),
+	}
+	for name := range s.Volatile {
+		c.Volatile[name] = 0
+	}
+	for name, sp := range s.Spans {
+		c.Spans[name] = SpanSnapshot{Count: sp.Count}
+	}
+	return c
+}
+
+// JSON renders the snapshot as indented JSON with a trailing newline.
+// Map keys are sorted by encoding/json, so equal snapshots marshal to
+// identical bytes (the canonical-JSON property the determinism gate in
+// scripts/ci.sh compares).
+func (s *Snapshot) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteFile renders r (canonicalized if canonical is set) to path, or
+// to stdout when path is "-". The helper behind the CLIs' -metrics
+// flag.
+func WriteFile(r *Registry, path string, canonical bool) error {
+	s := r.Snapshot()
+	if canonical {
+		s = s.Canonical()
+	}
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

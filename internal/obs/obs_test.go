@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// instrument drives one registry through a fixed workload, charging
+// counters from concurrent workers (integer adds commute) and gauges,
+// series and hists from the main goroutine.
+func instrument(r *Registry) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("sched/items").Inc()
+				r.Volatile("sched/steals").Add(int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Counter("reorder/partitions").Add(7)
+	r.Gauge("gnn/agg_cycles").Add(1234.5)
+	r.Gauge("gnn/agg_cycles").Add(0.5)
+	r.Gauge("train/test_acc").Set(0.8125)
+	for _, v := range []float64{1.5, 1.25, 1.125} {
+		r.Series("train/loss").Append(v)
+	}
+	for _, v := range []int64{3, 64, 65, 1000} {
+		r.Hist("sched/tile_cost").Observe(v)
+	}
+	sp := r.Span("reorder/stage1")
+	time.Sleep(time.Microsecond)
+	sp.End()
+	r.Span("reorder/stage1").End()
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	// None of these may panic, and handles must be usable.
+	r.Counter("a").Inc()
+	r.Volatile("b").Add(2)
+	r.Gauge("c").Add(1)
+	r.Gauge("c").Set(2)
+	r.Series("d").Append(3)
+	r.Hist("e").Observe(4)
+	r.Span("f").End()
+	if got := r.Counter("a").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	if got := r.Gauge("c").Value(); got != 0 {
+		t.Errorf("nil gauge value = %v", got)
+	}
+	if got := r.Series("d").Values(); got != nil {
+		t.Errorf("nil series values = %v", got)
+	}
+	s := r.Snapshot()
+	if s.Schema != Schema || len(s.Counters) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if _, err := s.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotValues(t *testing.T) {
+	r := NewRegistry()
+	instrument(r)
+	s := r.Snapshot()
+	if s.Counters["sched/items"] != 400 {
+		t.Errorf("sched/items = %d, want 400", s.Counters["sched/items"])
+	}
+	if s.Counters["reorder/partitions"] != 7 {
+		t.Errorf("reorder/partitions = %d", s.Counters["reorder/partitions"])
+	}
+	if s.Volatile["sched/steals"] != 600 {
+		t.Errorf("sched/steals = %d, want 600", s.Volatile["sched/steals"])
+	}
+	if s.Gauges["gnn/agg_cycles"] != 1235.0 {
+		t.Errorf("gnn/agg_cycles = %v", s.Gauges["gnn/agg_cycles"])
+	}
+	if s.Gauges["train/test_acc"] != 0.8125 {
+		t.Errorf("train/test_acc = %v", s.Gauges["train/test_acc"])
+	}
+	if got := s.Series["train/loss"]; len(got) != 3 || got[0] != 1.5 || got[2] != 1.125 {
+		t.Errorf("train/loss = %v", got)
+	}
+	h := s.Hists["sched/tile_cost"]
+	if h.Count != 4 || h.Sum != 3+64+65+1000 {
+		t.Errorf("hist = %+v", h)
+	}
+	// 3 -> bucket 1, 64/65 -> bucket 6, 1000 -> bucket 9.
+	if len(h.Buckets) != 10 || h.Buckets[1] != 1 || h.Buckets[6] != 2 || h.Buckets[9] != 1 {
+		t.Errorf("hist buckets = %v", h.Buckets)
+	}
+	sp := s.Spans["reorder/stage1"]
+	if sp.Count != 2 {
+		t.Errorf("span count = %d", sp.Count)
+	}
+	if sp.MinNs > sp.MaxNs || sp.TotalNs < sp.MaxNs {
+		t.Errorf("span ns fields inconsistent: %+v", sp)
+	}
+}
+
+func TestCanonicalDeterminism(t *testing.T) {
+	// Two identically-instrumented registries must render byte-identical
+	// canonical JSON, even though steal shares and span wall times
+	// differ run to run.
+	render := func() []byte {
+		r := NewRegistry()
+		instrument(r)
+		data, err := r.Snapshot().Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical snapshots differ:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestCanonicalZeroesVolatileKeepsStructure(t *testing.T) {
+	r := NewRegistry()
+	instrument(r)
+	c := r.Snapshot().Canonical()
+	if v, ok := c.Volatile["sched/steals"]; !ok || v != 0 {
+		t.Errorf("canonical volatile = %v (present %v), want key kept with 0", v, ok)
+	}
+	sp := c.Spans["reorder/stage1"]
+	if sp.Count != 2 || sp.TotalNs != 0 || sp.MinNs != 0 || sp.MaxNs != 0 || sp.BucketsNs != nil {
+		t.Errorf("canonical span = %+v", sp)
+	}
+	// Deterministic sections must be untouched.
+	if c.Counters["sched/items"] != 400 || len(c.Series["train/loss"]) != 3 {
+		t.Errorf("canonical lost deterministic fields: %+v", c)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	r := NewRegistry()
+	instrument(r)
+	path := filepath.Join(t.TempDir(), "obs.json")
+	if err := WriteFile(r, path, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("written snapshot is not valid JSON: %v", err)
+	}
+	if s.Schema != Schema {
+		t.Errorf("schema = %q", s.Schema)
+	}
+}
+
+func TestConcurrentSnapshotWhileInstrumenting(t *testing.T) {
+	// The live /debug/metrics endpoint snapshots mid-run; this must be
+	// race-free (validated under -race in CI).
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			instrument(r)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := r.Snapshot().JSON(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	instrument(r)
+	d, err := StartDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("/debug/metrics not valid JSON: %v", err)
+	}
+	if s.Counters["sched/items"] != 400 {
+		t.Errorf("served snapshot counters = %v", s.Counters)
+	}
+	respVars, err := http.Get("http://" + d.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respVars.Body.Close()
+	if respVars.StatusCode != http.StatusOK {
+		t.Errorf("/debug/vars status = %d", respVars.StatusCode)
+	}
+}

@@ -17,8 +17,11 @@ package sched
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Pool is a sizing policy for the work-stealing execution engine: a
@@ -29,6 +32,11 @@ import (
 type Pool struct {
 	workers int
 	target  int64 // per-tile cost target; 0 = auto
+	// obs, when set, charges execution metrics: deterministic run/item/
+	// tile counts, plus volatile steal counts and per-worker shares
+	// (obs package determinism contract). nil disables instrumentation
+	// at the cost of one pointer test per Run.
+	obs *obs.Registry
 }
 
 // New returns a pool with the given worker count; workers <= 0 sizes
@@ -60,6 +68,21 @@ func Serial() *Pool { return New(1) }
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// WithObs returns a pool identical to p that charges execution metrics
+// to r. Kernels built on the pool (internal/spmm) read the registry
+// back through Obs to record their dispatch counts, so wiring one pool
+// instruments the whole execution stack. A nil r returns an
+// uninstrumented pool.
+func (p *Pool) WithObs(r *obs.Registry) *Pool {
+	q := *p
+	q.obs = r
+	return &q
+}
+
+// Obs returns the registry this pool charges; nil when instrumentation
+// is disabled. Safe to call on the result of any constructor.
+func (p *Pool) Obs() *obs.Registry { return p.obs }
 
 // Options returns the tile options this pool applies to a job whose
 // total row cost is totalCost: the pool's explicit target if set,
@@ -127,6 +150,16 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	// Deterministic accounting: invocation and item counts are pure
+	// functions of the workload. The steal/share metrics below are
+	// scheduling-dependent and go to the volatile section.
+	var steals, stolenItems *obs.Counter
+	if p.obs != nil {
+		p.obs.Counter("sched/runs").Inc()
+		p.obs.Counter("sched/items").Add(int64(n))
+		steals = p.obs.Volatile("sched/steals")
+		stolenItems = p.obs.Volatile("sched/steal_items")
+	}
 	w := p.workers
 	if w > n {
 		w = n
@@ -155,9 +188,19 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			// executed tracks this worker's share of the index space —
+			// published as a volatile per-worker occupancy metric, since
+			// the split depends on steal timing.
+			executed := 0
+			defer func() {
+				if p.obs != nil {
+					p.obs.Volatile("sched/worker/"+strconv.Itoa(self)+"/executed").Add(int64(executed))
+				}
+			}()
 			for {
 				if i, ok := spans[self].pop(); ok {
 					fn(i)
+					executed++
 					continue
 				}
 				// Own span drained: scan for a victim. Spans never
@@ -166,8 +209,11 @@ func (p *Pool) Run(n int, fn func(i int)) {
 				for d := 1; d < w; d++ {
 					victim := (self + d) % w
 					if lo, hi, ok := spans[victim].stealHalf(); ok {
+						steals.Inc()
+						stolenItems.Add(int64(hi - lo))
 						for i := lo; i < hi; i++ {
 							fn(i)
+							executed++
 						}
 						stole = true
 						break

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestNewSizesByGOMAXPROCS(t *testing.T) {
@@ -211,4 +213,22 @@ func TestRunTiles(t *testing.T) {
 	if cells != 50*8 {
 		t.Fatalf("RunTiles covered %d cells, want %d", cells, 50*8)
 	}
+}
+
+// The disabled-instrumentation contract: a pool without a registry
+// must pay only nil checks. Compare BenchmarkRunNilObs and
+// BenchmarkRunWithObs medians — they differ by well under 5%.
+func benchmarkRun(b *testing.B, p *Pool) {
+	b.Helper()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(256, func(j int) { sink.Add(int64(j)) })
+	}
+}
+
+func BenchmarkRunNilObs(b *testing.B) { benchmarkRun(b, New(4)) }
+
+func BenchmarkRunWithObs(b *testing.B) {
+	benchmarkRun(b, New(4).WithObs(obs.NewRegistry()))
 }

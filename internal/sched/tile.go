@@ -111,5 +111,15 @@ func Tiles(rows, cols int, rowCost func(r int) int64, opt TileOptions) []Tile {
 // NNZ); it only influences the automatic tile-cost target.
 func (p *Pool) RunTiles(rows, cols int, totalCost int64, rowCost func(r int) int64, fn func(t Tile)) {
 	tiles := Tiles(rows, cols, rowCost, p.Options(totalCost))
+	if r := p.Obs(); r != nil {
+		// The tile partition is a pure function of (operand, pool
+		// sizing), so these are deterministic for a fixed worker count.
+		r.Counter("sched/tile_runs").Inc()
+		r.Counter("sched/tiles").Add(int64(len(tiles)))
+		h := r.Hist("sched/tile_cost")
+		for _, t := range tiles {
+			h.Observe(t.Cost)
+		}
+	}
 	p.Run(len(tiles), func(i int) { fn(tiles[i]) })
 }

@@ -54,6 +54,7 @@ func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 // rows by nonzero count (heavy rows split across B's columns, light
 // rows batched).
 func CSRPool(p *sched.Pool, a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	p.Obs().Counter("spmm/dispatch/csr").Inc()
 	c := dense.NewMatrix(a.N, b.Cols)
 	h := b.Cols
 	p.RunTiles(a.N, h, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
@@ -95,6 +96,7 @@ func VNM(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
 // VNMPool computes the V:N:M kernel on an explicit scheduler pool,
 // tiling block rows by their stored-slot count.
 func VNMPool(p *sched.Pool, m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
+	p.Obs().Counter("spmm/dispatch/vnm").Inc()
 	c := dense.NewMatrix(m.N, b.Cols)
 	blockRows := len(m.BlockRowPtr) - 1
 	vpb := int64(m.ValuesPerBlock())
@@ -162,6 +164,7 @@ func Hybrid(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matri
 // summands are bit-deterministic and the final element-wise Add runs
 // in index order, so the hybrid matches HybridSerial exactly.
 func HybridPool(p *sched.Pool, comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
+	p.Obs().Counter("spmm/dispatch/hybrid").Inc()
 	c := VNMPool(p, comp, b)
 	if resid != nil && resid.NNZ() > 0 {
 		c.Add(CSRPool(p, resid, b))

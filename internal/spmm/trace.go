@@ -50,6 +50,7 @@ func TraceVNM(m *venom.Matrix) Trace {
 
 // TraceVNMPool traces the compressed kernel on an explicit pool.
 func TraceVNMPool(p *sched.Pool, m *venom.Matrix) Trace {
+	p.Obs().Counter("spmm/dispatch/trace_vnm").Inc()
 	blockRows := len(m.BlockRowPtr) - 1
 	chunks := sched.Chunks(blockRows, p.Workers()*4)
 	partials := make([]Trace, len(chunks))

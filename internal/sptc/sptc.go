@@ -154,19 +154,40 @@ type VNMStats struct {
 	V, N, K   int
 }
 
-// VNMSpMMCycles estimates sparse-tensor-core SpMM cycles for a V:N:M
-// compressed matrix (described by its instruction statistics) against
-// a dense matrix with h columns.
-//
-// Each instruction group charges, per output column: the full
-// MmaM x MmaK/2 stored-slot compute of the mma.sp pipeline (padding
-// slots execute regardless — the source of the ultra-sparse penalty),
-// plus the fixed decode/synchronization overhead; staging the selected
-// B rows is charged once per used column.
-func (c CostModel) VNMSpMMCycles(s VNMStats, h int) float64 {
+// VNMCycles itemizes the modeled SPTC cost of one kernel execution by
+// instruction class — the per-stage breakdown the observability layer
+// (internal/obs) exports and the Spatha/Magicube-style evaluations
+// hinge on.
+type VNMCycles struct {
+	// MMACompute is the mma.sp pipeline charge: the full stored-slot
+	// compute of every instruction group (padding slots execute
+	// regardless — the source of the ultra-sparse penalty).
+	MMACompute float64
+	// BLoad is the fragment-staging charge for the selected B rows,
+	// paid once per used column.
+	BLoad float64
+	// FragOverhead is the fixed per-instruction-group decode and
+	// synchronization charge.
+	FragOverhead float64
+}
+
+// Total returns the summed modeled cycles.
+func (v VNMCycles) Total() float64 { return v.MMACompute + v.BLoad + v.FragOverhead }
+
+// VNMSpMMCyclesDetail estimates sparse-tensor-core SpMM cycles for a
+// V:N:M compressed matrix (described by its instruction statistics)
+// against a dense matrix with h columns, itemized by instruction class.
+func (c CostModel) VNMSpMMCyclesDetail(s VNMStats, h int) VNMCycles {
 	perInstrPerCol := float64(MmaM) * float64(MmaK/2) / float64(MmaN) * c.SlotCost
-	compute := float64(s.Fragments) * perInstrPerCol * float64(h)
-	bload := float64(s.UsedCols) * float64(h) * c.BLoadCost
-	overhead := float64(s.Fragments) * c.FragOverhead
-	return compute + bload + overhead
+	return VNMCycles{
+		MMACompute:   float64(s.Fragments) * perInstrPerCol * float64(h),
+		BLoad:        float64(s.UsedCols) * float64(h) * c.BLoadCost,
+		FragOverhead: float64(s.Fragments) * c.FragOverhead,
+	}
+}
+
+// VNMSpMMCycles estimates total sparse-tensor-core SpMM cycles; see
+// VNMSpMMCyclesDetail for the per-instruction-class itemization.
+func (c CostModel) VNMSpMMCycles(s VNMStats, h int) float64 {
+	return c.VNMSpMMCyclesDetail(s, h).Total()
 }

@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -39,7 +39,8 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 # CPUs force worker multiplexing and stealing interleavings a 1-CPU
 # (or many-CPU) run never exercises.
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
-    ./internal/check/ ./internal/gnn/ ./internal/core/
+    ./internal/check/ ./internal/gnn/ ./internal/core/ \
+    ./internal/distributed/ ./internal/obs/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
@@ -51,6 +52,23 @@ if [ "$FUZZTIME" != "0" ]; then
             -fuzztime "$FUZZTIME"
     done
 fi
+
+echo "== obs snapshot determinism (two runs, byte-identical canonical JSON) =="
+# The observability contract (DESIGN.md §9): with -metrics-canonical,
+# every field left in the snapshot is a pure function of the workload,
+# so two identical invocations must emit byte-identical files.
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+go run ./cmd/sogre-reorder -gen er -n 512 -seed 7 -large -maxn 128 \
+    -workers 4 -metrics "$obs_tmp/a.json" -metrics-canonical > /dev/null
+go run ./cmd/sogre-reorder -gen er -n 512 -seed 7 -large -maxn 128 \
+    -workers 4 -metrics "$obs_tmp/b.json" -metrics-canonical > /dev/null
+if ! cmp -s "$obs_tmp/a.json" "$obs_tmp/b.json"; then
+    echo "FAIL: canonical obs snapshots differ between identical runs:" >&2
+    diff "$obs_tmp/a.json" "$obs_tmp/b.json" >&2 || true
+    exit 1
+fi
+echo "canonical obs snapshots identical"
 
 echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
 cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
