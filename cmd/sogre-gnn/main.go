@@ -5,6 +5,15 @@
 // Usage:
 //
 //	sogre-gnn -dataset Cora -model GCN [-flavor PYG] [-hidden 64] [-train]
+//	sogre-gnn -sampled [-engine sptc] [-faults 'seed=1; crash@sample:2'] [-metrics -]
+//
+// -sampled switches to the Section-5.2 sampled (mini-batch) SGC
+// pipeline on the same dataset analog; -faults arms the deterministic
+// fault injector over it (sites sample, sample/xfer, venom/meta, eval,
+// tile — see internal/resil), and -metrics writes the observability
+// snapshot, which with -metrics-canonical is byte-identical across
+// same-plan runs — the CI fault smoke gate replays a faulted run twice
+// and compares the files.
 package main
 
 import (
@@ -14,8 +23,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/distributed"
 	"repro/internal/framework"
 	"repro/internal/gnn"
+	"repro/internal/obs"
+	"repro/internal/resil"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -26,7 +39,23 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset scale relative to paper size")
 	train := flag.Bool("train", false, "also train and report accuracy (reorder vs prune)")
 	seed := flag.Int64("seed", 7, "seed")
+	sampled := flag.Bool("sampled", false, "run the sampled (mini-batch) SGC training pipeline instead of a Tables 3-5 cell")
+	engine := flag.String("engine", "sptc", "sampled mode: aggregation engine, csr or sptc")
+	epochs := flag.Int("epochs", 4, "sampled mode: training epochs")
+	batches := flag.Int("batches", 2, "sampled mode: samples per epoch")
+	workers := flag.Int("workers", 0, "sampled mode: scheduler pool size (0 = GOMAXPROCS)")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. 'seed=1; crash@sample:2; corrupt@sample/xfer:1' (see internal/resil)")
+	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
+	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	flag.Parse()
+
+	if *sampled {
+		if err := runSampled(*name, *scale, *seed, *engine, *epochs, *batches, *workers, *faults, *metrics, *metricsCanonical); err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-gnn: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	kind := gnn.ModelKind(*model)
 	found := false
@@ -88,4 +117,80 @@ func main() {
 		fmt.Printf("accuracy: baseline %.4f | reordered %.4f (lossless) | pruned %.4f (drop %.2f%%)\n",
 			res.BaseAcc, res.ReorderAcc, res.PruneAcc, (res.ReorderAcc-res.PruneAcc)*100)
 	}
+}
+
+// runSampled drives the sampled-SGC training pipeline, optionally under
+// an armed fault plan, and reports the loss curve, accuracy and the
+// recovery counters.
+func runSampled(name string, scale float64, seed int64, engine string, epochs, batches, workers int, faults, metrics string, canonical bool) error {
+	var kind gnn.EngineKind
+	switch engine {
+	case "csr":
+		kind = gnn.EngineCSR
+	case "sptc":
+		kind = gnn.EngineSPTC
+	default:
+		return fmt.Errorf("unknown engine %q (want csr or sptc)", engine)
+	}
+	ds, err := datasets.ByName(name, datasets.GenOptions{Scale: scale, Seed: seed, MaxClasses: 10})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: n=%d edges=%d features=%d classes=%d\n",
+		ds.Name, ds.G.N(), ds.G.NumUndirectedEdges(), ds.X.Cols, ds.Classes)
+
+	reg := obs.NewRegistry()
+	cfg := distributed.TrainSampledConfig{
+		Sampler: distributed.SamplerConfig{Seeds: 25, Fanout: []int{5}, Seed: seed},
+		Engine:  kind,
+		AutoOpt: core.AutoOptions{MaxM: 8, MaxV: 4},
+		Epochs:  epochs,
+		Batches: batches,
+		Seed:    seed,
+		Pool:    sched.New(workers),
+		Obs:     reg,
+	}
+	if faults != "" {
+		plan, err := resil.ParsePlan(faults)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = distributed.FaultConfig{
+			Inj:   resil.NewInjector(plan, reg),
+			Retry: resil.RetryPolicy{Backoff: -1},
+		}
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	test := ds.Split.Test
+	if len(test) == 0 {
+		for i := 0; i < ds.G.N(); i += 5 {
+			test = append(test, i)
+		}
+	}
+	res, err := distributed.TrainSampledSGC(ds.G, ds.X, ds.Labels, ds.Classes, test, cfg)
+	if err != nil {
+		return err
+	}
+	for i, l := range res.Losses {
+		fmt.Printf("epoch %2d  loss %.6f\n", i, l)
+	}
+	fmt.Printf("test accuracy: %.4f (engine %s, %d workers)\n", res.TestAcc, engine, cfg.Pool.Workers())
+	if faults != "" {
+		snap := reg.Snapshot()
+		for _, k := range []string{"crash", "straggler", "corrupt", "transient"} {
+			if v := snap.Counters["resil/injected/"+k]; v > 0 {
+				fmt.Printf("injected %s: %d\n", k, v)
+			}
+		}
+		if v := snap.Counters["resil/fallback/sptc_to_csr"]; v > 0 {
+			fmt.Printf("sptc->csr fallbacks: %d\n", v)
+		}
+		if v := snap.Counters["resil/fallback/serial"]; v > 0 {
+			fmt.Printf("serial fallbacks: %d\n", v)
+		}
+	}
+	if metrics != "" {
+		return obs.WriteFile(reg, metrics, canonical)
+	}
+	return nil
 }

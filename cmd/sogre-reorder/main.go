@@ -17,7 +17,10 @@
 // partition counters) as JSON after the run; with -metrics-canonical
 // the volatile wall-clock fields are zeroed so two same-seed runs emit
 // byte-identical files. -debug-addr serves /debug/metrics, /debug/vars
-// and /debug/pprof while the command runs.
+// and /debug/pprof while the command runs. -faults arms the
+// deterministic fault injector (internal/resil) over the row-parallel
+// phases; contained faults are retried and the recomputed permutation
+// is bit-identical.
 package main
 
 import (
@@ -29,6 +32,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/resil"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -45,11 +50,36 @@ func main() {
 	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while reordering")
+	faults := flag.String("faults", "", "fault-injection plan for the row-parallel phases, e.g. 'seed=1; crash@tile:3' (see internal/resil); injected faults are retried")
 	flag.Parse()
 
 	var reg *obs.Registry
 	if *metrics != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	var inj *resil.Injector
+	if *faults != "" {
+		plan, err := resil.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(2)
+		}
+		robs := reg
+		if robs == nil {
+			robs = obs.NewRegistry()
+		}
+		inj = resil.NewInjector(plan, robs)
+	}
+	// protect contains a contained tile panic (injected crash or genuine
+	// bug) and retries the whole reordering attempt: the engine is a pure
+	// function of its input, so a recomputed run is bit-identical.
+	protect := func(f func() error) error {
+		if inj == nil {
+			return f()
+		}
+		return resil.Retry(resil.RetryPolicy{Backoff: -1}, inj.Obs(), "reorder", func(int) error {
+			return resil.Protect(f)
+		})
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebug(*debugAddr, reg)
@@ -69,6 +99,9 @@ func main() {
 	fmt.Printf("graph: n=%d edges=%d\n", g.N(), g.NumUndirectedEdges())
 
 	ropt := core.Options{Workers: *workers, Obs: reg}
+	if inj != nil {
+		ropt.Pool = sched.New(*workers).WithInjector(inj)
+	}
 	var perm []int
 	var res *core.Result
 	if *large {
@@ -77,12 +110,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 			os.Exit(2)
 		}
-		lres, err := core.ReorderLarge(g, core.LargeOptions{
+		lopt := core.LargeOptions{
 			MaxN:    *maxn,
 			Reorder: ropt,
 			Pattern: p,
 			Workers: *workers,
 			Obs:     reg,
+		}
+		if inj != nil {
+			lopt.Pool = ropt.Pool
+		}
+		var lres *core.LargeResult
+		err = protect(func() error {
+			var e error
+			lres, e = core.ReorderLarge(g, lopt)
+			return e
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
@@ -96,7 +138,12 @@ func main() {
 		fmt.Printf("elapsed:          %v\n", lres.Elapsed)
 	} else {
 		if *auto {
-			autoRes, err := core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{Reorder: ropt})
+			var autoRes *core.AutoResult
+			err = protect(func() error {
+				var e error
+				autoRes, e = core.AutoReorder(g.ToBitMatrix(), core.AutoOptions{Reorder: ropt})
+				return e
+			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 				os.Exit(1)
@@ -109,7 +156,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 				os.Exit(2)
 			}
-			res, err = core.Reorder(g.ToBitMatrix(), p, ropt)
+			err = protect(func() error {
+				var e error
+				res, e = core.Reorder(g.ToBitMatrix(), p, ropt)
+				return e
+			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 				os.Exit(1)
@@ -141,6 +192,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote reordered graph to %s\n", *out)
+	}
+
+	if inj != nil {
+		snap := inj.Obs().Snapshot()
+		for _, k := range []string{"crash", "straggler", "corrupt", "transient"} {
+			if v := snap.Counters["resil/injected/"+k]; v > 0 {
+				fmt.Printf("injected %s: %d (recovered)\n", k, v)
+			}
+		}
 	}
 
 	if *metrics != "" {

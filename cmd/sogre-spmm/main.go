@@ -27,6 +27,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/resil"
 	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
@@ -43,6 +44,7 @@ func main() {
 	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the sweep runs")
+	faults := flag.String("faults", "", "fault-injection plan for the tiled kernels, e.g. 'seed=1; crash@tile:3' (see internal/resil); injected tile faults are retried")
 	flag.Parse()
 	pool := sched.New(*workers)
 
@@ -50,6 +52,36 @@ func main() {
 	if *metrics != "" || *debugAddr != "" {
 		reg = obs.NewRegistry()
 		pool = pool.WithObs(reg)
+	}
+	var inj *resil.Injector
+	if *faults != "" {
+		plan, err := resil.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
+			os.Exit(2)
+		}
+		robs := reg
+		if robs == nil {
+			robs = obs.NewRegistry()
+		}
+		inj = resil.NewInjector(plan, robs)
+		pool = pool.WithInjector(inj)
+	}
+	// runKernel contains a tile panic (an injected crash or a genuine
+	// kernel bug) as an error and retries: the tiled kernels are pure, so
+	// a recomputed sweep entry is bit-identical.
+	runKernel := func(f func()) {
+		if inj == nil {
+			f()
+			return
+		}
+		err := resil.Retry(resil.RetryPolicy{Backoff: -1}, inj.Obs(), "spmm", func(int) error {
+			return resil.Protect(func() error { f(); return nil })
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-spmm: kernel failed after retries: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *debugAddr != "" {
 		srv, err := obs.StartDebug(*debugAddr, reg)
@@ -105,11 +137,11 @@ func main() {
 		b := dense.NewMatrix(g.N(), h)
 		b.Randomize(1, *seed+int64(h))
 		baseStart := time.Now()
-		spmm.CSRPool(pool, a, b)
+		runKernel(func() { spmm.CSRPool(pool, a, b) })
 		baseWall := time.Since(baseStart)
 		baseCycles := cm.CSRSpMMCycles(a.NNZ(), a.N, h)
 		revStart := time.Now()
-		spmm.HybridPool(pool, comp, resid, b)
+		runKernel(func() { spmm.HybridPool(pool, comp, resid, b) })
 		revWall := time.Since(revStart)
 		revCycles := cm.VNMSpMMCycles(sptc.Stats(comp, cm), h)
 		if resid.NNZ() > 0 {
@@ -118,6 +150,15 @@ func main() {
 		fmt.Printf("%-6d  %-14.0f  %-14.0f  %-10.2f  %-12v  %-12v\n",
 			h, baseCycles, revCycles, baseCycles/revCycles,
 			baseWall.Round(1000), revWall.Round(1000))
+	}
+
+	if inj != nil {
+		snap := inj.Obs().Snapshot()
+		for _, k := range []string{"crash", "straggler", "corrupt", "transient"} {
+			if v := snap.Counters["resil/injected/"+k]; v > 0 {
+				fmt.Printf("injected %s: %d (recovered)\n", k, v)
+			}
+		}
 	}
 
 	if *metrics != "" {

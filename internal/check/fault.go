@@ -1,0 +1,79 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/distributed"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/resil"
+	"repro/internal/sched"
+)
+
+// FaultEquivalence is the recovery-layer oracle (DESIGN.md §10): it
+// runs TrainSampledSGC once fault-free on the serial pool as the
+// reference, then once per worker count with the fault plan armed on a
+// fresh injector, and asserts the faulted runs' losses, classifier and
+// test accuracy are bit-identical to the fault-free run. That is the
+// layer's core promise — recovery recomputes pure functions whose
+// parallel execution is already bit-deterministic, so surviving a fault
+// leaves no trace in the results.
+//
+// The promise only holds for plans whose faults are fully recoverable
+// in place: crash/transient/corrupt events that retry within the
+// policy's budget, and stragglers without speculation. Plans that
+// exhaust retries or hit "venom/meta" push the run down the degradation
+// ladder, which changes float32 summation order — hold those to
+// SampledTolerance instead.
+//
+// The plan is re-parsed from its textual form for every run so each
+// injector starts with virgin hit counters; retry should normally
+// disable backoff sleeping (Backoff: -1) to keep the oracle fast.
+func FaultEquivalence(g *graph.Graph, x *dense.Matrix, labels []int, classes int, test []int, cfg distributed.TrainSampledConfig, plan string, retry resil.RetryPolicy, workers []int) error {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	base := cfg
+	base.Pool = sched.Serial()
+	base.Obs = nil
+	base.Faults = distributed.FaultConfig{}
+	ref, err := distributed.TrainSampledSGC(g, x, labels, classes, test, base)
+	if err != nil {
+		return fmt.Errorf("check: fault-free reference run: %w", err)
+	}
+	for _, w := range workers {
+		p, err := resil.ParsePlan(plan)
+		if err != nil {
+			return fmt.Errorf("check: fault plan %q: %w", plan, err)
+		}
+		c := cfg
+		c.Pool = sched.New(w)
+		c.Obs = nil
+		c.Faults = distributed.FaultConfig{Inj: resil.NewInjector(p, obs.NewRegistry()), Retry: retry}
+		got, err := distributed.TrainSampledSGC(g, x, labels, classes, test, c)
+		if err != nil {
+			return fmt.Errorf("check: faulted run workers=%d plan=%q: %w", w, plan, err)
+		}
+		if len(got.Losses) != len(ref.Losses) {
+			return fmt.Errorf("check: faulted run workers=%d produced %d epochs, fault-free %d", w, len(got.Losses), len(ref.Losses))
+		}
+		for i := range ref.Losses {
+			if math.Float64bits(got.Losses[i]) != math.Float64bits(ref.Losses[i]) {
+				return fmt.Errorf("check: faulted run workers=%d epoch %d loss %x != fault-free %x (recovery left a trace)",
+					w, i, math.Float64bits(got.Losses[i]), math.Float64bits(ref.Losses[i]))
+			}
+		}
+		if err := BitwiseEqual("fault-equivalence-W", w, 0, got.W, ref.W); err != nil {
+			return err
+		}
+		if err := BitwiseEqual("fault-equivalence-B", w, 0, got.B, ref.B); err != nil {
+			return err
+		}
+		if got.TestAcc != ref.TestAcc {
+			return fmt.Errorf("check: faulted run workers=%d TestAcc %v != fault-free %v", w, got.TestAcc, ref.TestAcc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/resil"
+)
+
+// TestFaultEquivalence drives the recovery oracle with a plan that
+// injects every recoverable fault kind across the sample pipeline and
+// asserts bit-identity against the fault-free run at several worker
+// counts, on both engines.
+func TestFaultEquivalence(t *testing.T) {
+	g, x, labels, test, cfg := sampledCase()
+	plan := "seed=13; crash@sample:2; transient@sample:5; corrupt@sample/xfer:3; crash@eval:1"
+	retry := resil.RetryPolicy{Backoff: -1}
+	for _, engine := range []gnn.EngineKind{gnn.EngineCSR, gnn.EngineSPTC} {
+		c := cfg
+		c.Engine = engine
+		if err := FaultEquivalence(g, x, labels, 3, test, c, plan, retry, []int{1, 2, 4}); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+// TestFaultEquivalenceDetectsDegrade confirms the oracle is not
+// vacuous: a plan that forces the SPTC→CSR degradation rung changes
+// summation order, so the bit-identity assertion must fire.
+func TestFaultEquivalenceDetectsDegrade(t *testing.T) {
+	g, x, labels, test, cfg := sampledCase()
+	cfg.Engine = gnn.EngineSPTC
+	plan := "transient@venom/meta:1"
+	err := FaultEquivalence(g, x, labels, 3, test, cfg, plan, resil.RetryPolicy{Backoff: -1}, []int{2})
+	if err == nil {
+		t.Fatal("degraded run passed bit-identity; oracle is vacuous")
+	}
+	if !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("unexpected error flavor: %v", err)
+	}
+}
+
+func TestFaultEquivalenceRejectsBadPlan(t *testing.T) {
+	g, x, labels, test, cfg := sampledCase()
+	if err := FaultEquivalence(g, x, labels, 3, test, cfg, "crash@", resil.RetryPolicy{Backoff: -1}, []int{1}); err == nil {
+		t.Fatal("want parse error for malformed plan")
+	}
+}

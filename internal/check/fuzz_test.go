@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pattern"
+	"repro/internal/resil"
 	"repro/internal/venom"
 )
 
@@ -190,4 +191,43 @@ func graphsEqual(a, b *graph.Graph) error {
 		}
 	}
 	return nil
+}
+
+// FuzzFaultPlanParse asserts the fault-plan grammar never panics and
+// that its canonical rendering is a fixed point: any accepted plan
+// re-parses from Plan.String() to a plan with the identical canonical
+// form (the property the CI smoke gate relies on when it replays a
+// plan across processes).
+func FuzzFaultPlanParse(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add("seed=7; crash@tile:3")
+	f.Add("straggler@sample:2:5ms; corrupt@partition/xfer:1")
+	f.Add("transient@venom/meta:1, crash@eval:2")
+	f.Add("crash@a:1;crash@a:1")     // duplicate event -> error
+	f.Add("delay@x:1")               // unknown kind -> error
+	f.Add("crash@bad site:1")        // bad site charset -> error
+	f.Add("crash@s:1:5ms")           // delay on non-straggler -> error
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := resil.ParsePlan(s)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := resil.ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted plan %q rejected: %v", canon, s, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+		if (p == nil) != (p2 == nil) {
+			t.Fatalf("nil-ness changed across round trip for %q", s)
+		}
+		if p != nil {
+			if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) {
+				t.Fatalf("round trip changed plan: %+v -> %+v", p, p2)
+			}
+		}
+	})
 }

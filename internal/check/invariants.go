@@ -105,7 +105,11 @@ func CompressRoundTrip(a *csr.Matrix, p pattern.VNM) error {
 	if err := comp.ValidateMeta(); err != nil {
 		return err
 	}
-	return CSREqual(dropExplicitZeros(a), comp.Decompress())
+	back, err := comp.Decompress()
+	if err != nil {
+		return err
+	}
+	return CSREqual(dropExplicitZeros(a), back)
 }
 
 // SplitReassembly checks the hybrid decomposition A = compressed +
@@ -119,7 +123,10 @@ func SplitReassembly(a *csr.Matrix, p pattern.VNM) error {
 	if err := comp.ValidateMeta(); err != nil {
 		return err
 	}
-	back := comp.Decompress()
+	back, err := comp.Decompress()
+	if err != nil {
+		return err
+	}
 	if !pattern.Conforms(back.ToBitMatrix(), p) {
 		return fmt.Errorf("check: split compressed part does not conform to %v", p)
 	}

@@ -124,11 +124,13 @@ func ReorderLarge(g *graph.Graph, opt LargeOptions) (*LargeResult, error) {
 		err  error
 	}
 	outs := make([]partOutcome, len(parts))
-	pool.Run(len(parts), func(i int) {
+	if err := pool.Run(len(parts), func(i int) {
 		sub, orig := g.Subgraph(parts[i])
 		res, err := Reorder(sub.ToBitMatrix(), opt.Pattern, ropt)
 		outs[i] = partOutcome{res: res, orig: orig, err: err}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := &LargeResult{
 		Pattern: opt.Pattern,
 		Perm:    make([]int, 0, g.N()),

@@ -26,10 +26,15 @@ func stableSortInts(pool *sched.Pool, a []int, less func(x, y int) bool) {
 		return
 	}
 	chunks := sched.Chunks(n, pool.Workers())
-	pool.Run(len(chunks), func(ci int) {
+	// Panics inside the sort/merge stages (only possible from a
+	// misbehaving less or an injected tile fault) are re-raised on the
+	// caller so the reordering engine's error path sees them.
+	if err := pool.Run(len(chunks), func(ci int) {
 		s := a[chunks[ci][0]:chunks[ci][1]]
 		sort.SliceStable(s, func(i, j int) bool { return less(s[i], s[j]) })
-	})
+	}); err != nil {
+		panic(err)
+	}
 	buf := make([]int, n)
 	src, dst := a, buf
 	for len(chunks) > 1 {
@@ -46,9 +51,11 @@ func stableSortInts(pool *sched.Pool, a []int, less func(x, y int) bool) {
 			pairs = append(pairs, [3]int{lo, mid, hi})
 			merged = append(merged, [2]int{lo, hi})
 		}
-		pool.Run(len(pairs), func(pi int) {
+		if err := pool.Run(len(pairs), func(pi int) {
 			mergeRuns(dst, src, pairs[pi][0], pairs[pi][1], pairs[pi][2], less)
-		})
+		}); err != nil {
+			panic(err)
+		}
 		src, dst = dst, src
 		chunks = merged
 	}
@@ -90,5 +97,7 @@ func runRows(pool *sched.Pool, n int, fn func(lo, hi int)) {
 		return
 	}
 	chunks := sched.Chunks(n, pool.Workers())
-	pool.Run(len(chunks), func(ci int) { fn(chunks[ci][0], chunks[ci][1]) })
+	if err := pool.Run(len(chunks), func(ci int) { fn(chunks[ci][0], chunks[ci][1]) }); err != nil {
+		panic(err)
+	}
 }

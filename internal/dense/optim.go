@@ -1,6 +1,9 @@
 package dense
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam is the Adam optimizer over a set of parameter matrices, used by
 // the GNN training loops (Table 5 reproduction).
@@ -55,6 +58,61 @@ func (a *Adam) Step(params, grads []*Matrix) {
 			p.Data[k] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Epsilon)
 		}
 	}
+}
+
+// AdamState is a serializable snapshot of an Adam run for a fixed
+// parameter order: the step counter plus first/second moments, indexed
+// parallel to the params slice the optimizer steps. Together with the
+// parameter values it makes training resumable mid-run with a
+// bit-identical continuation — the checkpoint/restore contract the
+// fault-recovery layer relies on (DESIGN.md §10).
+type AdamState struct {
+	Step int
+	M, V []*Matrix
+}
+
+// ExportState snapshots the optimizer state for params. Matrices the
+// optimizer has not seen yet (no Step covered them) export zero
+// moments, matching what the first Step would initialize. The returned
+// state deep-copies every moment, so later Steps don't mutate it.
+func (a *Adam) ExportState(params []*Matrix) AdamState {
+	st := AdamState{Step: a.step, M: make([]*Matrix, len(params)), V: make([]*Matrix, len(params))}
+	for i, p := range params {
+		if mom, ok := a.m[p]; ok {
+			st.M[i] = mom.Clone()
+			st.V[i] = a.v[p].Clone()
+		} else {
+			st.M[i] = NewMatrix(p.Rows, p.Cols)
+			st.V[i] = NewMatrix(p.Rows, p.Cols)
+		}
+	}
+	return st
+}
+
+// ImportState restores a snapshot taken by ExportState against a
+// parameter slice of the same order and shapes (the live matrices may
+// be different allocations — moments are keyed positionally). The state
+// is deep-copied in, so the caller's snapshot stays reusable.
+func (a *Adam) ImportState(params []*Matrix, st AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("dense: Adam.ImportState holds %d/%d moments for %d params", len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if st.M[i].Rows != p.Rows || st.M[i].Cols != p.Cols || st.V[i].Rows != p.Rows || st.V[i].Cols != p.Cols {
+			return fmt.Errorf("dense: Adam.ImportState param %d shape mismatch: moments %dx%d, param %dx%d",
+				i, st.M[i].Rows, st.M[i].Cols, p.Rows, p.Cols)
+		}
+	}
+	if a.m == nil {
+		a.m = make(map[*Matrix]*Matrix)
+		a.v = make(map[*Matrix]*Matrix)
+	}
+	a.step = st.Step
+	for i, p := range params {
+		a.m[p] = st.M[i].Clone()
+		a.v[p] = st.V[i].Clone()
+	}
+	return nil
 }
 
 // SGD performs plain gradient descent steps.

@@ -36,7 +36,16 @@ type Sample struct {
 
 // NeighborSample draws one subgraph: seed vertices plus a fanout-capped
 // neighbor expansion per hop, then the induced subgraph on the union.
+//
+// Degenerate inputs yield valid (possibly empty) samples rather than
+// panicking: an empty graph or Seeds <= 0 returns an empty sample, a
+// zero-length Fanout returns the seed-only sample, and zero or negative
+// per-hop fanouts keep no neighbors for that hop.
 func NeighborSample(g *graph.Graph, cfg SamplerConfig, sampleIdx int) Sample {
+	if g.N() == 0 || cfg.Seeds <= 0 {
+		sub, orig := g.Subgraph(nil)
+		return Sample{G: sub, Orig: orig}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(sampleIdx)*7919))
 	inSet := make(map[int]bool)
 	frontier := make([]int, 0, cfg.Seeds)
@@ -54,6 +63,9 @@ func NeighborSample(g *graph.Graph, cfg SamplerConfig, sampleIdx int) Sample {
 			take := fan
 			if take > len(nbrs) {
 				take = len(nbrs)
+			}
+			if take < 0 {
+				take = 0
 			}
 			for _, pi := range rng.Perm(len(nbrs))[:take] {
 				v := int(nbrs[pi])

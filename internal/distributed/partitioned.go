@@ -51,48 +51,89 @@ func PartitionedSpMM(g *graph.Graph, b *dense.Matrix, maxN int, p pattern.VNM, o
 		opt.Pool = pool
 	}
 	errs := make([]error, len(parts))
-	pool.Run(len(parts), func(pi int) {
-		part := parts[pi]
-		sub, orig := g.Subgraph(part)
-		res, err := core.Reorder(sub.ToBitMatrix(), p, opt)
+	runErr := pool.Run(len(parts), func(pi int) {
+		out, err := computePartition(g, b, parts[pi], p, opt)
 		if err != nil {
 			errs[pi] = err
 			return
 		}
-		results[pi] = res
-		a := csr.FromBitMatrix(res.Matrix)
-		comp, resid, err := venom.SplitToConform(a, p)
-		if err != nil {
-			errs[pi] = err
-			return
-		}
-		// Gather B rows in the partition's reordered order:
-		// local row j corresponds to original vertex
-		// orig[res.Perm[j]].
-		localB := dense.NewMatrix(len(part), b.Cols)
-		for j := 0; j < len(part); j++ {
-			copy(localB.Row(j), b.Row(orig[res.Perm[j]]))
-		}
-		localC := spmm.VNM(comp, localB)
-		if resid.NNZ() > 0 {
-			localC.Add(spmm.CSR(resid, localB))
-		}
-		// Reorder back before accumulation (the paper's phrase):
-		// scatter local row j to global row orig[res.Perm[j]].
-		// Partitions own disjoint global rows, so no locking.
-		for j := 0; j < len(part); j++ {
-			copy(c.Row(orig[res.Perm[j]]), localC.Row(j))
-		}
+		results[pi] = out.res
+		out.scatter(c)
 	})
+	if runErr != nil {
+		return nil, nil, runErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 
-	// Cross-partition contributions on the CSR path: C[u] += B[v] for
-	// every edge (u, v) spanning partitions.
-	bitmat.ParallelRows(n, func(lo, hi int) {
+	crossPartitionPass(g, b, c, partOf)
+	return c, results, nil
+}
+
+// partOut is one partition's computed contribution, held apart from the
+// shared output matrix so the fault-injection path can verify it (and
+// discard a corrupted copy) before committing — the "partial result in
+// transit" of the paper's distributed setting.
+type partOut struct {
+	res    *core.Result
+	localC *dense.Matrix
+	rows   []int // rows[j] is local row j's global target row
+}
+
+// scatter commits the partition's rows into the global result. Safe to
+// run concurrently across partitions: partitions own disjoint global
+// rows.
+func (o *partOut) scatter(c *dense.Matrix) {
+	for j, r := range o.rows {
+		copy(c.Row(r), o.localC.Row(j))
+	}
+}
+
+// computePartition is the pure per-partition diagonal-block pipeline:
+// reorder the induced subgraph, split to the conforming + residual
+// hybrid, gather B rows in reordered order, run the SPTC kernel (CSR
+// for the residual), and report the rows in global coordinates. It
+// reads only immutable inputs and returns a fresh result, so the
+// recovery layer can re-run it after a crash, straggler re-dispatch, or
+// detected corruption and obtain a bit-identical partial result
+// (DESIGN.md §10).
+func computePartition(g *graph.Graph, b *dense.Matrix, part []int, p pattern.VNM, opt core.Options) (*partOut, error) {
+	sub, orig := g.Subgraph(part)
+	res, err := core.Reorder(sub.ToBitMatrix(), p, opt)
+	if err != nil {
+		return nil, err
+	}
+	a := csr.FromBitMatrix(res.Matrix)
+	comp, resid, err := venom.SplitToConform(a, p)
+	if err != nil {
+		return nil, err
+	}
+	// Gather B rows in the partition's reordered order: local row j
+	// corresponds to original vertex orig[res.Perm[j]].
+	localB := dense.NewMatrix(len(part), b.Cols)
+	for j := 0; j < len(part); j++ {
+		copy(localB.Row(j), b.Row(orig[res.Perm[j]]))
+	}
+	localC := spmm.VNM(comp, localB)
+	if resid.NNZ() > 0 {
+		localC.Add(spmm.CSR(resid, localB))
+	}
+	// Reorder back before accumulation (the paper's phrase): local row
+	// j lands on global row orig[res.Perm[j]].
+	rows := make([]int, len(part))
+	for j := 0; j < len(part); j++ {
+		rows[j] = orig[res.Perm[j]]
+	}
+	return &partOut{res: res, localC: localC, rows: rows}, nil
+}
+
+// crossPartitionPass adds the off-diagonal contributions on the CSR
+// path: C[u] += B[v] for every edge (u, v) spanning partitions.
+func crossPartitionPass(g *graph.Graph, b, c *dense.Matrix, partOf []int32) {
+	bitmat.ParallelRows(g.N(), func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			cr := c.Row(u)
 			for _, v := range g.Neighbors(u) {
@@ -106,5 +147,4 @@ func PartitionedSpMM(g *graph.Graph, b *dense.Matrix, maxN int, p pattern.VNM, o
 			}
 		}
 	})
-	return c, results, nil
 }

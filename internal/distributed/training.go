@@ -38,6 +38,10 @@ type TrainSampledConfig struct {
 	// ledger mirror (gnn/agg_cycles, gnn/agg_calls) plus the kernel
 	// dispatch counters recorded by the sched/spmm layers.
 	Obs *obs.Registry
+	// Faults engages the fault-injection and recovery layer (sites
+	// "sample", "sample/xfer", "venom/meta", "eval"); the zero value is
+	// the unguarded fast path.
+	Faults FaultConfig
 }
 
 // TrainSampledResult reports a sampled training run.
@@ -94,7 +98,7 @@ func TrainSampledSGC(g *graph.Graph, x *dense.Matrix, labels []int, classes int,
 		for b := 0; b < cfg.Batches; b++ {
 			s := NeighborSample(g, cfg.Sampler, sampleIdx)
 			sampleIdx++
-			prop, err := propagateSample(s, g, x, cfg, ledger)
+			prop, err := propagateProtected(s, g, x, cfg, ledger)
 			if err != nil {
 				return nil, err
 			}
@@ -128,14 +132,30 @@ func TrainSampledSGC(g *graph.Graph, x *dense.Matrix, labels []int, classes int,
 	// ledger (and the obs registry behind it) sees the eval hops too —
 	// a hand-rolled CSR loop here used to leave them unaccounted.
 	preEval := ledger.AggCycles
-	evalFactory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}
-	evalOp, err := evalFactory.Make(csr.SymNormalized(g))
-	if err != nil {
-		return nil, err
-	}
-	h := x
-	for i := 0; i < cfg.Hops; i++ {
-		h = evalOp.Mul(h)
+	var h *dense.Matrix
+	if cfg.Faults.enabled() {
+		pool := cfg.Pool
+		if pool != nil {
+			pool = pool.WithObs(nil)
+		}
+		hp, err := evalProtected(g, x, cfg, ledger, func(local *gnn.Ledger) (gnn.Operator, error) {
+			f := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: local, Pool: pool}
+			return f.Make(csr.SymNormalized(g))
+		})
+		if err != nil {
+			return nil, err
+		}
+		h = hp
+	} else {
+		evalFactory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}
+		evalOp, err := evalFactory.Make(csr.SymNormalized(g))
+		if err != nil {
+			return nil, err
+		}
+		h = x
+		for i := 0; i < cfg.Hops; i++ {
+			h = evalOp.Mul(h)
+		}
 	}
 	res.EvalAggCycles = ledger.AggCycles - preEval
 	res.AggCycles = ledger.AggCycles
@@ -173,6 +193,20 @@ func propagateSample(s Sample, g *graph.Graph, x *dense.Matrix, cfg TrainSampled
 		if err != nil {
 			return nil, err
 		}
+		if fc := cfg.Faults; fc.enabled() {
+			// Degradation rung 1 (DESIGN.md §10): validate the V:N:M
+			// metadata the SPTC would load — an injected transient at
+			// "venom/meta" models the hardware rejecting the fragment —
+			// and fall back to the CSR engine for this sample on failure.
+			verr := fc.Inj.Begin("venom/meta")
+			if verr == nil {
+				verr = gnn.ValidateOperator(op)
+			}
+			if verr != nil {
+				fc.Inj.Obs().Counter("resil/fallback/sptc_to_csr").Inc()
+				return propagateCSR(s, x, cfg, ledger)
+			}
+		}
 		h := lx
 		for i := 0; i < cfg.Hops; i++ {
 			h = op.Mul(h)
@@ -184,8 +218,15 @@ func propagateSample(s Sample, g *graph.Graph, x *dense.Matrix, cfg TrainSampled
 		}
 		return out, nil
 	}
+	return propagateCSR(s, x, cfg, ledger)
+}
+
+// propagateCSR computes Â^hops X over one sample on the CSR engine —
+// the baseline path, and the target of the SPTC→CSR degradation rung.
+func propagateCSR(s Sample, x *dense.Matrix, cfg TrainSampledConfig, ledger *gnn.Ledger) (*dense.Matrix, error) {
+	sub := s.G
 	lx := dense.NewMatrix(sub.N(), x.Cols)
-	for j, o := range orig {
+	for j, o := range s.Orig {
 		copy(lx.Row(j), x.Row(o))
 	}
 	factory := &gnn.Factory{Kind: gnn.EngineCSR, Cost: sptc.DefaultCostModel(), Ledger: ledger, Pool: cfg.Pool}

@@ -38,6 +38,7 @@ type Ledger struct {
 	AggCalls    int
 	DenseCycles float64
 	DenseWall   time.Duration
+	DenseCalls  int
 
 	Obs *obs.Registry
 }
@@ -58,6 +59,7 @@ func (l *Ledger) chargeAgg(cycles float64, wall time.Duration) {
 func (l *Ledger) chargeDense(cycles float64, wall time.Duration) {
 	l.DenseCycles += cycles
 	l.DenseWall += wall
+	l.DenseCalls++
 	if l.Obs != nil {
 		l.Obs.Gauge("gnn/dense_cycles").Add(cycles)
 		l.Obs.Counter("gnn/dense_calls").Inc()
@@ -78,6 +80,26 @@ func (l *Ledger) Add(o *Ledger) {
 	l.AggCalls += o.AggCalls
 	l.DenseCycles += o.DenseCycles
 	l.DenseWall += o.DenseWall
+	l.DenseCalls += o.DenseCalls
+}
+
+// Merge folds a per-attempt local ledger into l and mirrors the merged
+// charges into l.Obs. The recovery layer runs every fault-protected
+// attempt against a private ledger with no registry and merges only the
+// winning attempt's, so retried or speculatively duplicated work never
+// reaches the deterministic observability snapshot — the merged charges
+// are those of exactly one successful execution.
+func (l *Ledger) Merge(o *Ledger) {
+	l.Add(o)
+	if l.Obs == nil {
+		return
+	}
+	l.Obs.Gauge("gnn/agg_cycles").Add(o.AggCycles)
+	l.Obs.Counter("gnn/agg_calls").Add(int64(o.AggCalls))
+	l.Obs.Volatile("gnn/agg_wall_ns").Add(o.AggWall.Nanoseconds())
+	l.Obs.Gauge("gnn/dense_cycles").Add(o.DenseCycles)
+	l.Obs.Counter("gnn/dense_calls").Add(int64(o.DenseCalls))
+	l.Obs.Volatile("gnn/dense_wall_ns").Add(o.DenseWall.Nanoseconds())
 }
 
 // Operator is a sparse aggregation operator (a normalized adjacency
@@ -146,6 +168,27 @@ func (f *Factory) Make(w *csr.Matrix) (Operator, error) {
 	default:
 		return &csrOperator{w: w, wt: w.Transpose(), cost: f.Cost, ledger: f.Ledger, pool: pool}, nil
 	}
+}
+
+// ValidateOperator checks the structural invariants of an operator's
+// compressed representation — the metadata checks the SPTC hardware
+// performs when loading sparse fragments (venom.ValidateMeta over the
+// forward and transposed operands). Operators without a compressed
+// representation (the CSR engine) trivially validate. The distributed
+// layer runs this before using a freshly built SPTC operator and
+// degrades the sample to the CSR path on failure (DESIGN.md §10).
+func ValidateOperator(op Operator) error {
+	o, ok := op.(*sptcOperator)
+	if !ok {
+		return nil
+	}
+	if err := o.comp.ValidateMeta(); err != nil {
+		return err
+	}
+	if err := o.compT.ValidateMeta(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // csrOperator runs aggregation through the CUDA-core CSR kernel.

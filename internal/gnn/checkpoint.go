@@ -1,0 +1,83 @@
+package gnn
+
+import (
+	"sync"
+
+	"repro/internal/dense"
+)
+
+// Checkpoint captures everything an interrupted Train run needs to
+// continue as if it had never stopped: the live parameters, the Adam
+// state (step counter plus both moment estimates), the loss history,
+// and the early-stopping tracker. Because every piece of training state
+// crosses the checkpoint boundary, a kill-and-resume run reproduces the
+// uninterrupted run's loss curve and final parameters bit for bit —
+// the recovery contract of DESIGN.md §10.
+//
+// All matrices in a checkpoint are deep copies; later training steps
+// never mutate a saved snapshot.
+type Checkpoint struct {
+	// Epoch is the number of fully completed epochs; resuming starts at
+	// epoch index Epoch.
+	Epoch       int
+	Params      []*dense.Matrix
+	Opt         dense.AdamState
+	LossHistory []float64
+	// BestVal / BestValEpoch / BestParams carry the early-stopping
+	// tracker. BestVal is -1 and BestParams nil when no validation
+	// accuracy has been recorded yet.
+	BestVal      float64
+	BestValEpoch int
+	BestParams   []*dense.Matrix
+}
+
+// MemStore is an in-memory checkpoint sink: its Save method slots
+// straight into TrainConfig.Checkpoint, and Latest serves the resume
+// side of a kill-and-resume recovery. Safe for concurrent use.
+type MemStore struct {
+	mu  sync.Mutex
+	cps []*Checkpoint
+}
+
+// Save appends a checkpoint. Train hands over deep copies, so the
+// store never aliases live training state.
+func (s *MemStore) Save(cp *Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cps = append(s.cps, cp)
+}
+
+// Latest returns the most recent checkpoint, or nil when none was
+// saved.
+func (s *MemStore) Latest() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cps) == 0 {
+		return nil
+	}
+	return s.cps[len(s.cps)-1]
+}
+
+// Len reports how many checkpoints were saved.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cps)
+}
+
+// snapshotCheckpoint builds a deep-copied checkpoint of the training
+// state after `epochs` completed epochs.
+func snapshotCheckpoint(m Model, opt *dense.Adam, epochs int, res *TrainResult, bestVal float64, bestParams []*dense.Matrix) *Checkpoint {
+	cp := &Checkpoint{
+		Epoch:        epochs,
+		Params:       cloneParams(m.Params()),
+		Opt:          opt.ExportState(m.Params()),
+		LossHistory:  append([]float64(nil), res.LossHistory...),
+		BestVal:      bestVal,
+		BestValEpoch: res.BestValEpoch,
+	}
+	if bestParams != nil {
+		cp.BestParams = cloneParams(bestParams)
+	}
+	return cp
+}

@@ -1,0 +1,239 @@
+package gnn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/resil"
+)
+
+// stepAdam runs n deterministic Adam steps against params using a
+// fixed synthetic gradient schedule.
+func stepAdam(opt *dense.Adam, params []*dense.Matrix, from, n int) {
+	grads := make([]*dense.Matrix, len(params))
+	for i, p := range params {
+		grads[i] = dense.NewMatrix(p.Rows, p.Cols)
+	}
+	for s := from; s < from+n; s++ {
+		for i, g := range grads {
+			for k := range g.Data {
+				g.Data[k] = float32(math.Sin(float64(s*31+i*7+k))) * 0.1
+			}
+		}
+		opt.Step(params, grads)
+	}
+}
+
+func TestAdamExportImportRoundTrip(t *testing.T) {
+	mk := func() []*dense.Matrix {
+		a := dense.NewMatrix(3, 4)
+		b := dense.NewMatrix(1, 4)
+		a.Randomize(0.5, 11)
+		b.Randomize(0.5, 12)
+		return []*dense.Matrix{a, b}
+	}
+
+	// Reference: 8 uninterrupted steps.
+	ref := mk()
+	refOpt := dense.NewAdam(0.05)
+	refOpt.WD = 1e-3
+	stepAdam(refOpt, ref, 0, 8)
+
+	// Interrupted: 5 steps, export, import into a fresh optimizer over
+	// fresh (restored) matrices, 3 more steps.
+	half := mk()
+	opt1 := dense.NewAdam(0.05)
+	opt1.WD = 1e-3
+	stepAdam(opt1, half, 0, 5)
+	st := opt1.ExportState(half)
+
+	resumed := mk()
+	for i, p := range resumed {
+		copy(p.Data, half[i].Data)
+	}
+	opt2 := dense.NewAdam(0.05)
+	opt2.WD = 1e-3
+	if err := opt2.ImportState(resumed, st); err != nil {
+		t.Fatal(err)
+	}
+	stepAdam(opt2, resumed, 5, 3)
+
+	for i := range ref {
+		for k := range ref[i].Data {
+			if ref[i].Data[k] != resumed[i].Data[k] {
+				t.Fatalf("param %d entry %d diverged after resume: %v vs %v", i, k, ref[i].Data[k], resumed[i].Data[k])
+			}
+		}
+	}
+}
+
+func TestAdamImportStateRejectsMismatch(t *testing.T) {
+	p := []*dense.Matrix{dense.NewMatrix(2, 2)}
+	opt := dense.NewAdam(0.01)
+	st := opt.ExportState(p)
+
+	if err := dense.NewAdam(0.01).ImportState([]*dense.Matrix{dense.NewMatrix(2, 2), dense.NewMatrix(1, 1)}, st); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := dense.NewAdam(0.01).ImportState([]*dense.Matrix{dense.NewMatrix(3, 2)}, st); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestAdamExportUnseenParamsZeroMoments(t *testing.T) {
+	p := []*dense.Matrix{dense.NewMatrix(2, 3)}
+	opt := dense.NewAdam(0.01)
+	st := opt.ExportState(p)
+	if st.Step != 0 {
+		t.Fatalf("step = %d, want 0", st.Step)
+	}
+	for _, v := range append(st.M[0].Data, st.V[0].Data...) {
+		if v != 0 {
+			t.Fatal("unseen param exported nonzero moment")
+		}
+	}
+}
+
+// trainFixture builds a deterministic SGC classification problem with a
+// validation split, so the checkpoint has to carry the early-stopping
+// tracker too.
+func trainFixture(t *testing.T) (Model, *dense.Matrix, []int, Split) {
+	t.Helper()
+	g, x, labels := testSetup(t, 40)
+	op, led := csrOp(t, csr.SymNormalized(g))
+	m := NewSGC(op, led, Config{In: 6, Classes: 2, SGCHops: 2, Seed: 9})
+	split := RandomSplit(g.N(), 0.5, 0.25, 4)
+	return m, x, labels, split
+}
+
+// sameResult asserts two TrainResults and model parameter sets are
+// bit-identical.
+func sameResult(t *testing.T, want, got TrainResult, wp, gp []*dense.Matrix) {
+	t.Helper()
+	if len(want.LossHistory) != len(got.LossHistory) {
+		t.Fatalf("loss history length %d vs %d", len(got.LossHistory), len(want.LossHistory))
+	}
+	for i := range want.LossHistory {
+		if want.LossHistory[i] != got.LossHistory[i] {
+			t.Fatalf("loss[%d] diverged: %v vs %v", i, got.LossHistory[i], want.LossHistory[i])
+		}
+	}
+	if got.FinalLoss != want.FinalLoss || got.BestValEpoch != want.BestValEpoch {
+		t.Fatalf("final loss/best epoch diverged: (%v,%d) vs (%v,%d)", got.FinalLoss, got.BestValEpoch, want.FinalLoss, want.BestValEpoch)
+	}
+	if got.TrainAcc != want.TrainAcc || got.ValAcc != want.ValAcc || got.TestAcc != want.TestAcc {
+		t.Fatalf("accuracies diverged: (%v,%v,%v) vs (%v,%v,%v)",
+			got.TrainAcc, got.ValAcc, got.TestAcc, want.TrainAcc, want.ValAcc, want.TestAcc)
+	}
+	for i := range wp {
+		for k := range wp[i].Data {
+			if wp[i].Data[k] != gp[i].Data[k] {
+				t.Fatalf("param %d entry %d diverged", i, k)
+			}
+		}
+	}
+}
+
+// TestTrainKillAndResume is the tentpole recovery check for the
+// training loop: a run killed mid-training by an injected crash,
+// resumed from its last checkpoint on a freshly constructed model,
+// must reproduce the uninterrupted run's loss curve, early-stopping
+// choice and final parameters bit for bit.
+func TestTrainKillAndResume(t *testing.T) {
+	const epochs = 12
+
+	ref, x, labels, split := trainFixture(t)
+	refRes := Train(ref, x, labels, split, TrainConfig{Epochs: epochs, LR: 0.05, WD: 1e-3})
+
+	// Killed run: checkpoints every 3 epochs, crash before epoch index
+	// 7 runs (occurrence 8 of site "train/epoch").
+	store := &MemStore{}
+	killed, _, _, _ := trainFixture(t)
+	plan, err := resil.ParsePlan("seed=1; crash@train/epoch:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perr := resil.Protect(func() error {
+		Train(killed, x, labels, split, TrainConfig{
+			Epochs: epochs, LR: 0.05, WD: 1e-3,
+			CheckpointEvery: 3, Checkpoint: store.Save,
+			Inj: resil.NewInjector(plan, nil),
+		})
+		return nil
+	})
+	var pe *resil.PanicError
+	if !errors.As(perr, &pe) {
+		t.Fatalf("killed run returned %v, want a contained crash panic", perr)
+	}
+	var ce *resil.CrashError
+	if !errors.As(perr, &ce) {
+		t.Fatalf("contained panic %v is not a crash event", perr)
+	}
+	if store.Len() != 2 { // epochs 3 and 6 completed before the kill
+		t.Fatalf("store holds %d checkpoints, want 2", store.Len())
+	}
+	cp := store.Latest()
+	if cp.Epoch != 6 {
+		t.Fatalf("latest checkpoint at epoch %d, want 6", cp.Epoch)
+	}
+
+	// Resume on a fresh model (same construction seed; all restored
+	// state comes from the checkpoint).
+	resumed, _, _, _ := trainFixture(t)
+	resRes := Train(resumed, x, labels, split, TrainConfig{
+		Epochs: epochs, LR: 0.05, WD: 1e-3, Resume: cp,
+	})
+	sameResult(t, refRes, resRes, ref.Params(), resumed.Params())
+}
+
+// TestTrainResumePastEnd resumes from a checkpoint at or past the
+// epoch budget: no epochs run, and the evaluation happens on the
+// restored (best-validation) parameters.
+func TestTrainResumePastEnd(t *testing.T) {
+	const epochs = 6
+	ref, x, labels, split := trainFixture(t)
+	refRes := Train(ref, x, labels, split, TrainConfig{Epochs: epochs, LR: 0.05})
+
+	store := &MemStore{}
+	full, _, _, _ := trainFixture(t)
+	Train(full, x, labels, split, TrainConfig{
+		Epochs: epochs, LR: 0.05, CheckpointEvery: epochs, Checkpoint: store.Save,
+	})
+	cp := store.Latest()
+	if cp == nil || cp.Epoch != epochs {
+		t.Fatalf("expected final-epoch checkpoint, got %+v", cp)
+	}
+
+	resumed, _, _, _ := trainFixture(t)
+	resRes := Train(resumed, x, labels, split, TrainConfig{Epochs: epochs, LR: 0.05, Resume: cp})
+	sameResult(t, refRes, resRes, ref.Params(), resumed.Params())
+}
+
+func TestMemStoreEmptyLatest(t *testing.T) {
+	var s MemStore
+	if s.Latest() != nil || s.Len() != 0 {
+		t.Fatal("empty store not empty")
+	}
+}
+
+// TestCheckpointIsDeepCopy mutates live training state after a
+// checkpoint and asserts the snapshot is unaffected.
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	store := &MemStore{}
+	m, x, labels, split := trainFixture(t)
+	Train(m, x, labels, split, TrainConfig{
+		Epochs: 4, LR: 0.05, CheckpointEvery: 2, Checkpoint: store.Save,
+	})
+	if store.Len() != 2 {
+		t.Fatalf("store holds %d checkpoints, want 2", store.Len())
+	}
+	cp := store.Latest()
+	before := cp.Params[0].Data[0]
+	m.Params()[0].Data[0] = before + 42
+	if cp.Params[0].Data[0] != before {
+		t.Fatal("checkpoint aliases live parameters")
+	}
+}

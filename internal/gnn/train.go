@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/obs"
+	"repro/internal/resil"
 )
 
 // Split holds node-classification index sets.
@@ -85,6 +86,28 @@ type TrainConfig struct {
 	// final accuracy gauges. The loop runs on one goroutine, so every
 	// recorded value is deterministic for a fixed seed.
 	Obs *obs.Registry
+	// CheckpointEvery, when positive together with Checkpoint, hands a
+	// deep-copied training snapshot to the Checkpoint sink after every
+	// CheckpointEvery-th completed epoch.
+	CheckpointEvery int
+	// Checkpoint receives the snapshots (MemStore.Save slots in
+	// directly). The callback owns the checkpoint; Train never touches
+	// it again.
+	Checkpoint func(*Checkpoint)
+	// Resume, when non-nil, restores the checkpoint before the first
+	// epoch — parameters, optimizer moments, loss history and the
+	// early-stopping tracker — and continues at epoch Resume.Epoch. A
+	// resumed run is bit-identical to the uninterrupted one from that
+	// point on. The checkpoint must match the model's parameter shapes
+	// (it panics otherwise: resuming the wrong model is a programming
+	// error, not a runtime fault).
+	Resume *Checkpoint
+	// Inj, when armed, fires injection site "train/epoch" once per
+	// epoch before the epoch runs; a scheduled crash event there panics
+	// out of Train, modeling a mid-training process kill that a
+	// checkpointed caller recovers from (contain it with resil.Protect,
+	// then rerun with Resume).
+	Inj *resil.Injector
 }
 
 // DefaultTrainConfig returns the settings the Table-5 runs use.
@@ -124,7 +147,25 @@ func Train(m Model, x *dense.Matrix, labels []int, split Split, cfg TrainConfig)
 	var res TrainResult
 	bestVal := -1.0
 	var bestParams []*dense.Matrix
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	start := 0
+	if cp := cfg.Resume; cp != nil {
+		restoreParams(m.Params(), cp.Params)
+		if err := opt.ImportState(m.Params(), cp.Opt); err != nil {
+			panic("gnn: Train resume: " + err.Error())
+		}
+		res.LossHistory = append(res.LossHistory, cp.LossHistory...)
+		if n := len(res.LossHistory); n > 0 {
+			res.FinalLoss = res.LossHistory[n-1]
+		}
+		bestVal = cp.BestVal
+		res.BestValEpoch = cp.BestValEpoch
+		if cp.BestParams != nil {
+			bestParams = cloneParams(cp.BestParams)
+		}
+		start = cp.Epoch
+	}
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
+		cfg.Inj.Exec("train/epoch")
 		// Snapshot before this epoch's update: the validation accuracy
 		// below is computed from the pre-step logits, so the matching
 		// parameters are the pre-step ones.
@@ -151,6 +192,9 @@ func Train(m Model, x *dense.Matrix, labels []int, split Split, cfg TrainConfig)
 				bestParams = preStep
 			}
 		}
+		if cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil && (epoch+1)%cfg.CheckpointEvery == 0 {
+			cfg.Checkpoint(snapshotCheckpoint(m, opt, epoch+1, &res, bestVal, bestParams))
+		}
 	}
 	if bestParams != nil {
 		restoreParams(m.Params(), bestParams)
@@ -160,7 +204,7 @@ func Train(m Model, x *dense.Matrix, labels []int, split Split, cfg TrainConfig)
 	res.ValAcc = dense.Accuracy(logits, labels, split.Val)
 	res.TestAcc = dense.Accuracy(logits, labels, split.Test)
 	ob.Counter("train/runs").Inc()
-	ob.Counter("train/epochs").Add(int64(cfg.Epochs))
+	ob.Counter("train/epochs").Add(int64(cfg.Epochs - start))
 	ob.Gauge("train/best_val_epoch").Set(float64(res.BestValEpoch))
 	ob.Gauge("train/train_acc").Set(res.TrainAcc)
 	ob.Gauge("train/val_acc").Set(res.ValAcc)

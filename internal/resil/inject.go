@@ -1,0 +1,181 @@
+package resil
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// CrashError is the payload a crash event panics with. The tile engine
+// (internal/sched) recovers it into a TileError; higher layers convert
+// it into a retryable error via Protect.
+type CrashError struct {
+	Site       string
+	Occurrence int64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("resil: injected crash at %s (occurrence %d)", e.Site, e.Occurrence)
+}
+
+// TransientError is the retryable error a transient event returns —
+// the injected stand-in for an ECC-corrected load or a failed kernel
+// launch that succeeds when reissued.
+type TransientError struct {
+	Site       string
+	Occurrence int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("resil: injected transient error at %s (occurrence %d)", e.Site, e.Occurrence)
+}
+
+// siteState is one site's armed events, keyed by the exact hit count
+// each fires on. The events map is immutable after construction, so
+// Fire needs no lock — only the atomic hit counter.
+type siteState struct {
+	hits   atomic.Int64
+	events map[int64]*Event
+}
+
+// Injector arms a fault plan: each call to Fire (directly or through
+// the helpers) advances the named site's hit counter, and an event
+// scheduled for exactly that occurrence fires once. All methods are
+// safe for concurrent use and no-ops on a nil receiver, so a nil
+// Injector is the disabled path at one pointer-test cost.
+type Injector struct {
+	seed  int64
+	obs   *obs.Registry
+	sites map[string]*siteState
+}
+
+// NewInjector arms plan, charging injected-fault counters
+// (resil/injected/<kind>) to r when set. A nil plan yields a nil
+// injector — injection disabled.
+func NewInjector(plan *Plan, r *obs.Registry) *Injector {
+	if plan == nil {
+		return nil
+	}
+	in := &Injector{seed: plan.Seed, obs: r, sites: map[string]*siteState{}}
+	for i := range plan.Events {
+		e := plan.Events[i]
+		st := in.sites[e.Site]
+		if st == nil {
+			st = &siteState{events: map[int64]*Event{}}
+			in.sites[e.Site] = st
+		}
+		st.events[e.Occurrence] = &e
+	}
+	return in
+}
+
+// Fire advances site's hit counter and returns the event scheduled for
+// this occurrence, or nil. Each event fires exactly once: the counter
+// only grows, and occurrences match exactly. Sites not named by the
+// plan cost one map lookup.
+func (in *Injector) Fire(site string) *Event {
+	if in == nil {
+		return nil
+	}
+	st, ok := in.sites[site]
+	if !ok {
+		return nil
+	}
+	hit := st.hits.Add(1)
+	e, ok := st.events[hit]
+	if !ok {
+		return nil
+	}
+	in.obs.Counter("resil/injected/" + e.Kind.String()).Inc()
+	return e
+}
+
+// Exec fires site and applies execution-site semantics: a straggler
+// event sleeps its delay; crash and transient events panic with a
+// *CrashError / *TransientError (the tile engine recovers either into
+// a TileError). Corrupt events are ignored — corruption applies to
+// result buffers (Corrupt), not execution sites.
+func (in *Injector) Exec(site string) {
+	e := in.Fire(site)
+	if e == nil {
+		return
+	}
+	switch e.Kind {
+	case KindStraggler:
+		time.Sleep(e.Delay)
+	case KindCrash:
+		panic(&CrashError{Site: e.Site, Occurrence: e.Occurrence})
+	case KindTransient:
+		panic(&TransientError{Site: e.Site, Occurrence: e.Occurrence})
+	}
+}
+
+// Begin fires site at the start of a protected attempt: a straggler
+// event sleeps, a crash event panics with *CrashError (captured by the
+// surrounding Protect), and a transient event returns a
+// *TransientError for the retry loop. Corrupt events are ignored here.
+func (in *Injector) Begin(site string) error {
+	e := in.Fire(site)
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case KindStraggler:
+		time.Sleep(e.Delay)
+	case KindCrash:
+		panic(&CrashError{Site: e.Site, Occurrence: e.Occurrence})
+	case KindTransient:
+		return &TransientError{Site: e.Site, Occurrence: e.Occurrence}
+	}
+	return nil
+}
+
+// Corrupt fires site and, if a corrupt event is scheduled for this
+// occurrence, flips one deterministically-chosen bit of data in place
+// (modeling a corrupted transfer of a partial result) and reports
+// true. The flipped position is a pure function of (plan seed, site,
+// occurrence), so a replayed plan corrupts identically. Other event
+// kinds at the site are ignored.
+func (in *Injector) Corrupt(site string, data []float32) bool {
+	e := in.Fire(site)
+	if e == nil || e.Kind != KindCorrupt || len(data) == 0 {
+		return false
+	}
+	h := splitmix(uint64(in.seed) ^ hashString(e.Site) ^ uint64(e.Occurrence))
+	i := int(h % uint64(len(data)))
+	// XOR a mantissa bit: guaranteed to change the bit pattern, so the
+	// receiver's checksum verification always detects it.
+	data[i] = math.Float32frombits(math.Float32bits(data[i]) ^ 0x00400000)
+	return true
+}
+
+// Obs returns the registry the injector charges (nil when none or on a
+// nil injector).
+func (in *Injector) Obs() *obs.Registry {
+	if in == nil {
+		return nil
+	}
+	return in.obs
+}
+
+// splitmix is the splitmix64 finalizer — a cheap, well-mixed hash for
+// deterministic corruption positions.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the string bytes.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,200 @@
+package resil
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// PanicError wraps a panic recovered by Protect: the degraded-but-valid
+// form of a crash, carrying the recovered value and the stack at the
+// panic site.
+type PanicError struct {
+	Recovered any
+	Stack     []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resil: recovered panic: %v", e.Recovered)
+}
+
+// Unwrap exposes a recovered error value (a *CrashError, a
+// sched.TileError, ...) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Recovered.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Protect runs fn and converts any panic — an injected crash, a tile
+// panic re-raised by a kernel wrapper, a genuine bug — into a
+// *PanicError, so callers can retry or degrade instead of dying.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// RetryPolicy bounds a recovery loop: at most Max attempts, separated
+// by deterministic exponential backoff (Backoff, doubling per retry),
+// all inside an optional wall-clock Budget.
+type RetryPolicy struct {
+	Max     int           // attempts in total; <= 0 means DefaultRetryMax
+	Backoff time.Duration // first retry backoff, doubled per retry; < 0 disables sleeping, 0 means DefaultRetryBackoff
+	Budget  time.Duration // wall-clock deadline across all attempts; 0 = unbounded
+}
+
+// DefaultRetryMax and DefaultRetryBackoff are the policy defaults the
+// distributed layer applies when a zero RetryPolicy is given.
+const (
+	DefaultRetryMax     = 3
+	DefaultRetryBackoff = time.Millisecond
+)
+
+// WithDefaults fills zero fields with the defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.Max <= 0 {
+		p.Max = DefaultRetryMax
+	}
+	if p.Backoff == 0 {
+		p.Backoff = DefaultRetryBackoff
+	}
+	return p
+}
+
+// BudgetError reports a retry loop abandoned because its deadline
+// budget was spent before an attempt succeeded.
+type BudgetError struct {
+	Site     string
+	Attempts int
+	Budget   time.Duration
+	Last     error
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("resil: %s: deadline budget %v spent after %d attempts: %v",
+		e.Site, e.Budget, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *BudgetError) Unwrap() error { return e.Last }
+
+// Retry runs op until it succeeds or the policy is exhausted: up to
+// p.Max attempts with deterministic exponential backoff between them,
+// abandoning early (with a *BudgetError) once the budget deadline
+// passes. Retries are charged to r as the deterministic counter
+// "resil/retries/<site>" — under a fixed fault plan the retry count is
+// a pure function of the plan.
+func Retry(p RetryPolicy, r *obs.Registry, site string, op func(attempt int) error) error {
+	p = p.WithDefaults()
+	var deadline time.Time
+	if p.Budget > 0 {
+		deadline = time.Now().Add(p.Budget)
+	}
+	var err error
+	for attempt := 0; attempt < p.Max; attempt++ {
+		if attempt > 0 {
+			r.Counter("resil/retries/" + site).Inc()
+			if p.Backoff > 0 {
+				time.Sleep(p.Backoff << (attempt - 1))
+			}
+		}
+		if err = op(attempt); err == nil {
+			return nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return &BudgetError{Site: site, Attempts: attempt + 1, Budget: p.Budget, Last: err}
+		}
+	}
+	return fmt.Errorf("resil: %s: %d attempts exhausted: %w", site, p.Max, err)
+}
+
+// Checksum returns an FNV-1a hash over the bit patterns of data — the
+// integrity tag a worker computes over its partial result before
+// transfer, and the receiver verifies after.
+func Checksum(data []float32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range data {
+		b := math.Float32bits(v)
+		h = (h ^ uint64(b&0xff)) * 1099511628211
+		h = (h ^ uint64((b>>8)&0xff)) * 1099511628211
+		h = (h ^ uint64((b>>16)&0xff)) * 1099511628211
+		h = (h ^ uint64(b>>24)) * 1099511628211
+	}
+	return h
+}
+
+// ChecksumError reports a partial result whose post-transfer checksum
+// did not match the one computed at the source.
+type ChecksumError struct {
+	Site string
+	Want uint64
+	Got  uint64
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("resil: %s: partial-result checksum mismatch: got %016x want %016x", e.Site, e.Got, e.Want)
+}
+
+// IsInjected reports whether err traces back to an injected fault (as
+// opposed to a genuine failure) — crash, transient, or a checksum
+// mismatch from injected corruption.
+func IsInjected(err error) bool {
+	var ce *CrashError
+	var te *TransientError
+	var se *ChecksumError
+	return errors.As(err, &ce) || errors.As(err, &te) || errors.As(err, &se)
+}
+
+// Speculate runs compute and, if it has not returned within after,
+// dispatches a second identical copy (the classic straggler mitigation
+// of speculative execution): the first result to arrive wins and the
+// loser is discarded. compute must be pure — under the execution
+// engine's determinism contract both copies produce bit-identical
+// results, so the race is benign. onRedispatch (may be nil) is called
+// when the backup launches; charge it to a volatile counter, since
+// whether a soft deadline fires depends on wall-clock scheduling.
+// after <= 0 disables speculation. Panics in either copy are captured
+// as *PanicError.
+func Speculate(after time.Duration, onRedispatch func(), compute func() (any, error)) (any, error) {
+	type outcome struct {
+		v   any
+		err error
+	}
+	run := func() outcome {
+		var o outcome
+		o.err = Protect(func() error {
+			v, err := compute()
+			o.v = v
+			return err
+		})
+		return o
+	}
+	if after <= 0 {
+		o := run()
+		return o.v, o.err
+	}
+	ch := make(chan outcome, 2)
+	go func() { ch <- run() }()
+	timer := time.NewTimer(after)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-timer.C:
+		if onRedispatch != nil {
+			onRedispatch()
+		}
+		go func() { ch <- run() }()
+		o := <-ch
+		return o.v, o.err
+	}
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/resil"
+)
+
+// TestRunContainsTilePanic: a panicking tile function does not crash
+// the process — Run returns a *TileError carrying the tile index and
+// recovered value, every sibling tile still executes, and the same
+// pool remains usable for subsequent runs.
+func TestRunContainsTilePanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		const n = 200
+		const bad = 137
+		var ran atomic.Int64
+		err := p.Run(n, func(i int) {
+			ran.Add(1)
+			if i == bad {
+				panic(fmt.Sprintf("boom at %d", i))
+			}
+		})
+		var te *TileError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: Run = %v, want *TileError", workers, err)
+		}
+		if te.Tile != bad {
+			t.Fatalf("workers=%d: TileError.Tile = %d, want %d", workers, te.Tile, bad)
+		}
+		if te.Recovered != fmt.Sprintf("boom at %d", bad) {
+			t.Fatalf("workers=%d: Recovered = %v", workers, te.Recovered)
+		}
+		if len(te.Stack) == 0 {
+			t.Fatalf("workers=%d: TileError.Stack is empty", workers)
+		}
+		if got := ran.Load(); got != n {
+			t.Fatalf("workers=%d: sibling tiles not drained: ran %d of %d", workers, got, n)
+		}
+		// The pool must be fully usable after the panic.
+		var again atomic.Int64
+		if err := p.Run(n, func(i int) { again.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: Run after panic = %v, want nil", workers, err)
+		}
+		if got := again.Load(); got != n {
+			t.Fatalf("workers=%d: post-panic run executed %d of %d tiles", workers, got, n)
+		}
+	}
+}
+
+// TestRunReturnsLowestPanickingTile: when several tiles panic, the
+// returned TileError deterministically names the lowest index.
+func TestRunReturnsLowestPanickingTile(t *testing.T) {
+	p := New(4)
+	err := p.Run(100, func(i int) {
+		if i%10 == 3 { // tiles 3, 13, 23, ... all panic
+			panic(i)
+		}
+	})
+	var te *TileError
+	if !errors.As(err, &te) {
+		t.Fatalf("Run = %v, want *TileError", err)
+	}
+	if te.Tile != 3 {
+		t.Fatalf("TileError.Tile = %d, want lowest panicking tile 3", te.Tile)
+	}
+}
+
+// TestTileErrorUnwrap: a recovered error value is reachable through
+// errors.Is/As, so callers can classify injected faults.
+func TestTileErrorUnwrap(t *testing.T) {
+	p := Serial()
+	sentinel := errors.New("sentinel failure")
+	err := p.Run(4, func(i int) {
+		if i == 2 {
+			panic(sentinel)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false; err = %v", err)
+	}
+	// Non-error panic values unwrap to nil without crashing.
+	err = p.Run(2, func(i int) { panic("not an error") })
+	var te *TileError
+	if !errors.As(err, &te) || te.Unwrap() != nil {
+		t.Fatalf("non-error panic: err = %v, Unwrap = %v", err, te.Unwrap())
+	}
+}
+
+// TestRunWithInjectedCrash: a crash event scheduled at the pool's
+// "tile" site surfaces as a TileError wrapping *resil.CrashError, and
+// the injector fires the event exactly once — the next run on the same
+// pool is clean.
+func TestRunWithInjectedCrash(t *testing.T) {
+	plan, err := resil.ParsePlan("seed=7; crash@tile:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(4).WithInjector(resil.NewInjector(plan, nil))
+	runErr := p.Run(64, func(i int) {})
+	var ce *resil.CrashError
+	if !errors.As(runErr, &ce) {
+		t.Fatalf("Run = %v, want wrapped *resil.CrashError", runErr)
+	}
+	if ce.Site != "tile" || ce.Occurrence != 5 {
+		t.Fatalf("CrashError = %+v, want tile:5", ce)
+	}
+	if err := p.Run(64, func(i int) {}); err != nil {
+		t.Fatalf("second run after consumed crash event = %v, want nil", err)
+	}
+}
+
+// TestChaosHammer is the satellite chaos test: 8 concurrent callers
+// share one pool whose injector panics a tile in every run (occurrence
+// numbers spread across the callers' combined tile stream), plus
+// explicit panics from the tile functions themselves. Under -race this
+// exercises the recover path, the TileError election, and the drain
+// logic concurrently. Every caller must observe either nil or a
+// well-formed *TileError, all sibling tiles must run, and the pool
+// must stay usable afterward.
+func TestChaosHammer(t *testing.T) {
+	const (
+		callers = 8
+		rounds  = 25
+		tiles   = 64
+	)
+	// One crash event per expected ~thousand tile executions keeps
+	// injected faults flowing throughout the hammer without starving
+	// any single round.
+	planSrc := "seed=42"
+	for occ := 100; occ <= callers*rounds*tiles; occ += 911 {
+		planSrc += fmt.Sprintf("; crash@tile:%d", occ)
+	}
+	plan, err := resil.ParsePlan(planSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(4).WithInjector(resil.NewInjector(plan, nil))
+	var wg sync.WaitGroup
+	var executed atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				err := pool.Run(tiles, func(i int) {
+					executed.Add(1)
+					// Caller-local explicit panics on top of the
+					// injected ones.
+					if c%2 == 0 && r%7 == 3 && i == c*7 {
+						panic(fmt.Sprintf("caller %d round %d tile %d", c, r, i))
+					}
+				})
+				if err != nil {
+					var te *TileError
+					if !errors.As(err, &te) {
+						t.Errorf("caller %d round %d: err = %v, want *TileError", c, r, err)
+						return
+					}
+					if te.Tile < 0 || te.Tile >= tiles {
+						t.Errorf("caller %d round %d: tile index %d out of range", c, r, te.Tile)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// Drain semantics: every tile of every run executed (panics never
+	// cancel siblings), minus nothing — injected crashes panic before
+	// fn, so injected-crash tiles don't increment executed.
+	crashes := int64(len(plan.Events))
+	if got, want := executed.Load(), int64(callers*rounds*tiles)-crashes; got != want {
+		t.Fatalf("executed %d tiles, want %d (total minus %d injected crashes)", got, want, crashes)
+	}
+	// The shared pool is still healthy.
+	if err := pool.Run(tiles, func(i int) {}); err != nil {
+		t.Fatalf("pool unusable after hammer: %v", err)
+	}
+}
+
+// TestReduceIntRepanics: ReduceInt re-raises a contained tile panic on
+// the calling goroutine as the captured *TileError.
+func TestReduceIntRepanics(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		te, ok := r.(*TileError)
+		if !ok {
+			t.Fatalf("recovered %v, want *TileError", r)
+		}
+		if te.Recovered != "reduce boom" {
+			t.Fatalf("Recovered = %v", te.Recovered)
+		}
+	}()
+	p.ReduceInt(1000, func(lo, hi int) int {
+		if lo == 0 {
+			panic("reduce boom")
+		}
+		return hi - lo
+	})
+	t.Fatal("ReduceInt returned; want re-panic")
+}

@@ -13,15 +13,25 @@
 // and tile size — no atomics on float32, no unordered reductions —
 // which is what lets internal/check hold parallel kernels to an exact
 // (tolerance-zero) differential oracle.
+//
+// Fault containment (DESIGN.md §10): a panic inside a tile function is
+// recovered by the engine, sibling tiles are drained, and Run returns
+// a typed *TileError — a panicking tile no longer kills the process,
+// and the pool remains usable. Pools built WithInjector additionally
+// fire the internal/resil fault injector's "tile" site once per
+// executed index, which is how chaos tests exercise this path.
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/resil"
 )
 
 // Pool is a sizing policy for the work-stealing execution engine: a
@@ -37,6 +47,12 @@ type Pool struct {
 	// (obs package determinism contract). nil disables instrumentation
 	// at the cost of one pointer test per Run.
 	obs *obs.Registry
+	// inj, when set, fires the fault injector's "tile" site once per
+	// executed index (crash/transient events panic inside the tile and
+	// surface as a TileError; stragglers delay the tile). nil disables
+	// injection at the cost of one pointer test per tile — the same
+	// contract as obs.
+	inj *resil.Injector
 }
 
 // New returns a pool with the given worker count; workers <= 0 sizes
@@ -83,6 +99,19 @@ func (p *Pool) WithObs(r *obs.Registry) *Pool {
 // Obs returns the registry this pool charges; nil when instrumentation
 // is disabled. Safe to call on the result of any constructor.
 func (p *Pool) Obs() *obs.Registry { return p.obs }
+
+// WithInjector returns a pool identical to p whose tile executions
+// fire the fault injector's "tile" site. A nil in returns an
+// uninjected pool.
+func (p *Pool) WithInjector(in *resil.Injector) *Pool {
+	q := *p
+	q.inj = in
+	return &q
+}
+
+// Injector returns the fault injector this pool fires; nil when
+// injection is disabled.
+func (p *Pool) Injector() *resil.Injector { return p.inj }
 
 // Options returns the tile options this pool applies to a job whose
 // total row cost is totalCost: the pool's explicit target if set,
@@ -140,15 +169,47 @@ func (s *span) stealHalf() (lo, hi int, ok bool) {
 	}
 }
 
+// TileError is a panic captured inside one tile execution: the tile
+// index, the recovered panic value, and the stack at the panic site.
+// Run converts tile panics into a TileError instead of letting them
+// kill the process — a panicking goroutine inside the pool would
+// otherwise be unrecoverable by any caller — and the pool remains
+// fully usable for subsequent runs.
+type TileError struct {
+	Tile      int
+	Recovered any
+	Stack     []byte
+}
+
+func (e *TileError) Error() string {
+	return fmt.Sprintf("sched: tile %d panicked: %v", e.Tile, e.Recovered)
+}
+
+// Unwrap exposes a recovered error value (e.g. a *resil.CrashError) to
+// errors.Is/As.
+func (e *TileError) Unwrap() error {
+	if err, ok := e.Recovered.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Run executes fn(i) exactly once for every i in [0, n), distributed
 // across the pool's workers by work stealing: each worker starts on a
 // contiguous chunk of the index space and, when drained, steals the
 // back half of another worker's remaining chunk. fn must be safe to
 // call from multiple goroutines for distinct i; no two calls share an
 // index, and Run returns only after every call has finished.
-func (p *Pool) Run(n int, fn func(i int)) {
+//
+// Fault containment: a panic inside fn is recovered, the remaining
+// sibling tiles are drained normally, and Run returns a *TileError
+// describing the panicking tile (the lowest-indexed one when several
+// panic, so the returned error is deterministic). The pool itself
+// holds no per-run state and stays usable after a tile panic. Run
+// returns nil when every call completed.
+func (p *Pool) Run(n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	// Deterministic accounting: invocation and item counts are pure
 	// functions of the workload. The steal/share metrics below are
@@ -160,15 +221,44 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		steals = p.obs.Volatile("sched/steals")
 		stolenItems = p.obs.Volatile("sched/steal_items")
 	}
+	// exec runs one tile with fault containment: an injector hit first
+	// (crash/transient events panic, stragglers sleep), then fn, with
+	// any panic captured as the run's TileError. One deferred recover
+	// per tile is noise next to a tile's >= target-cost work, keeping
+	// the fault-free hot path at nil-check cost.
+	var errMu sync.Mutex
+	var tileErr *TileError
+	exec := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := debug.Stack()
+				errMu.Lock()
+				if tileErr == nil || i < tileErr.Tile {
+					tileErr = &TileError{Tile: i, Recovered: r, Stack: stack}
+				}
+				errMu.Unlock()
+				if p.obs != nil {
+					p.obs.Counter("sched/tile_panics").Inc()
+				}
+			}
+		}()
+		if p.inj != nil {
+			p.inj.Exec("tile")
+		}
+		fn(i)
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			exec(i)
 		}
-		return
+		if tileErr != nil {
+			return tileErr
+		}
+		return nil
 	}
 	spans := make([]span, w)
 	chunk := (n + w - 1) / w
@@ -199,7 +289,7 @@ func (p *Pool) Run(n int, fn func(i int)) {
 			}()
 			for {
 				if i, ok := spans[self].pop(); ok {
-					fn(i)
+					exec(i)
 					executed++
 					continue
 				}
@@ -212,7 +302,7 @@ func (p *Pool) Run(n int, fn func(i int)) {
 						steals.Inc()
 						stolenItems.Add(int64(hi - lo))
 						for i := lo; i < hi; i++ {
-							fn(i)
+							exec(i)
 							executed++
 						}
 						stole = true
@@ -226,6 +316,10 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		}(id)
 	}
 	wg.Wait()
+	if tileErr != nil {
+		return tileErr
+	}
+	return nil
 }
 
 // Chunks splits [0, n) into at most k contiguous, non-empty ranges of
@@ -255,7 +349,8 @@ func Chunks(n, k int) [][2]int {
 // partials folded in chunk order — an ordered parallel reduction. For
 // integer sums the order is immaterial to the value, but keeping the
 // fold ordered means the same helper is safe for any associative-only
-// accumulator.
+// accumulator. A panic inside fn is re-raised on the calling goroutine
+// (as the *TileError Run captured) rather than killing the process.
 func (p *Pool) ReduceInt(n int, fn func(lo, hi int) int) int {
 	chunks := Chunks(n, p.workers)
 	if len(chunks) <= 1 {
@@ -265,9 +360,12 @@ func (p *Pool) ReduceInt(n int, fn func(lo, hi int) int) int {
 		return fn(0, n)
 	}
 	partials := make([]int, len(chunks))
-	p.Run(len(chunks), func(ci int) {
+	err := p.Run(len(chunks), func(ci int) {
 		partials[ci] = fn(chunks[ci][0], chunks[ci][1])
 	})
+	if err != nil {
+		panic(err)
+	}
 	total := 0
 	for _, v := range partials {
 		total += v

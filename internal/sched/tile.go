@@ -108,8 +108,10 @@ func Tiles(rows, cols int, rowCost func(r int) int64, opt TileOptions) []Tile {
 // RunTiles partitions the rows x cols rectangle with the pool's tile
 // options and executes fn over every tile with work stealing. totalCost
 // should be the sum of rowCost over all rows (for SpMM: the matrix
-// NNZ); it only influences the automatic tile-cost target.
-func (p *Pool) RunTiles(rows, cols int, totalCost int64, rowCost func(r int) int64, fn func(t Tile)) {
+// NNZ); it only influences the automatic tile-cost target. Like Run,
+// a panic inside fn is contained: RunTiles returns the *TileError and
+// the pool stays usable.
+func (p *Pool) RunTiles(rows, cols int, totalCost int64, rowCost func(r int) int64, fn func(t Tile)) error {
 	tiles := Tiles(rows, cols, rowCost, p.Options(totalCost))
 	if r := p.Obs(); r != nil {
 		// The tile partition is a pure function of (operand, pool
@@ -121,5 +123,5 @@ func (p *Pool) RunTiles(rows, cols int, totalCost int64, rowCost func(r int) int
 			h.Observe(t.Cost)
 		}
 	}
-	p.Run(len(tiles), func(i int) { fn(tiles[i]) })
+	return p.Run(len(tiles), func(i int) { fn(tiles[i]) })
 }

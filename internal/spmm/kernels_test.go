@@ -131,8 +131,12 @@ func TestTraceMatchesCostModelStats(t *testing.T) {
 	}
 	// Active slots equal the compressed matrix's nonzeros, which equal
 	// the (pruned) source's nonzeros.
-	if tr.ActiveSlots != cm.Decompress().NNZ() {
-		t.Errorf("active slots %d != decompressed nnz %d", tr.ActiveSlots, cm.Decompress().NNZ())
+	dec, err := cm.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ActiveSlots != dec.NNZ() {
+		t.Errorf("active slots %d != decompressed nnz %d", tr.ActiveSlots, dec.NNZ())
 	}
 	if u := tr.Utilization(); u <= 0 || u > 1 {
 		t.Errorf("utilization = %v", u)

@@ -52,12 +52,15 @@ func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 
 // CSRPool computes C = A x B on an explicit scheduler pool, tiling
 // rows by nonzero count (heavy rows split across B's columns, light
-// rows batched).
+// rows batched). A tile panic (an injected fault or a genuine bug) is
+// contained by the pool and re-raised here on the calling goroutine as
+// a *sched.TileError — recoverable by the caller, with the pool left
+// usable.
 func CSRPool(p *sched.Pool, a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 	p.Obs().Counter("spmm/dispatch/csr").Inc()
 	c := dense.NewMatrix(a.N, b.Cols)
 	h := b.Cols
-	p.RunTiles(a.N, h, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
+	err := p.RunTiles(a.N, h, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
 		for i := t.RowLo; i < t.RowHi; i++ {
 			cols, vals := a.Row(i)
 			cr := c.Data[i*h+t.ColLo : i*h+t.ColHi]
@@ -70,6 +73,9 @@ func CSRPool(p *sched.Pool, a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 			}
 		}
 	})
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -100,9 +106,12 @@ func VNMPool(p *sched.Pool, m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
 	c := dense.NewMatrix(m.N, b.Cols)
 	blockRows := len(m.BlockRowPtr) - 1
 	vpb := int64(m.ValuesPerBlock())
-	p.RunTiles(blockRows, b.Cols, int64(m.NumBlocks())*vpb,
+	err := p.RunTiles(blockRows, b.Cols, int64(m.NumBlocks())*vpb,
 		func(br int) int64 { return int64(m.BlockRowBlocks(br)) * vpb },
 		func(t sched.Tile) { vnmTile(m, b, c, t) })
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 

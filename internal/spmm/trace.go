@@ -54,9 +54,11 @@ func TraceVNMPool(p *sched.Pool, m *venom.Matrix) Trace {
 	blockRows := len(m.BlockRowPtr) - 1
 	chunks := sched.Chunks(blockRows, p.Workers()*4)
 	partials := make([]Trace, len(chunks))
-	p.Run(len(chunks), func(ci int) {
+	if err := p.Run(len(chunks), func(ci int) {
 		partials[ci] = traceBlockRows(m, chunks[ci][0], chunks[ci][1])
-	})
+	}); err != nil {
+		panic(err)
+	}
 	var tr Trace
 	for _, pt := range partials {
 		tr.merge(pt)

@@ -45,7 +45,11 @@ func TestSplitToConformIsExactDecomposition(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sum := comp.Decompress().ToDense()
+		back, err := comp.Decompress()
+		if err != nil {
+			return false
+		}
+		sum := back.ToDense()
 		sum.Add(resid.ToDense())
 		return dense.MaxAbsDiff(sum, a.ToDense()) == 0
 	}
@@ -63,7 +67,11 @@ func TestSplitCompressedAlwaysConforms(t *testing.T) {
 			return false
 		}
 		// Re-compressing the decompressed kept part must succeed.
-		if _, err := Compress(comp.Decompress(), p); err != nil {
+		back, err := comp.Decompress()
+		if err != nil {
+			return false
+		}
+		if _, err := Compress(back, p); err != nil {
 			return false
 		}
 		return comp.ValidateMeta() == nil
@@ -169,7 +177,10 @@ func TestDecompressRoundTripWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	back := c.Decompress()
+	back, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < a.N; r++ {
 		cols, vals := a.Row(r)
 		for k, col := range cols {

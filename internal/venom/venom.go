@@ -182,8 +182,30 @@ func Compress(a *csr.Matrix, p pattern.VNM) (*Matrix, error) {
 	return out, nil
 }
 
-// Decompress expands the compressed matrix back to CSR.
-func (m *Matrix) Decompress() *csr.Matrix {
+// DecompressError reports a structurally invalid packed entry found
+// while expanding a compressed matrix: a nonzero value slot whose
+// metadata selector resolves to a column id outside [0, N). It carries
+// the block coordinates (block row, stored-block index) and the matrix
+// row so a corrupted operand can be localized — the failure mode the
+// fault-injection layer exercises and the recovery path classifies.
+type DecompressError struct {
+	BlockRow int   // block row (V matrix rows each)
+	Block    int   // global stored-block index
+	Row      int   // matrix row of the offending value
+	Col      int32 // resolved (invalid) column id
+}
+
+func (e *DecompressError) Error() string {
+	return fmt.Sprintf("venom: decompress: block %d (block row %d, matrix row %d) resolves to invalid column %d",
+		e.Block, e.BlockRow, e.Row, e.Col)
+}
+
+// Decompress expands the compressed matrix back to CSR. A structurally
+// invalid packed entry (possible only from a corrupted representation —
+// Compress never produces one) is returned as a *DecompressError with
+// its block coordinates rather than panicking, so callers on the
+// recovery path can classify and retry.
+func (m *Matrix) Decompress() (*csr.Matrix, error) {
 	var rows, cols []int32
 	var vals []float32
 	vpb := m.ValuesPerBlock()
@@ -204,6 +226,9 @@ func (m *Matrix) Decompress() *csr.Matrix {
 						continue
 					}
 					c := m.BlockCols[colBase+int(m.Meta[off])]
+					if c < 0 || int(c) >= m.N {
+						return nil, &DecompressError{BlockRow: br, Block: int(bi), Row: r, Col: c}
+					}
 					rows = append(rows, int32(r))
 					cols = append(cols, c)
 					vals = append(vals, v)
@@ -213,9 +238,11 @@ func (m *Matrix) Decompress() *csr.Matrix {
 	}
 	out, err := csr.FromEntries(m.N, rows, cols, vals)
 	if err != nil {
-		panic("venom: internal decompress error: " + err.Error())
+		// Unreachable for in-range entries (rows/cols are bounds-checked
+		// above), kept as a guard with context instead of a panic.
+		return nil, fmt.Errorf("venom: decompress: %w", err)
 	}
-	return out
+	return out, nil
 }
 
 // PruneStats reports what PruneToConform removed.

@@ -11,6 +11,17 @@ import (
 	"repro/internal/pattern"
 )
 
+// mustDecompress expands a compressed matrix that the test constructed
+// to be structurally valid, failing the test on a DecompressError.
+func mustDecompress(t *testing.T, m *Matrix) *csr.Matrix {
+	t.Helper()
+	out, err := m.Decompress()
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	return out
+}
+
 // conformingMatrix builds a CSR matrix guaranteed to conform to p: each
 // V-row block places up to N nonzeros per row within a fixed set of up
 // to K columns of each touched segment.
@@ -70,7 +81,7 @@ func TestCompressDecompressRoundTrip(t *testing.T) {
 		if err := c.ValidateMeta(); err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		back := c.Decompress()
+		back := mustDecompress(t, c)
 		if dense.MaxAbsDiff(a.ToDense(), back.ToDense()) != 0 {
 			t.Errorf("%v: decompress differs from original", p)
 		}
@@ -123,7 +134,7 @@ func TestCompressEmptyMatrix(t *testing.T) {
 	if c.NumBlocks() != 0 {
 		t.Errorf("empty matrix stored %d blocks", c.NumBlocks())
 	}
-	if c.Decompress().NNZ() != 0 {
+	if mustDecompress(t, c).NNZ() != 0 {
 		t.Error("decompressed empty matrix has nonzeros")
 	}
 }
@@ -309,7 +320,7 @@ func TestCompressIgnoresExplicitZeros(t *testing.T) {
 	if err := c.ValidateMeta(); err != nil {
 		t.Fatal(err)
 	}
-	back := c.Decompress()
+	back := mustDecompress(t, c)
 	if back.NNZ() != 3 {
 		t.Errorf("round trip kept %d entries, want the 3 real nonzeros", back.NNZ())
 	}
@@ -334,7 +345,49 @@ func TestCompressIgnoresExplicitZeros(t *testing.T) {
 	if err != nil {
 		t.Fatalf("all-zero columns counted against budget: %v", err)
 	}
-	if got := cb.Decompress().NNZ(); got != 0 {
+	if got := mustDecompress(t, cb).NNZ(); got != 0 {
 		t.Errorf("round trip of numerically-empty matrix has %d entries", got)
+	}
+}
+
+// TestDecompressCorruptedColumns: a compressed matrix whose column
+// table was corrupted (the fault-injection layer's bit-flip model can
+// produce this) decompresses to a typed *DecompressError carrying the
+// block coordinates — it must not panic.
+func TestDecompressCorruptedColumns(t *testing.T) {
+	p := pattern.NM(2, 4)
+	a := conformingMatrix(16, p, 3)
+	c, err := Compress(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBlocks() == 0 {
+		t.Fatal("test matrix compressed to zero blocks")
+	}
+	// Corrupt the first nonzero slot's resolved column to an
+	// out-of-range id.
+	vpb := c.ValuesPerBlock()
+	found := false
+	for off := 0; off < len(c.Values) && !found; off++ {
+		if c.Values[off] == 0 {
+			continue
+		}
+		bi := off / vpb
+		c.BlockCols[bi*c.K+int(c.Meta[off])] = int32(c.N + 100)
+		found = true
+	}
+	if !found {
+		t.Fatal("no nonzero slot to corrupt")
+	}
+	_, err = c.Decompress()
+	var de *DecompressError
+	if !errors.As(err, &de) {
+		t.Fatalf("Decompress of corrupted matrix = %v, want *DecompressError", err)
+	}
+	if de.Col != int32(c.N+100) {
+		t.Errorf("DecompressError.Col = %d, want %d", de.Col, c.N+100)
+	}
+	if de.Block < 0 || de.BlockRow < 0 || de.Row < 0 || de.Row >= c.N {
+		t.Errorf("DecompressError coordinates out of range: %+v", de)
 	}
 }

@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -40,13 +40,14 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 # (or many-CPU) run never exercises.
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
     ./internal/check/ ./internal/gnn/ ./internal/core/ \
-    ./internal/distributed/ ./internal/obs/
+    ./internal/distributed/ ./internal/obs/ ./internal/resil/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     for target in FuzzCompressDecompress FuzzReorderLossless \
                   FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
-                  FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial; do
+                  FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
+                  FuzzFaultPlanParse; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -69,6 +70,29 @@ if ! cmp -s "$obs_tmp/a.json" "$obs_tmp/b.json"; then
     exit 1
 fi
 echo "canonical obs snapshots identical"
+
+echo "== fault-injection smoke (faulted sampled training, deterministic recovery) =="
+# The recovery contract (DESIGN.md §10): a fault plan is a deterministic
+# schedule, recovery recomputes pure functions, and the deterministic
+# obs counters (resil/injected, resil/retries, gnn ledger mirrors) are a
+# pure function of plan+workload — so two identical faulted runs must
+# emit byte-identical canonical snapshots. The plan avoids speculation
+# and retry exhaustion, which are the documented nondeterministic modes.
+fault_plan='seed=11; crash@sample:2; transient@sample:4; corrupt@sample/xfer:3; crash@eval:1'
+go run ./cmd/sogre-gnn -sampled -epochs 2 -batches 2 -seed 7 \
+    -faults "$fault_plan" -metrics "$obs_tmp/f1.json" -metrics-canonical > /dev/null
+go run ./cmd/sogre-gnn -sampled -epochs 2 -batches 2 -seed 7 \
+    -faults "$fault_plan" -metrics "$obs_tmp/f2.json" -metrics-canonical > /dev/null
+if ! cmp -s "$obs_tmp/f1.json" "$obs_tmp/f2.json"; then
+    echo "FAIL: canonical obs snapshots differ between identical faulted runs:" >&2
+    diff "$obs_tmp/f1.json" "$obs_tmp/f2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q 'resil/injected/crash' "$obs_tmp/f1.json"; then
+    echo "FAIL: fault smoke ran but injected no faults (plan not armed?)" >&2
+    exit 1
+fi
+echo "faulted runs recovered deterministically"
 
 echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
 cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
