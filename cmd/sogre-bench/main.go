@@ -18,12 +18,20 @@
 // Usage:
 //
 //	sogre-bench [-suite spmm] [-seed 20250806] [-out BENCH_spmm.json]
-//	            [-widths 64,128] [-repeats 3] [-workers 0]
+//	            [-widths 64,128] [-repeats 3] [-workers 0] [-calib FILE]
 //	sogre-bench -suite reorder [-seed 20250806] [-out BENCH_reorder.json]
 //	            [-repeats 2]
 //
-// With a fixed -seed, everything in either JSON except the timing
-// fields is byte-identical across runs (tested in internal/bench).
+// The spmm suite also emits one planner row per (graph, width): the
+// calibrated execution planner (internal/plan) choosing among the four
+// static kernels, with its choice, predicted ns and wall-clock ratio
+// to the best static kernel. -calib pins the calibration table: an
+// existing file is loaded, a missing one is measured on this machine
+// and written, so later runs replay the identical decisions.
+//
+// With a fixed -seed and a pinned -calib, everything in either JSON
+// except the timing fields is byte-identical across runs (tested in
+// internal/bench).
 //
 // -metrics writes an observability snapshot (kernel dispatch counters,
 // tiling histograms, reorder spans) as JSON after the suite; with
@@ -41,6 +49,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 func main() {
@@ -50,6 +59,8 @@ func main() {
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
 	repeats := flag.Int("repeats", 0, "timing repetitions per measurement, best wins (0 = suite default)")
 	workers := flag.Int("workers", 0, "parallel pool size for the spmm suite (0 = GOMAXPROCS)")
+	calibPath := flag.String("calib", "", "planner calibration table file for the spmm suite: loaded if present, else measured and written (empty = measure fresh, unpinned)")
+	canonical := flag.Bool("canonical", false, "emit the canonical suite projection (timing fields zeroed) for byte-comparable output (spmm suite)")
 	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the suite runs")
@@ -74,7 +85,7 @@ func main() {
 	var err error
 	switch *suiteName {
 	case "spmm":
-		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers, reg)
+		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers, *calibPath, *canonical, reg)
 	case "reorder":
 		data, summary, err = runReorder(*seed, *repeats, reg)
 	default:
@@ -107,7 +118,36 @@ func main() {
 	fmt.Printf("wrote %s (%s)\n", path, summary)
 }
 
-func runSpMM(seed int64, widths string, repeats, workers int, reg *obs.Registry) ([]byte, string, error) {
+// loadOrMeasureCalib resolves the -calib flag: an existing file is
+// parsed and pinned, a missing one is measured on this machine and
+// written so later runs replay the same table.
+func loadOrMeasureCalib(path string, cfg plan.MeasureConfig) (*plan.Calibration, error) {
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		cal, perr := plan.ParseCalibration(string(raw))
+		if perr != nil {
+			return nil, fmt.Errorf("calibration file %s: %w", path, perr)
+		}
+		if cal == nil {
+			return nil, fmt.Errorf("calibration file %s is empty", path)
+		}
+		return cal, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	cal, err := plan.Measure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, []byte(cal.String()+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "measured calibration written to %s\n", path)
+	return cal, nil
+}
+
+func runSpMM(seed int64, widths string, repeats, workers int, calibPath string, canonical bool, reg *obs.Registry) ([]byte, string, error) {
 	cfg := bench.DefaultConfig()
 	cfg.Seed = seed
 	if repeats > 0 {
@@ -123,16 +163,32 @@ func runSpMM(seed int64, widths string, repeats, workers int, reg *obs.Registry)
 		}
 		cfg.Widths = append(cfg.Widths, v)
 	}
+	if calibPath != "" {
+		cal, err := loadOrMeasureCalib(calibPath, plan.MeasureConfig{
+			Seed: seed, Workers: workers, Pattern: cfg.Pattern, Repeats: cfg.Repeats, Autotune: true,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		cfg.Calib = cal
+	}
 
 	suite, err := bench.Run(cfg)
 	if err != nil {
 		return nil, "", err
 	}
-	fmt.Printf("%-14s %-6s %-16s %-8s %10s %9s %9s %9s\n",
-		"graph", "H", "kernel", "workers", "ns/op", "GFLOP/s", "f/cycle", "speedup")
+	fmt.Printf("%-14s %-6s %-16s %-8s %10s %9s %9s %9s  %s\n",
+		"graph", "H", "kernel", "workers", "ns/op", "GFLOP/s", "f/cycle", "speedup", "choice")
 	for _, r := range suite.Results {
-		fmt.Printf("%-14s %-6d %-16s %-8d %10.0f %9.3f %9.3f %9.2f\n",
-			r.Graph, r.H, r.Kernel, r.Workers, r.NsPerOp, r.GFLOPS, r.ModelFLOPPerCycle, r.SpeedupVsSerial)
+		extra := ""
+		if r.Kernel == "planner" {
+			extra = fmt.Sprintf("%s (vs best static %.2f)", r.Choice, r.VsBestStatic)
+		}
+		fmt.Printf("%-14s %-6d %-16s %-8d %10.0f %9.3f %9.3f %9.2f  %s\n",
+			r.Graph, r.H, r.Kernel, r.Workers, r.NsPerOp, r.GFLOPS, r.ModelFLOPPerCycle, r.SpeedupVsSerial, extra)
+	}
+	if canonical {
+		suite = bench.Canonical(suite)
 	}
 	data, err := suite.JSON()
 	if err != nil {

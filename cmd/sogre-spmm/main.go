@@ -1,11 +1,20 @@
 // Command sogre-spmm benchmarks SpMM on one graph: CSR baseline vs the
-// SPTC V:N:M kernel after SOGRE reordering, sweeping the dense width H
-// — a single-graph slice of the paper's Figure 4.
+// reordered side, sweeping the dense width H — a single-graph slice of
+// the paper's Figure 4.
+//
+// -plan selects the reordered side's dispatch: "hybrid" (default, the
+// V:N:M/SPTC kernel after SOGRE reordering), "csr" (the CSR kernel on
+// the reordered matrix), or "auto" — the calibrated execution planner
+// (internal/plan) picking the kernel class per width from measured
+// ns-per-cycle coefficients. -calib names the calibration table file
+// for -plan auto: loaded if present, otherwise measured on this
+// machine and written, so repeated sweeps replay identical decisions.
 //
 // Usage:
 //
 //	sogre-spmm -in graph.mtx [-h 64,128,256,512]
 //	sogre-spmm -gen banded -n 2048
+//	sogre-spmm -gen er -n 8192 -plan auto -calib calib.txt
 //
 // -metrics writes an observability snapshot (dispatch counters, tiling
 // histograms, reorder spans) as JSON after the sweep; with
@@ -27,6 +36,8 @@ import (
 	"repro/internal/dense"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/predictor/cycle"
 	"repro/internal/resil"
 	"repro/internal/sched"
 	"repro/internal/spmm"
@@ -45,7 +56,13 @@ func main() {
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the sweep runs")
 	faults := flag.String("faults", "", "fault-injection plan for the tiled kernels, e.g. 'seed=1; crash@tile:3' (see internal/resil); injected tile faults are retried")
+	planMode := flag.String("plan", "hybrid", "reordered-side dispatch: hybrid, csr, or auto (calibrated planner)")
+	calibPath := flag.String("calib", "", "calibration table file for -plan auto: loaded if present, else measured and written")
 	flag.Parse()
+	if *planMode != "hybrid" && *planMode != "csr" && *planMode != "auto" {
+		fmt.Fprintf(os.Stderr, "sogre-spmm: -plan %q (want hybrid, csr, or auto)\n", *planMode)
+		os.Exit(2)
+	}
 	pool := sched.New(*workers)
 
 	var reg *obs.Registry
@@ -55,7 +72,7 @@ func main() {
 	}
 	var inj *resil.Injector
 	if *faults != "" {
-		plan, err := resil.ParsePlan(*faults)
+		fplan, err := resil.ParsePlan(*faults)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
 			os.Exit(2)
@@ -64,7 +81,7 @@ func main() {
 		if robs == nil {
 			robs = obs.NewRegistry()
 		}
-		inj = resil.NewInjector(plan, robs)
+		inj = resil.NewInjector(fplan, robs)
 		pool = pool.WithInjector(inj)
 	}
 	// runKernel contains a tile panic (an injected crash or a genuine
@@ -130,9 +147,29 @@ func main() {
 		fmt.Printf("residual entries outside pattern: %d of %d\n", resid.NNZ(), reordered.NNZ())
 	}
 	cm := sptc.DefaultCostModel()
+	var planner *plan.Planner
+	if *planMode == "auto" {
+		mcfg := plan.MeasureConfig{
+			Seed: *seed, Workers: pool.Workers(),
+			Pattern: auto.Best.Pattern, Cost: cm, Autotune: true,
+		}
+		var cal *plan.Calibration
+		if *calibPath != "" {
+			cal, err = loadOrMeasureCalib(*calibPath, mcfg)
+		} else {
+			cal, err = plan.Measure(mcfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-spmm: %v\n", err)
+			os.Exit(1)
+		}
+		planner = &plan.Planner{Calib: cal, Cost: cm, Workers: pool.Workers()}
+		fmt.Printf("calibration: %s\n", cal)
+	}
+	op := plan.Operands{A: reordered, Comp: comp, Resid: resid}
 	fmt.Printf("scheduler: %d workers\n", pool.Workers())
-	fmt.Printf("%-6s  %-14s  %-14s  %-10s  %-12s  %-12s\n",
-		"H", "CSR cycles", "SPTC cycles", "speedup", "CSR wall", "SPTC wall")
+	fmt.Printf("%-6s  %-14s  %-14s  %-10s  %-12s  %-12s  %s\n",
+		"H", "CSR cycles", "plan cycles", "speedup", "CSR wall", "plan wall", "dispatch")
 	for _, h := range widths {
 		b := dense.NewMatrix(g.N(), h)
 		b.Randomize(1, *seed+int64(h))
@@ -140,16 +177,21 @@ func main() {
 		runKernel(func() { spmm.CSRPool(pool, a, b) })
 		baseWall := time.Since(baseStart)
 		baseCycles := cm.CSRSpMMCycles(a.NNZ(), a.N, h)
-		revStart := time.Now()
-		runKernel(func() { spmm.HybridPool(pool, comp, resid, b) })
-		revWall := time.Since(revStart)
-		revCycles := cm.VNMSpMMCycles(sptc.Stats(comp, cm), h)
-		if resid.NNZ() > 0 {
-			revCycles += cm.CSRSpMMCycles(resid.NNZ(), resid.N, h)
+		// The reordered side runs whichever dispatch -plan selected.
+		d := plan.Decision{Kernel: cycle.KernelHybridParallel, Workers: pool.Workers()}
+		if *planMode == "csr" {
+			d.Kernel = cycle.KernelCSRParallel
 		}
-		fmt.Printf("%-6d  %-14.0f  %-14.0f  %-10.2f  %-12v  %-12v\n",
+		if planner != nil {
+			d = planner.ChooseOperands(op, h)
+		}
+		revStart := time.Now()
+		runKernel(func() { plan.Execute(d, pool, op, b, nil) })
+		revWall := time.Since(revStart)
+		revCycles := cycle.ModelCycles(cm, d.Kernel, op.Profile(h, cm))
+		fmt.Printf("%-6d  %-14.0f  %-14.0f  %-10.2f  %-12v  %-12v  %s\n",
 			h, baseCycles, revCycles, baseCycles/revCycles,
-			baseWall.Round(1000), revWall.Round(1000))
+			baseWall.Round(1000), revWall.Round(1000), d.Kernel)
 	}
 
 	if inj != nil {
@@ -167,6 +209,35 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadOrMeasureCalib resolves -calib: an existing file is parsed and
+// pinned, a missing one is measured on this machine and written so
+// later sweeps replay the same table.
+func loadOrMeasureCalib(path string, cfg plan.MeasureConfig) (*plan.Calibration, error) {
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		cal, perr := plan.ParseCalibration(string(raw))
+		if perr != nil {
+			return nil, fmt.Errorf("calibration file %s: %w", path, perr)
+		}
+		if cal == nil {
+			return nil, fmt.Errorf("calibration file %s is empty", path)
+		}
+		return cal, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	cal, err := plan.Measure(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, []byte(cal.String()+"\n"), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "measured calibration written to %s\n", path)
+	return cal, nil
 }
 
 func loadGraph(in, gen string, n int, seed int64) (*graph.Graph, error) {

@@ -4,12 +4,17 @@
 // machine-readable suite (BENCH_spmm.json) so the performance
 // trajectory is tracked from PR 2 onward.
 //
-// Reproducibility contract: for a fixed Config, everything in the
-// suite except the timing-derived fields (ns_per_op, gflops,
-// speedup_vs_serial) is byte-identical across runs — operands are
-// seeded, kernels are bit-deterministic, and the modeled cycle counts
-// are pure functions of the operands. Canonical zeroes the timing
-// fields; the determinism test asserts two runs agree canonically.
+// Reproducibility contract: for a fixed Config with a pinned
+// calibration table, everything in the suite except the timing-derived
+// fields (ns_per_op, gflops, speedup_vs_serial, vs_best_static) is
+// byte-identical across runs — operands are seeded, kernels are
+// bit-deterministic, the modeled cycle counts are pure functions of
+// the operands, and planner decisions are pure functions of (profile,
+// table). Canonical zeroes the timing fields; the determinism test
+// asserts two runs agree canonically. When Config.Calib is nil, Run
+// measures a fresh table (recorded in the suite's calib field), and
+// the planner rows' choice/predicted_ns inherit that measurement's
+// run-to-run variance — pin a table for diffable output.
 package bench
 
 import (
@@ -23,6 +28,8 @@ import (
 	"repro/internal/dense"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predictor/cycle"
 	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
@@ -30,8 +37,10 @@ import (
 )
 
 // Schema identifies the JSON layout; bump on breaking changes so
-// trajectory tooling can refuse mixed files.
-const Schema = "sogre-bench/v1"
+// trajectory tooling can refuse mixed files. v2 added the planner rows
+// (kernel "planner" with choice/predicted_ns/vs_best_static), the
+// per-result gomaxprocs field, and the suite-level calibration table.
+const Schema = "sogre-bench/v2"
 
 // GraphSpec names one seeded benchmark operand drawn from a
 // datasets regime family.
@@ -55,6 +64,11 @@ type Config struct {
 	// Timed loops include the (negligible, nil-checked) recording cost
 	// uniformly, so speedup ratios remain comparable.
 	Obs *obs.Registry
+	// Calib is the planner's calibration table. Nil means Run measures
+	// one on this machine before timing (plan.Measure); pinning a
+	// parsed table instead makes the planner rows' choices — and hence
+	// the canonical suite — byte-reproducible.
+	Calib *plan.Calibration
 }
 
 // DefaultConfig returns the checked-in trajectory workload: three
@@ -108,6 +122,13 @@ type Result struct {
 	H       int    `json:"h"`
 	Kernel  string `json:"kernel"`
 	Workers int    `json:"workers"`
+	// GoMaxProcs records the scheduler parallelism this row was timed
+	// under, so a trajectory file mixing machines stays interpretable
+	// row by row.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Choice, on planner rows only, names the kernel class the planner
+	// dispatched (one of the four static kernels above).
+	Choice string `json:"choice,omitempty"`
 
 	// FLOPs is the useful arithmetic of the product: 2 * nnz * h.
 	FLOPs int64 `json:"flops"`
@@ -118,23 +139,38 @@ type Result struct {
 	// cycle model: useful FLOPs per modeled cycle.
 	ModelFLOPPerCycle float64 `json:"model_flop_per_cycle"`
 
+	// PredictedNs, on planner rows only, is the calibrated cost
+	// estimate the choice was made on: model cycles x ns-per-cycle.
+	// Deterministic for a pinned table (it is a pure function of the
+	// profile and the table), so Canonical keeps it.
+	PredictedNs float64 `json:"predicted_ns,omitempty"`
+
 	NsPerOp float64 `json:"ns_per_op"`
 	// GFLOPS is the measured useful-arithmetic rate, flops/ns.
 	GFLOPS float64 `json:"gflops"`
 	// SpeedupVsSerial is serial-twin ns_per_op divided by this
-	// kernel's; 1.0 for the serial kernels themselves.
+	// kernel's; 1.0 for the serial kernels themselves. Planner rows use
+	// the serial twin of the chosen class.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// VsBestStatic, on planner rows only, is the best static kernel's
+	// ns_per_op divided by the planned dispatch's: 1.0 means the
+	// planner matched the best static choice, below 1.0 it paid regret.
+	VsBestStatic float64 `json:"vs_best_static,omitempty"`
 }
 
 // Suite is the full benchmark output.
 type Suite struct {
-	Schema     string   `json:"schema"`
-	Seed       int64    `json:"seed"`
-	Workers    int      `json:"workers"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Pattern    string   `json:"pattern"`
-	Widths     []int    `json:"widths"`
-	Results    []Result `json:"results"`
+	Schema     string `json:"schema"`
+	Seed       int64  `json:"seed"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Pattern    string `json:"pattern"`
+	// Calib is the canonical text form of the calibration table the
+	// planner rows were decided on (plan.Calibration.String) —
+	// ParseCalibration round-trips it, so a suite pins its own replay.
+	Calib   string   `json:"calib"`
+	Widths  []int    `json:"widths"`
+	Results []Result `json:"results"`
 }
 
 // time1 measures fn's best (minimum) wall time over repeats runs,
@@ -153,8 +189,10 @@ func time1(repeats int, fn func()) float64 {
 }
 
 // Run executes the suite: for every (graph, width), the serial and
-// parallel CSR kernels and the serial and parallel V:N:M/SPTC hybrid
-// kernels, each timed best-of-Repeats.
+// parallel CSR kernels, the serial and parallel V:N:M/SPTC hybrid
+// kernels, and a fifth planner row — the calibrated execution planner
+// choosing among those four at dispatch time — each timed
+// best-of-Repeats.
 func Run(cfg Config) (*Suite, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -168,14 +206,32 @@ func Run(cfg Config) (*Suite, error) {
 		pool = pool.WithObs(cfg.Obs)
 	}
 	cm := sptc.DefaultCostModel()
+	cal := cfg.Calib
+	if cal == nil {
+		var err error
+		cal, err = plan.Measure(plan.MeasureConfig{
+			Seed:    cfg.Seed,
+			Workers: workers,
+			Pattern: cfg.Pattern,
+			Repeats: cfg.Repeats,
+			Cost:    cm,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: calibration: %w", err)
+		}
+	}
+	planner := &plan.Planner{Calib: cal, Cost: cm, Workers: workers}
+	procs := runtime.GOMAXPROCS(0)
 	s := &Suite{
 		Schema:     Schema,
 		Seed:       cfg.Seed,
 		Workers:    workers,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: procs,
 		Pattern:    cfg.Pattern.String(),
+		Calib:      cal.String(),
 		Widths:     append([]int(nil), cfg.Widths...),
 	}
+	var arena plan.Arena
 	for gi, spec := range cfg.Graphs {
 		g, err := datasets.Family(spec.Family, spec.N, spec.Degree, cfg.Seed+int64(gi))
 		if err != nil {
@@ -198,10 +254,11 @@ func Run(cfg Config) (*Suite, error) {
 				Graph: spec.Name, N: a.N, Edges: g.NumUndirectedEdges(), NNZ: a.NNZ(), H: h,
 				FLOPs: flops,
 			}
-			add := func(kernel string, w int, cycles float64, ns, serialNs float64) {
+			add := func(kernel string, w int, cycles float64, ns, serialNs float64) *Result {
 				r := base
 				r.Kernel = kernel
 				r.Workers = w
+				r.GoMaxProcs = procs
 				r.ModelCycles = cycles
 				if cycles > 0 {
 					r.ModelFLOPPerCycle = float64(flops) / cycles
@@ -212,6 +269,7 @@ func Run(cfg Config) (*Suite, error) {
 					r.SpeedupVsSerial = serialNs / ns
 				}
 				s.Results = append(s.Results, r)
+				return &s.Results[len(s.Results)-1]
 			}
 			csrC := cm.CSRSpMMCycles(a.NNZ(), a.N, h)
 			serialNs := time1(cfg.Repeats, func() { spmm.CSRSerial(a, b) })
@@ -222,6 +280,28 @@ func Run(cfg Config) (*Suite, error) {
 			add("hybrid-serial", 1, hybridCycles, hybSerialNs, hybSerialNs)
 			hybParNs := time1(cfg.Repeats, func() { spmm.HybridPool(pool, comp, resid, b) })
 			add("hybrid-parallel", workers, hybridCycles, hybParNs, hybSerialNs)
+
+			// The planner row: choose among the four static classes from
+			// the calibrated table and time the planned dispatch itself.
+			op := plan.Operands{A: a, Comp: comp, Resid: resid}
+			d := planner.ChooseOperands(op, h)
+			plannerNs := time1(cfg.Repeats, func() { plan.Execute(d, pool, op, b, &arena) })
+			twinNs := serialNs
+			if d.Kernel.IsHybrid() {
+				twinNs = hybSerialNs
+			}
+			bestStatic := serialNs
+			for _, ns := range []float64{parNs, hybSerialNs, hybParNs} {
+				if ns < bestStatic {
+					bestStatic = ns
+				}
+			}
+			r := add("planner", d.Workers, cycle.ModelCycles(cm, d.Kernel, op.Profile(h, cm)), plannerNs, twinNs)
+			r.Choice = string(d.Kernel)
+			r.PredictedNs = d.PredictedNs()
+			if plannerNs > 0 {
+				r.VsBestStatic = bestStatic / plannerNs
+			}
 		}
 	}
 	return s, nil
@@ -229,7 +309,10 @@ func Run(cfg Config) (*Suite, error) {
 
 // Canonical returns a copy of the suite with every timing-derived
 // field zeroed — the byte-comparable projection two same-seed runs
-// must agree on.
+// with a pinned calibration table must agree on. The planner rows'
+// choice and predicted_ns survive: both are pure functions of the
+// (seeded) operands and the table, so canonical equality proves the
+// planner replayed the same decisions.
 func Canonical(s *Suite) *Suite {
 	c := *s
 	c.Results = append([]Result(nil), s.Results...)
@@ -237,6 +320,7 @@ func Canonical(s *Suite) *Suite {
 		c.Results[i].NsPerOp = 0
 		c.Results[i].GFLOPS = 0
 		c.Results[i].SpeedupVsSerial = 0
+		c.Results[i].VsBestStatic = 0
 	}
 	return &c
 }

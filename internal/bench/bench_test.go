@@ -3,13 +3,18 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predictor/cycle"
 )
 
 // tinyConfig keeps test runs fast: two small graphs, one width, one
-// timing repetition.
+// timing repetition, and a pinned calibration table so no measurement
+// pass runs and the planner rows are deterministic.
 func tinyConfig() Config {
 	return Config{
 		Seed:   7,
@@ -21,6 +26,15 @@ func tinyConfig() Config {
 		Repeats: 1,
 		Workers: 2,
 		Pattern: pattern.NM(2, 4),
+		Calib: &plan.Calibration{
+			Seed: 7, Workers: 2,
+			Coeffs: []plan.Coefficient{
+				{Kernel: cycle.KernelCSRSerial, NsPerCycle: 0.6},
+				{Kernel: cycle.KernelCSRParallel, NsPerCycle: 0.25},
+				{Kernel: cycle.KernelHybridSerial, NsPerCycle: 1.8},
+				{Kernel: cycle.KernelHybridParallel, NsPerCycle: 0.7},
+			},
+		},
 	}
 }
 
@@ -72,13 +86,22 @@ func TestSuiteSchema(t *testing.T) {
 	if decoded["schema"] != Schema {
 		t.Fatalf("schema = %v, want %q", decoded["schema"], Schema)
 	}
+	if calib, ok := decoded["calib"].(string); !ok || calib == "" {
+		t.Fatalf("suite JSON calib = %v, want the pinned table", decoded["calib"])
+	} else if got, err := plan.ParseCalibration(calib); err != nil || got == nil {
+		t.Fatalf("suite calib %q does not round-trip: %v", calib, err)
+	}
 	results, ok := decoded["results"].([]any)
 	if !ok || len(results) == 0 {
 		t.Fatal("suite JSON has no results")
 	}
-	// 2 graphs x 1 width x 4 kernels.
-	if len(s.Results) != 8 {
-		t.Fatalf("got %d results, want 8", len(s.Results))
+	// 2 graphs x 1 width x (4 kernels + 1 planner row).
+	if len(s.Results) != 10 {
+		t.Fatalf("got %d results, want 10", len(s.Results))
+	}
+	static := map[string]bool{
+		"csr-serial": true, "csr-parallel": true,
+		"hybrid-serial": true, "hybrid-parallel": true,
 	}
 	kernels := map[string]int{}
 	for _, r := range s.Results {
@@ -89,8 +112,21 @@ func TestSuiteSchema(t *testing.T) {
 		if r.ModelFLOPPerCycle <= 0 || r.GFLOPS <= 0 {
 			t.Fatalf("result %+v missing derived rates", r)
 		}
+		if r.GoMaxProcs < 1 {
+			t.Fatalf("result %+v missing gomaxprocs", r)
+		}
+		if r.Kernel == "planner" {
+			if !static[r.Choice] {
+				t.Fatalf("planner row chose unknown kernel %q", r.Choice)
+			}
+			if r.PredictedNs <= 0 || r.VsBestStatic <= 0 {
+				t.Fatalf("planner row %+v missing planner metrics", r)
+			}
+		} else if r.Choice != "" || r.PredictedNs != 0 || r.VsBestStatic != 0 {
+			t.Fatalf("static row %+v carries planner-only fields", r)
+		}
 	}
-	for _, k := range []string{"csr-serial", "csr-parallel", "hybrid-serial", "hybrid-parallel"} {
+	for _, k := range []string{"csr-serial", "csr-parallel", "hybrid-serial", "hybrid-parallel", "planner"} {
 		if kernels[k] != 2 {
 			t.Fatalf("kernel %q appears %d times, want 2 (kernels: %v)", k, kernels[k], kernels)
 		}
@@ -120,6 +156,10 @@ func TestSpeedupFieldConsistency(t *testing.T) {
 			twin = r.Graph + "/csr"
 		case "hybrid-parallel":
 			twin = r.Graph + "/hyb"
+		case "planner":
+			// The planner row's baseline is the serial twin of whichever
+			// class it chose.
+			twin = r.Graph + "/" + r.Choice[:3]
 		default:
 			continue
 		}
@@ -139,17 +179,84 @@ func TestCanonicalZeroesOnlyTimingFields(t *testing.T) {
 	}
 	c := Canonical(s)
 	for i, r := range c.Results {
-		if r.NsPerOp != 0 || r.GFLOPS != 0 || r.SpeedupVsSerial != 0 {
+		if r.NsPerOp != 0 || r.GFLOPS != 0 || r.SpeedupVsSerial != 0 || r.VsBestStatic != 0 {
 			t.Fatalf("canonical result %d keeps timing fields: %+v", i, r)
 		}
 		orig := s.Results[i]
 		if r.Graph != orig.Graph || r.Kernel != orig.Kernel || r.FLOPs != orig.FLOPs ||
-			r.ModelCycles != orig.ModelCycles || r.NNZ != orig.NNZ {
+			r.ModelCycles != orig.ModelCycles || r.NNZ != orig.NNZ ||
+			r.Choice != orig.Choice || r.PredictedNs != orig.PredictedNs ||
+			r.GoMaxProcs != orig.GoMaxProcs {
 			t.Fatalf("canonical result %d lost deterministic fields: %+v vs %+v", i, r, orig)
 		}
 	}
+	if c.Calib != s.Calib {
+		t.Fatal("canonical suite lost the calibration table")
+	}
 	if s.Results[0].NsPerOp == 0 {
 		t.Fatal("Canonical mutated the original suite")
+	}
+}
+
+// TestCheckedInBenchFile (regression gate): the trajectory file at the
+// repo root must never record a parallel kernel losing to its serial
+// twin (speedup_vs_serial < 1 at workers > 1), and every planner row
+// must stay within 10% of the best static kernel — the PR acceptance
+// bars, enforced against the bytes actually checked in so a bad
+// regeneration cannot land silently.
+func TestCheckedInBenchFile(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_spmm.json")
+	if err != nil {
+		t.Fatalf("checked-in BENCH_spmm.json unreadable: %v", err)
+	}
+	var s Suite
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatalf("BENCH_spmm.json does not parse as a Suite: %v", err)
+	}
+	if s.Schema != Schema {
+		t.Fatalf("BENCH_spmm.json schema %q, want %q — regenerate with cmd/sogre-bench", s.Schema, Schema)
+	}
+	if _, err := plan.ParseCalibration(s.Calib); err != nil {
+		t.Fatalf("BENCH_spmm.json calib does not parse: %v", err)
+	}
+	for _, r := range s.Results {
+		if r.Workers > 1 && r.SpeedupVsSerial < 1 {
+			t.Errorf("%s/%s h=%d: parallel kernel slower than serial twin (speedup %.3f at %d workers)",
+				r.Graph, r.Kernel, r.H, r.SpeedupVsSerial, r.Workers)
+		}
+		if r.Kernel == "planner" && r.VsBestStatic < 0.9 {
+			t.Errorf("%s/planner h=%d: planned dispatch at %.3f of best static, want >= 0.9",
+				r.Graph, r.H, r.VsBestStatic)
+		}
+	}
+}
+
+// TestLiveParallelNoSlowdown (regression gate, live half): on a machine
+// with real parallelism, a fresh bench run must not record a parallel
+// kernel losing to its serial twin. Wall-clock based and meaningless on
+// starved schedulers, so it needs at least 4 procs and skips -short.
+func TestLiveParallelNoSlowdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live timing gate skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 procs for a meaningful parallel gate, have %d", runtime.GOMAXPROCS(0))
+	}
+	cfg := tinyConfig()
+	cfg.Graphs = []GraphSpec{{Name: "er-mid", Family: "er", N: 4096, Degree: 8}}
+	cfg.Widths = []int{64}
+	cfg.Workers = 0 // full machine
+	cfg.Repeats = 5
+	cfg.Calib = nil // measure: the planner row should also pick a winner here
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Results {
+		if r.Workers > 1 && r.SpeedupVsSerial < 1 {
+			t.Errorf("%s/%s h=%d: parallel kernel slower than serial twin (speedup %.3f at %d workers)",
+				r.Graph, r.Kernel, r.H, r.SpeedupVsSerial, r.Workers)
+		}
 	}
 }
 

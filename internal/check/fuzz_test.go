@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pattern"
+	"repro/internal/plan"
 	"repro/internal/resil"
 	"repro/internal/venom"
 )
@@ -25,8 +26,8 @@ var fuzzPatterns = []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8)}
 func FuzzCompressDecompress(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 64})
-	f.Add([]byte{8, 0, 1, 7, 1, 0, 9, 3, 3, 0})      // explicit zero value
-	f.Add([]byte{5, 2, 2, 10, 2, 2, 11, 2, 2, 200})  // duplicates summed
+	f.Add([]byte{8, 0, 1, 7, 1, 0, 9, 3, 3, 0})     // explicit zero value
+	f.Add([]byte{5, 2, 2, 10, 2, 2, 11, 2, 2, 200}) // duplicates summed
 	f.Add([]byte{16, 0, 15, 33, 1, 14, 90, 15, 0, 5})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a := CSRFromBytes(data, 32)
@@ -193,6 +194,45 @@ func graphsEqual(a, b *graph.Graph) error {
 	return nil
 }
 
+// FuzzCalibrationParse asserts the calibration-table grammar never
+// panics and that its canonical rendering is a fixed point: any
+// accepted table re-parses from Calibration.String() to a table with
+// the identical canonical form — the replay contract the planner smoke
+// gate relies on when two bench processes share one table file.
+func FuzzCalibrationParse(f *testing.F) {
+	f.Add("")
+	f.Add(plan.CalibSchema + "; csr-serial=0.5")
+	f.Add(plan.CalibSchema + "; seed=42; workers=4; target=1024; csr-serial=0.5; hybrid-parallel=0.08125")
+	f.Add(plan.CalibSchema + "; hybrid-serial=1.25; csr-parallel=0.17; seed=9")
+	f.Add(plan.CalibSchema + "; csr-serial=1; csr-serial=2") // duplicate kernel -> error
+	f.Add(plan.CalibSchema + "; warp-speed=1")               // unknown kernel -> error
+	f.Add(plan.CalibSchema + "; csr-serial=-1")              // non-positive coefficient -> error
+	f.Add("sogre-calib/v0; csr-serial=1")                    // wrong schema -> error
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := plan.ParseCalibration(s)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			if strings.TrimSpace(s) != "" {
+				t.Fatalf("non-empty input %q parsed to a nil table without error", s)
+			}
+			return
+		}
+		canon := c.String()
+		c2, err := plan.ParseCalibration(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted table %q rejected: %v", canon, s, err)
+		}
+		if got := c2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+		if c2.Seed != c.Seed || c2.Workers != c.Workers || c2.TileTarget != c.TileTarget || len(c2.Coeffs) != len(c.Coeffs) {
+			t.Fatalf("round trip changed table: %+v -> %+v", c, c2)
+		}
+	})
+}
+
 // FuzzFaultPlanParse asserts the fault-plan grammar never panics and
 // that its canonical rendering is a fixed point: any accepted plan
 // re-parses from Plan.String() to a plan with the identical canonical
@@ -204,10 +244,10 @@ func FuzzFaultPlanParse(f *testing.F) {
 	f.Add("seed=7; crash@tile:3")
 	f.Add("straggler@sample:2:5ms; corrupt@partition/xfer:1")
 	f.Add("transient@venom/meta:1, crash@eval:2")
-	f.Add("crash@a:1;crash@a:1")     // duplicate event -> error
-	f.Add("delay@x:1")               // unknown kind -> error
-	f.Add("crash@bad site:1")        // bad site charset -> error
-	f.Add("crash@s:1:5ms")           // delay on non-straggler -> error
+	f.Add("crash@a:1;crash@a:1") // duplicate event -> error
+	f.Add("delay@x:1")           // unknown kind -> error
+	f.Add("crash@bad site:1")    // bad site charset -> error
+	f.Add("crash@s:1:5ms")       // delay on non-straggler -> error
 	f.Fuzz(func(t *testing.T, s string) {
 		p, err := resil.ParsePlan(s)
 		if err != nil {

@@ -66,6 +66,24 @@ func (m *Matrix) Clone() *Matrix {
 	}
 }
 
+// Compact returns a copy of the matrix whose three flat arrays are
+// freshly allocated at exact length (no growth slack from incremental
+// construction) — the arena-style layout the execution planner's
+// Prepare step hands the kernels, so the sparse-metadata walks of a
+// planned dispatch touch densely packed storage.
+func (m *Matrix) Compact() *Matrix {
+	c := &Matrix{
+		N:      m.N,
+		RowPtr: make([]int32, len(m.RowPtr)),
+		ColIdx: make([]int32, len(m.ColIdx)),
+		Val:    make([]float32, len(m.Val)),
+	}
+	copy(c.RowPtr, m.RowPtr)
+	copy(c.ColIdx, m.ColIdx)
+	copy(c.Val, m.Val)
+	return c
+}
+
 // FromEntries builds a CSR matrix from (row, col, val) triplets.
 // Duplicate entries are summed.
 func FromEntries(n int, rows, cols []int32, vals []float32) (*Matrix, error) {

@@ -14,6 +14,8 @@ import (
 	"repro/internal/dense"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/predictor/cycle"
 	"repro/internal/sched"
 	"repro/internal/spmm"
 	"repro/internal/sptc"
@@ -121,11 +123,22 @@ const (
 	// revised frameworks). Requires (or splits around) pattern
 	// conformity.
 	EngineSPTC
+	// EngineAuto routes every aggregation through the execution
+	// planner (internal/plan): each dispatch runs the kernel class the
+	// calibrated cost model predicts fastest for that operand profile
+	// and dense width. A planned dispatch is bit-identical to invoking
+	// the chosen kernel class directly (check.PlannerEquivalence);
+	// across classes results agree to the usual exact-arithmetic
+	// tolerance, same as EngineCSR vs EngineSPTC.
+	EngineAuto
 )
 
 func (k EngineKind) String() string {
-	if k == EngineSPTC {
+	switch k {
+	case EngineSPTC:
 		return "sptc"
+	case EngineAuto:
+		return "auto"
 	}
 	return "csr"
 }
@@ -143,6 +156,11 @@ type Factory struct {
 	// results — only wall time. sched.Serial() forces the serial twins
 	// (the convergence regression tests rely on this).
 	Pool *sched.Pool
+	// Calib is the measured coefficient table EngineAuto plans with; a
+	// nil table makes the planner fall back to the serial CSR
+	// reference on every dispatch (planning disabled, results
+	// unchanged).
+	Calib *plan.Calibration
 }
 
 // NewFactory returns a Factory with the default cost model and a fresh
@@ -165,6 +183,8 @@ func (f *Factory) Make(w *csr.Matrix) (Operator, error) {
 	switch f.Kind {
 	case EngineSPTC:
 		return newSPTCOperator(w, f.Pattern, f.Cost, f.Ledger, pool)
+	case EngineAuto:
+		return newPlannedOperator(w, f.Pattern, f.Cost, f.Ledger, pool, f.Calib), nil
 	default:
 		return &csrOperator{w: w, wt: w.Transpose(), cost: f.Cost, ledger: f.Ledger, pool: pool}, nil
 	}
@@ -273,6 +293,78 @@ func (o *sptcOperator) run(comp *venom.Matrix, res *csr.Matrix, x *dense.Matrix)
 		r.Gauge("sptc/cycles/b_load").Add(detail.BLoad)
 		r.Gauge("sptc/cycles/frag_overhead").Add(detail.FragOverhead)
 		r.Gauge("sptc/cycles/csr_residual").Add(residCycles)
+	}
+	return out
+}
+
+// plannedOperator runs aggregation through the execution planner: at
+// each Mul/MulT it asks the calibrated planner for the fastest kernel
+// class at the current dense width and dispatches accordingly.
+// Decisions are cached per width (profiles are width-dependent but
+// operand-stable), so steady-state training plans each layer once.
+type plannedOperator struct {
+	fwd, bwd plan.Operands
+	planner  *plan.Planner
+	cost     sptc.CostModel
+	ledger   *Ledger
+	pool     *sched.Pool
+	n        int
+	// cached decisions and model cycles, keyed by dense width; two maps
+	// per direction because the transposed operands profile differently.
+	fwdPlans, bwdPlans map[int]plannedDispatch
+}
+
+type plannedDispatch struct {
+	d      plan.Decision
+	cycles float64
+}
+
+// newPlannedOperator prepares planner operands for the forward and
+// transposed matrices. A split failure (malformed pattern) degrades
+// that direction to CSR-only operands — the planner then simply never
+// ranks the hybrid classes — instead of failing the factory.
+func newPlannedOperator(w *csr.Matrix, p pattern.VNM, cost sptc.CostModel, ledger *Ledger, pool *sched.Pool, cal *plan.Calibration) *plannedOperator {
+	wt := w.Transpose()
+	fwd, err := plan.Prepare(w, p)
+	if err != nil {
+		fwd = plan.Operands{A: w.Compact()}
+	}
+	bwd, err := plan.Prepare(wt, p)
+	if err != nil {
+		bwd = plan.Operands{A: wt.Compact()}
+	}
+	return &plannedOperator{
+		fwd: fwd, bwd: bwd,
+		planner: &plan.Planner{Calib: cal, Cost: cost, Workers: pool.Workers()},
+		cost:    cost, ledger: ledger, pool: pool, n: w.N,
+		fwdPlans: map[int]plannedDispatch{}, bwdPlans: map[int]plannedDispatch{},
+	}
+}
+
+func (o *plannedOperator) N() int { return o.n }
+
+func (o *plannedOperator) Mul(x *dense.Matrix) *dense.Matrix {
+	return o.run(o.fwd, o.fwdPlans, x)
+}
+
+func (o *plannedOperator) MulT(x *dense.Matrix) *dense.Matrix {
+	return o.run(o.bwd, o.bwdPlans, x)
+}
+
+func (o *plannedOperator) run(op plan.Operands, cache map[int]plannedDispatch, x *dense.Matrix) *dense.Matrix {
+	pd, ok := cache[x.Cols]
+	if !ok {
+		prof := op.Profile(x.Cols, o.cost)
+		pd.d = o.planner.Choose(prof)
+		pd.cycles = cycle.ModelCycles(o.cost, pd.d.Kernel, prof)
+		cache[x.Cols] = pd
+	}
+	start := time.Now()
+	out := plan.Execute(pd.d, o.pool, op, x, nil)
+	o.ledger.chargeAgg(pd.cycles, time.Since(start))
+	if r := o.ledger.Obs; r != nil {
+		r.Counter("plan/choice/" + string(pd.d.Kernel)).Inc()
+		r.Gauge("plan/cycles/" + string(pd.d.Kernel)).Add(pd.cycles)
 	}
 	return out
 }

@@ -1,0 +1,218 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/pattern"
+	"repro/internal/predictor/cycle"
+	"repro/internal/sched"
+	"repro/internal/spmm"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// Operands bundles one SpMM dispatch's sparse operands: the CSR matrix
+// plus (when a split exists) the V:N:M compressed half and CSR
+// residual the hybrid classes consume.
+type Operands struct {
+	A     *csr.Matrix
+	Comp  *venom.Matrix
+	Resid *csr.Matrix
+}
+
+// Prepare builds planner operands from a CSR matrix: the hybrid split
+// at the given pattern, with the CSR halves compacted into flat
+// exact-capacity storage (csr.Compact) so planned dispatches walk
+// densely packed sparse metadata. A split failure (malformed pattern)
+// is an error; callers that only want the CSR classes can construct
+// Operands{A: a} directly.
+func Prepare(a *csr.Matrix, p pattern.VNM) (Operands, error) {
+	comp, resid, err := venom.SplitToConform(a, p)
+	if err != nil {
+		return Operands{}, fmt.Errorf("plan: prepare split: %w", err)
+	}
+	return Operands{A: a.Compact(), Comp: comp, Resid: resid.Compact()}, nil
+}
+
+// Profile extracts the dispatch profile the planner ranks kernels on.
+func (op Operands) Profile(h int, cm sptc.CostModel) cycle.OpProfile {
+	return cycle.ProfileOf(op.A, op.Comp, op.Resid, h, cm)
+}
+
+// Prediction is one kernel class's predicted wall time.
+type Prediction struct {
+	Kernel cycle.KernelClass
+	Ns     float64
+}
+
+// Decision is the planner's choice for one dispatch, with the full
+// ranking kept for introspection (bench rows, regret oracles).
+type Decision struct {
+	// Kernel is the chosen class.
+	Kernel cycle.KernelClass
+	// Workers is the pool size the choice assumed (1 for the serial
+	// classes).
+	Workers int
+	// TileTarget is the calibrated tile-cost target the parallel
+	// classes should run with; 0 = pool automatic.
+	TileTarget int64
+	// Predictions holds every eligible class's predicted ns, sorted
+	// fastest first (ties broken by kernel name, so the ordering — and
+	// hence the choice — is deterministic for a fixed table).
+	Predictions []Prediction
+}
+
+// PredictedNs returns the predicted wall time of the chosen kernel.
+func (d Decision) PredictedNs() float64 {
+	if len(d.Predictions) == 0 {
+		return math.Inf(1)
+	}
+	return d.Predictions[0].Ns
+}
+
+// Planner ranks kernel classes by predicted wall time: model cycles
+// (cycle.ModelCycles) times the measured ns-per-cycle coefficient
+// (Calibration). Decisions are pure functions of (profile, table,
+// workers): no timing happens at dispatch.
+type Planner struct {
+	// Calib is the measured coefficient table; required.
+	Calib *Calibration
+	// Cost is the cycle model (zero value = sptc.DefaultCostModel()).
+	Cost sptc.CostModel
+	// Workers is the pool size parallel classes would run on; values
+	// below 2 exclude the parallel classes from ranking (a 1-worker
+	// pool runs kernels inline, so the serial twin always wins by the
+	// pool's own overhead).
+	Workers int
+}
+
+// cost returns the planner's cycle model, defaulting when unset.
+func (pl *Planner) cost() sptc.CostModel {
+	if pl.Cost.FragRows == 0 {
+		return sptc.DefaultCostModel()
+	}
+	return pl.Cost
+}
+
+// eligible reports whether kernel class k can run profile p on this
+// planner's pool.
+func (pl *Planner) eligible(k cycle.KernelClass, p cycle.OpProfile) bool {
+	if k.IsHybrid() && !p.HasSplit {
+		return false
+	}
+	if k.IsParallel() && pl.Workers < 2 {
+		return false
+	}
+	return true
+}
+
+// PredictNs returns the predicted wall time of kernel class k on
+// profile p: model cycles x calibrated ns/cycle. Returns +Inf when the
+// class is ineligible or the table has no coefficient for it.
+func (pl *Planner) PredictNs(k cycle.KernelClass, p cycle.OpProfile) float64 {
+	if pl.Calib == nil || !pl.eligible(k, p) {
+		return math.Inf(1)
+	}
+	coeff, ok := pl.Calib.NsPerCycle(k)
+	if !ok {
+		return math.Inf(1)
+	}
+	cycles := cycle.ModelCycles(pl.cost(), k, p)
+	if cycles <= 0 {
+		return math.Inf(1)
+	}
+	return coeff * cycles
+}
+
+// Choose ranks every eligible kernel class on profile p and returns
+// the decision. Deterministic: same profile, table and worker count
+// always yield the same choice (ties break toward the
+// lexicographically smaller kernel name).
+func (pl *Planner) Choose(p cycle.OpProfile) Decision {
+	d := Decision{Workers: 1}
+	if pl.Calib != nil {
+		d.TileTarget = pl.Calib.TileTarget
+	}
+	for _, k := range cycle.KernelClasses() {
+		ns := pl.PredictNs(k, p)
+		if math.IsInf(ns, 1) {
+			continue
+		}
+		d.Predictions = append(d.Predictions, Prediction{Kernel: k, Ns: ns})
+	}
+	sort.SliceStable(d.Predictions, func(i, j int) bool {
+		if d.Predictions[i].Ns != d.Predictions[j].Ns {
+			return d.Predictions[i].Ns < d.Predictions[j].Ns
+		}
+		return d.Predictions[i].Kernel < d.Predictions[j].Kernel
+	})
+	if len(d.Predictions) == 0 {
+		// Nothing calibrated: fall back to the serial CSR reference,
+		// which every operand supports.
+		d.Kernel = cycle.KernelCSRSerial
+		return d
+	}
+	d.Kernel = d.Predictions[0].Kernel
+	if d.Kernel.IsParallel() {
+		d.Workers = pl.Workers
+	}
+	return d
+}
+
+// ChooseOperands profiles the operands at width h and plans the
+// dispatch in one call.
+func (pl *Planner) ChooseOperands(op Operands, h int) Decision {
+	return pl.Choose(op.Profile(h, pl.cost()))
+}
+
+// Execute runs the decided kernel on the operands. pool sizes the
+// parallel classes (the decision's TileTarget is applied to it);
+// arena, when non-nil, supplies the output and residual-scratch
+// storage so repeated planned dispatches allocate nothing. The result
+// is bitwise identical to invoking the chosen kernel directly — the
+// planner adds no arithmetic, only selection — which is what
+// check.PlannerEquivalence enforces.
+func Execute(d Decision, pool *sched.Pool, op Operands, b *dense.Matrix, arena *Arena) *dense.Matrix {
+	if pool == nil {
+		pool = sched.Default()
+	}
+	if d.TileTarget > 0 {
+		pool = pool.WithTarget(d.TileTarget)
+	}
+	var c, scratch *dense.Matrix
+	if arena != nil {
+		c = arena.out.Matrix(op.A.N, b.Cols)
+	} else {
+		c = dense.NewMatrix(op.A.N, b.Cols)
+	}
+	needScratch := d.Kernel.IsHybrid() && op.Resid != nil && op.Resid.NNZ() > 0
+	if needScratch {
+		if arena != nil {
+			scratch = arena.scratch.Matrix(op.Resid.N, b.Cols)
+		} else {
+			scratch = dense.NewMatrix(op.Resid.N, b.Cols)
+		}
+	}
+	switch d.Kernel {
+	case cycle.KernelCSRParallel:
+		spmm.CSRPoolInto(pool, c, op.A, b)
+	case cycle.KernelHybridSerial:
+		spmm.HybridSerialInto(c, scratch, op.Comp, op.Resid, b)
+	case cycle.KernelHybridParallel:
+		spmm.HybridPoolInto(pool, c, scratch, op.Comp, op.Resid, b)
+	default:
+		spmm.CSRSerialInto(c, op.A, b)
+	}
+	return c
+}
+
+// Arena holds the reusable output and scratch storage of a planned
+// dispatch loop (dense.Arena semantics: one live result per arena).
+type Arena struct {
+	out     dense.Arena
+	scratch dense.Arena
+}

@@ -1,0 +1,210 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csr"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/predictor/cycle"
+	"repro/internal/sched"
+	"repro/internal/spmm"
+)
+
+// cpuCalib is a fixed table shaped like a real CPU measurement: the
+// hybrid classes pay ~3x more ns per modeled cycle (no sparse tensor
+// cores), the parallel classes run cheaper per cycle than their serial
+// twins (as they would on a multi-core probe).
+func cpuCalib() *Calibration {
+	return &Calibration{
+		Seed: 1, Workers: 4, TileTarget: 512,
+		Coeffs: []Coefficient{
+			{Kernel: cycle.KernelCSRSerial, NsPerCycle: 0.60},
+			{Kernel: cycle.KernelCSRParallel, NsPerCycle: 0.20},
+			{Kernel: cycle.KernelHybridSerial, NsPerCycle: 1.80},
+			{Kernel: cycle.KernelHybridParallel, NsPerCycle: 0.70},
+		},
+	}
+}
+
+func testOperands(t *testing.T, family string, n int, seed int64) Operands {
+	t.Helper()
+	g, err := graph.GenerateByName(family, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Prepare(csr.FromGraph(g), pattern.New(4, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// TestChooseDeterministicAndCalibrated: with a fixed table the
+// decision is a pure function of the profile, and it reflects the
+// calibrated wall-time ordering (not the raw cycle-model ordering).
+func TestChooseDeterministicAndCalibrated(t *testing.T) {
+	op := testOperands(t, "er", 1024, 3)
+	pl := &Planner{Calib: cpuCalib(), Workers: 4}
+	prof := op.Profile(64, pl.cost())
+	d1 := pl.Choose(prof)
+	d2 := pl.Choose(prof)
+	if d1.Kernel != d2.Kernel || d1.TileTarget != d2.TileTarget || d1.Workers != d2.Workers {
+		t.Fatalf("same profile, different decisions: %+v vs %+v", d1, d2)
+	}
+	if len(d1.Predictions) != 4 {
+		t.Fatalf("want all 4 classes ranked, got %+v", d1.Predictions)
+	}
+	for i := 1; i < len(d1.Predictions); i++ {
+		if d1.Predictions[i-1].Ns > d1.Predictions[i].Ns {
+			t.Fatalf("predictions not sorted: %+v", d1.Predictions)
+		}
+	}
+	// On the er regime the cycle model prefers hybrid (the er-8k
+	// inversion); the calibrated table must flip that to a CSR class.
+	cm := pl.cost()
+	if cycle.ModelCycles(cm, cycle.KernelHybridSerial, prof) >=
+		cycle.ModelCycles(cm, cycle.KernelCSRSerial, prof) {
+		t.Fatal("test premise broken: cycle model no longer prefers hybrid on er")
+	}
+	if d1.Kernel.IsHybrid() {
+		t.Fatalf("calibrated planner still chose %s; predictions %+v", d1.Kernel, d1.Predictions)
+	}
+	if d1.TileTarget != 512 {
+		t.Fatalf("decision dropped the calibrated tile target: %+v", d1)
+	}
+}
+
+// TestChooseRespectsWorkerCount: a 1-worker planner excludes the
+// parallel classes; a 4-worker planner with a parallel-favoring table
+// picks one.
+func TestChooseRespectsWorkerCount(t *testing.T) {
+	op := testOperands(t, "er", 512, 5)
+	serial := &Planner{Calib: cpuCalib(), Workers: 1}
+	d := serial.Choose(op.Profile(32, serial.cost()))
+	if d.Kernel.IsParallel() {
+		t.Fatalf("1-worker planner chose parallel class %s", d.Kernel)
+	}
+	for _, p := range d.Predictions {
+		if p.Kernel.IsParallel() {
+			t.Fatalf("parallel class %s ranked on a 1-worker planner", p.Kernel)
+		}
+	}
+	par := &Planner{Calib: cpuCalib(), Workers: 4}
+	dp := par.Choose(op.Profile(32, par.cost()))
+	if !dp.Kernel.IsParallel() {
+		t.Fatalf("4-worker planner with parallel-favoring table chose %s (%+v)", dp.Kernel, dp.Predictions)
+	}
+	if dp.Workers != 4 {
+		t.Fatalf("parallel decision carries workers %d, want 4", dp.Workers)
+	}
+}
+
+// TestChooseWithoutSplit: CSR-only operands never plan a hybrid class.
+func TestChooseWithoutSplit(t *testing.T) {
+	g, err := graph.GenerateByName("er", 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Operands{A: csr.FromGraph(g)}
+	pl := &Planner{Calib: cpuCalib(), Workers: 4}
+	d := pl.Choose(op.Profile(16, pl.cost()))
+	if d.Kernel.IsHybrid() {
+		t.Fatalf("hybrid class %s chosen without a split", d.Kernel)
+	}
+	if len(d.Predictions) != 2 {
+		t.Fatalf("want only the 2 CSR classes ranked, got %+v", d.Predictions)
+	}
+}
+
+// TestChooseEmptyTableFallsBack: a nil table degrades to the serial
+// CSR reference instead of failing.
+func TestChooseEmptyTableFallsBack(t *testing.T) {
+	op := testOperands(t, "ba", 256, 2)
+	pl := &Planner{Workers: 4}
+	d := pl.Choose(op.Profile(16, pl.cost()))
+	if d.Kernel != cycle.KernelCSRSerial || len(d.Predictions) != 0 {
+		t.Fatalf("uncalibrated fallback: %+v", d)
+	}
+	if !math.IsInf(d.PredictedNs(), 1) {
+		t.Fatalf("uncalibrated prediction should be +Inf, got %v", d.PredictedNs())
+	}
+}
+
+// TestExecuteMatchesDirectKernels: Execute's result is bitwise equal to
+// invoking each kernel class directly, with and without an arena.
+func TestExecuteMatchesDirectKernels(t *testing.T) {
+	op := testOperands(t, "ba", 512, 11)
+	b := dense.NewMatrix(op.A.N, 24)
+	b.Randomize(1, 13)
+	pool := sched.New(2)
+	refs := map[cycle.KernelClass]*dense.Matrix{
+		cycle.KernelCSRSerial:      spmm.CSRSerial(op.A, b),
+		cycle.KernelCSRParallel:    spmm.CSRPool(pool, op.A, b),
+		cycle.KernelHybridSerial:   spmm.HybridSerial(op.Comp, op.Resid, b),
+		cycle.KernelHybridParallel: spmm.HybridPool(pool, op.Comp, op.Resid, b),
+	}
+	var arena Arena
+	for _, k := range cycle.KernelClasses() {
+		d := Decision{Kernel: k, Workers: 2}
+		for name, got := range map[string]*dense.Matrix{
+			"heap":  Execute(d, pool, op, b, nil),
+			"arena": Execute(d, pool, op, b, &arena),
+		} {
+			if !bitEqual(got, refs[k]) {
+				t.Fatalf("%s/%s: planned result differs from direct kernel", k, name)
+			}
+		}
+	}
+}
+
+// bitEqual compares two dense matrices for exact bit equality.
+func bitEqual(a, b *dense.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMeasureProducesUsableTable: the one-shot calibration pass yields
+// a full, parseable, round-trippable table whose planner chooses a
+// kernel at all bench-like widths.
+func TestMeasureProducesUsableTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured calibration skipped in -short mode")
+	}
+	cal, err := Measure(MeasureConfig{Seed: 20250806, Workers: 2, Repeats: 1, ProbeN: 512, Autotune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Coeffs) != 4 {
+		t.Fatalf("calibration has %d coefficients, want 4: %+v", len(cal.Coeffs), cal)
+	}
+	for _, co := range cal.Coeffs {
+		if co.NsPerCycle <= 0 || math.IsInf(co.NsPerCycle, 0) || math.IsNaN(co.NsPerCycle) {
+			t.Fatalf("coefficient %s = %v not positive finite", co.Kernel, co.NsPerCycle)
+		}
+	}
+	rt, err := ParseCalibration(cal.String())
+	if err != nil {
+		t.Fatalf("measured table does not round-trip: %v", err)
+	}
+	if rt.String() != cal.String() {
+		t.Fatalf("measured table round trip:\n%q\n%q", cal.String(), rt.String())
+	}
+	op := testOperands(t, "er", 512, 20250806)
+	pl := &Planner{Calib: cal, Workers: 2}
+	for _, h := range []int{16, 64} {
+		d := pl.ChooseOperands(op, h)
+		if d.Kernel == "" || math.IsInf(d.PredictedNs(), 1) {
+			t.Fatalf("measured planner produced no usable decision at h=%d: %+v", h, d)
+		}
+	}
+}

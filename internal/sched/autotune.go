@@ -1,0 +1,68 @@
+package sched
+
+import "time"
+
+// Autotune picks a tile-cost target empirically: it times trial once
+// per candidate target (best of repeats runs each, after one untimed
+// warmup) and returns the candidate with the minimum wall time, ties
+// broken toward the earlier candidate so the result is deterministic
+// for deterministic timings. Because the tiled kernels are
+// bit-deterministic at every tile size (DESIGN.md §7), autotuning is
+// free to chase wall clock without any correctness risk — the planner
+// calibration pass (internal/plan) runs it once per machine and
+// serializes the winner, so planned runs replay without re-tuning.
+//
+// candidates must be non-empty; a candidate of 0 means the pool's
+// automatic target. repeats < 1 is treated as 1.
+func Autotune(candidates []int64, repeats int, trial func(target int64)) int64 {
+	if len(candidates) == 0 {
+		return 0
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := candidates[0]
+	bestNs := int64(1<<63 - 1)
+	for _, cand := range candidates {
+		trial(cand) // warmup: page in operands, stabilize caches
+		minNs := int64(1<<63 - 1)
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			trial(cand)
+			if d := time.Since(start).Nanoseconds(); d < minNs {
+				minNs = d
+			}
+		}
+		if minNs < bestNs {
+			bestNs = minNs
+			best = cand
+		}
+	}
+	return best
+}
+
+// TargetCandidates returns the tile-cost targets Autotune sweeps for a
+// workload of the given total cost on a pool of the given worker
+// count: the automatic target (0) plus a geometric ladder around it,
+// clamped to sane bounds. Pure function, so the candidate list — and
+// hence an autotuned calibration — is reproducible for a fixed
+// workload shape.
+func TargetCandidates(totalCost int64, workers int) []int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	auto := totalCost / int64(workers*4)
+	if auto < 64 {
+		auto = 64
+	}
+	out := []int64{0}
+	for _, scale := range []int64{4, 1} {
+		if t := auto / scale; t >= 64 {
+			out = append(out, t)
+		}
+	}
+	if t := auto * 4; t > 0 && t <= totalCost {
+		out = append(out, t)
+	}
+	return out
+}

@@ -74,6 +74,19 @@ func NewWithTarget(workers int, target int64) *Pool {
 	return p
 }
 
+// WithTarget returns a pool identical to p with the given per-tile
+// cost target (0 restores the automatic target) — how the execution
+// planner applies an autotuned tile shape to an existing pool without
+// disturbing its observability or fault wiring.
+func (p *Pool) WithTarget(target int64) *Pool {
+	q := *p
+	if target < 0 {
+		target = 0
+	}
+	q.target = target
+	return &q
+}
+
 // Default returns the GOMAXPROCS-sized pool every kernel uses unless
 // handed an explicit one.
 func Default() *Pool { return New(0) }

@@ -13,6 +13,11 @@ type Tile struct {
 	Cost int64
 }
 
+// lineFloats is one 64-byte cache line of float32s — the column
+// alignment quantum the partitioner uses to keep concurrently-written
+// tile boundaries off shared lines.
+const lineFloats = 16
+
 // TileOptions control the partitioner.
 type TileOptions struct {
 	// TargetCost is the per-tile work target. Row groups whose cost
@@ -70,6 +75,19 @@ func Tiles(rows, cols int, rowCost func(r int) int64, opt TileOptions) []Tile {
 			chunks = cols
 		}
 		width := (cols + chunks - 1) / chunks
+		// False-sharing guard: round the chunk width up to a whole
+		// cache line of float32s, so two tiles splitting the same rows
+		// never write the same 64-byte line (pad/stride on the tile
+		// boundary rather than the output layout). Skipped when an
+		// explicit MaxCols cache-blocking cap is narrower than a line.
+		if width < cols {
+			if aligned := (width + lineFloats - 1) / lineFloats * lineFloats; opt.MaxCols <= 0 || aligned <= opt.MaxCols {
+				width = aligned
+				if width > cols {
+					width = cols
+				}
+			}
+		}
 		for colLo := 0; colLo < cols; colLo += width {
 			colHi := colLo + width
 			if colHi > cols {

@@ -16,6 +16,7 @@
 package spmm
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/csr"
@@ -25,22 +26,60 @@ import (
 	"repro/internal/venom"
 )
 
+// axpy accumulates dst[j] += v * src[j] over the row slice, unrolled
+// by 4 on the dense dimension. The unroll never changes accumulation
+// order for any single output element (each dst[j] still receives its
+// contributions in the caller's operand order), so every kernel built
+// on it keeps the bitwise serial-equality contract while cutting loop
+// overhead on the hot inner loop.
+func axpy(dst, src []float32, v float32) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	dst = dst[:n]
+	src = src[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dst[j] += v * src[j]
+		dst[j+1] += v * src[j+1]
+		dst[j+2] += v * src[j+2]
+		dst[j+3] += v * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += v * src[j]
+	}
+}
+
 // CSRSerial computes C = A x B with a single-threaded CSR kernel
 // (reference implementation).
 func CSRSerial(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 	c := dense.NewMatrix(a.N, b.Cols)
+	CSRSerialInto(c, a, b)
+	return c
+}
+
+// CSRSerialInto computes C = A x B into a caller-provided (typically
+// arena-reused, see dense.Arena) output matrix, zeroing it first. c
+// must be a.N rows by b.Cols columns.
+func CSRSerialInto(c *dense.Matrix, a *csr.Matrix, b *dense.Matrix) {
+	checkOut(c, a.N, b.Cols)
+	c.Zero()
 	for i := 0; i < a.N; i++ {
 		cols, vals := a.Row(i)
 		cr := c.Row(i)
 		for k, col := range cols {
-			v := vals[k]
 			br := b.Row(int(col))
-			for j, bv := range br {
-				cr[j] += v * bv
-			}
+			axpy(cr, br, vals[k])
 		}
 	}
-	return c
+}
+
+// checkOut validates a caller-provided output matrix's shape.
+func checkOut(c *dense.Matrix, rows, cols int) {
+	if c.Rows != rows || c.Cols != cols {
+		panic(fmt.Sprintf("spmm: output matrix is %dx%d, want %dx%d", c.Rows, c.Cols, rows, cols))
+	}
 }
 
 // CSR computes C = A x B with the row-parallel CSR kernel — the
@@ -57,26 +96,32 @@ func CSR(a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 // a *sched.TileError — recoverable by the caller, with the pool left
 // usable.
 func CSRPool(p *sched.Pool, a *csr.Matrix, b *dense.Matrix) *dense.Matrix {
-	p.Obs().Counter("spmm/dispatch/csr").Inc()
 	c := dense.NewMatrix(a.N, b.Cols)
+	CSRPoolInto(p, c, a, b)
+	return c
+}
+
+// CSRPoolInto computes the parallel CSR kernel into a caller-provided
+// output matrix (zeroed first), letting dispatch loops reuse one
+// arena-allocated output instead of paying an allocation per call.
+func CSRPoolInto(p *sched.Pool, c *dense.Matrix, a *csr.Matrix, b *dense.Matrix) {
+	p.Obs().Counter("spmm/dispatch/csr").Inc()
+	checkOut(c, a.N, b.Cols)
+	c.Zero()
 	h := b.Cols
 	err := p.RunTiles(a.N, h, int64(a.NNZ()), func(r int) int64 { return int64(a.RowNNZ(r)) }, func(t sched.Tile) {
 		for i := t.RowLo; i < t.RowHi; i++ {
 			cols, vals := a.Row(i)
 			cr := c.Data[i*h+t.ColLo : i*h+t.ColHi]
 			for k, col := range cols {
-				v := vals[k]
 				br := b.Data[int(col)*h+t.ColLo : int(col)*h+t.ColHi]
-				for j, bv := range br {
-					cr[j] += v * bv
-				}
+				axpy(cr, br, vals[k])
 			}
 		}
 	})
 	if err != nil {
 		panic(err)
 	}
-	return c
 }
 
 // VNMSerial computes C = A x B over the V:N:M compressed
@@ -102,8 +147,17 @@ func VNM(m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
 // VNMPool computes the V:N:M kernel on an explicit scheduler pool,
 // tiling block rows by their stored-slot count.
 func VNMPool(p *sched.Pool, m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
-	p.Obs().Counter("spmm/dispatch/vnm").Inc()
 	c := dense.NewMatrix(m.N, b.Cols)
+	VNMPoolInto(p, c, m, b)
+	return c
+}
+
+// VNMPoolInto computes the parallel V:N:M kernel into a caller-provided
+// output matrix (zeroed first).
+func VNMPoolInto(p *sched.Pool, c *dense.Matrix, m *venom.Matrix, b *dense.Matrix) {
+	p.Obs().Counter("spmm/dispatch/vnm").Inc()
+	checkOut(c, m.N, b.Cols)
+	c.Zero()
 	blockRows := len(m.BlockRowPtr) - 1
 	vpb := int64(m.ValuesPerBlock())
 	err := p.RunTiles(blockRows, b.Cols, int64(m.NumBlocks())*vpb,
@@ -112,7 +166,6 @@ func VNMPool(p *sched.Pool, m *venom.Matrix, b *dense.Matrix) *dense.Matrix {
 	if err != nil {
 		panic(err)
 	}
-	return c
 }
 
 // vnmTile executes the compressed kernel over one output tile: block
@@ -144,9 +197,7 @@ func vnmTile(m *venom.Matrix, b, c *dense.Matrix, t sched.Tile) {
 					}
 					col := int(m.BlockCols[colBase+int(m.Meta[off+s])])
 					brow := bData[col*h+t.ColLo : col*h+t.ColHi]
-					for j, bv := range brow {
-						cr[j] += v * bv
-					}
+					axpy(cr, brow, v)
 				}
 			}
 		}
@@ -164,6 +215,22 @@ func HybridSerial(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense
 	return c
 }
 
+// HybridSerialInto computes the serial hybrid kernel into a
+// caller-provided output matrix, with an optional reusable scratch for
+// the residual product (same summation order as HybridSerial).
+func HybridSerialInto(c, scratch *dense.Matrix, comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) {
+	checkOut(c, comp.N, b.Cols)
+	c.Zero()
+	vnmTile(comp, b, c, sched.Tile{RowLo: 0, RowHi: len(comp.BlockRowPtr) - 1, ColLo: 0, ColHi: b.Cols})
+	if resid != nil && resid.NNZ() > 0 {
+		if scratch == nil {
+			scratch = dense.NewMatrix(resid.N, b.Cols)
+		}
+		CSRSerialInto(scratch, resid, b)
+		c.Add(scratch)
+	}
+}
+
 // Hybrid computes the V:N:M/SPTC hybrid on the default pool.
 func Hybrid(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
 	return HybridPool(sched.Default(), comp, resid, b)
@@ -173,12 +240,27 @@ func Hybrid(comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matri
 // summands are bit-deterministic and the final element-wise Add runs
 // in index order, so the hybrid matches HybridSerial exactly.
 func HybridPool(p *sched.Pool, comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) *dense.Matrix {
-	p.Obs().Counter("spmm/dispatch/hybrid").Inc()
-	c := VNMPool(p, comp, b)
-	if resid != nil && resid.NNZ() > 0 {
-		c.Add(CSRPool(p, resid, b))
-	}
+	c := dense.NewMatrix(comp.N, b.Cols)
+	HybridPoolInto(p, c, nil, comp, resid, b)
 	return c
+}
+
+// HybridPoolInto computes the hybrid kernel into a caller-provided
+// output matrix. scratch, when non-nil, is reused for the residual
+// CSR product (it must match c's shape); the residual product is
+// always computed separately and element-wise added — accumulating the
+// residual directly into c would change float32 summation order and
+// break the bitwise HybridSerial contract.
+func HybridPoolInto(p *sched.Pool, c, scratch *dense.Matrix, comp *venom.Matrix, resid *csr.Matrix, b *dense.Matrix) {
+	p.Obs().Counter("spmm/dispatch/hybrid").Inc()
+	VNMPoolInto(p, c, comp, b)
+	if resid != nil && resid.NNZ() > 0 {
+		if scratch == nil {
+			scratch = dense.NewMatrix(resid.N, b.Cols)
+		}
+		CSRPoolInto(p, scratch, resid, b)
+		c.Add(scratch)
+	}
 }
 
 // Dense computes C = A x B from a dense copy of A (reference and

@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -40,14 +40,15 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 # (or many-CPU) run never exercises.
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
     ./internal/check/ ./internal/gnn/ ./internal/core/ \
-    ./internal/distributed/ ./internal/obs/ ./internal/resil/
+    ./internal/distributed/ ./internal/obs/ ./internal/resil/ \
+    ./internal/plan/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     for target in FuzzCompressDecompress FuzzReorderLossless \
                   FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
                   FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
-                  FuzzFaultPlanParse; do
+                  FuzzFaultPlanParse FuzzCalibrationParse; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -93,6 +94,26 @@ if ! grep -q 'resil/injected/crash' "$obs_tmp/f1.json"; then
     exit 1
 fi
 echo "faulted runs recovered deterministically"
+
+echo "== planner replay smoke (pinned calibration, byte-identical canonical suites) =="
+# The planner contract (DESIGN.md §11): decisions are pure functions of
+# (profile, calibration table). The first run measures the table and
+# writes it; the second loads it; both canonical suites — which keep
+# every planner choice and predicted ns — must be byte-identical.
+go run ./cmd/sogre-bench -suite spmm -seed 11 -widths 16 -repeats 1 \
+    -calib "$obs_tmp/calib.txt" -canonical -out "$obs_tmp/p1.json" > /dev/null
+go run ./cmd/sogre-bench -suite spmm -seed 11 -widths 16 -repeats 1 \
+    -calib "$obs_tmp/calib.txt" -canonical -out "$obs_tmp/p2.json" > /dev/null
+if ! cmp -s "$obs_tmp/p1.json" "$obs_tmp/p2.json"; then
+    echo "FAIL: canonical planned suites differ under a pinned calibration:" >&2
+    diff "$obs_tmp/p1.json" "$obs_tmp/p2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"kernel": "planner"' "$obs_tmp/p1.json"; then
+    echo "FAIL: planned suite has no planner rows" >&2
+    exit 1
+fi
+echo "planned suites replay identically from the pinned table"
 
 echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
 cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
