@@ -15,12 +15,20 @@
 // buys). The permutation digest is verified identical across worker
 // counts before any row is emitted.
 //
+// The dynamic suite applies seeded single-edge mutation streams to an
+// incrementally-maintained reordering (internal/dyn), writing
+// BENCH_dynamic.json with the per-mutation localized-repair wall-clock
+// against a full from-scratch re-reorder of the mutated graph, plus
+// the repair/rebuild trajectory under the staleness budget.
+//
 // Usage:
 //
 //	sogre-bench [-suite spmm] [-seed 20250806] [-out BENCH_spmm.json]
 //	            [-widths 64,128] [-repeats 3] [-workers 0] [-calib FILE]
 //	sogre-bench -suite reorder [-seed 20250806] [-out BENCH_reorder.json]
 //	            [-repeats 2]
+//	sogre-bench -suite dynamic [-seed 20250806] [-out BENCH_dynamic.json]
+//	            [-repeats 3] [-canonical]
 //
 // The spmm suite also emits one planner row per (graph, width): the
 // calibrated execution planner (internal/plan) choosing among the four
@@ -53,14 +61,14 @@ import (
 )
 
 func main() {
-	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm or reorder")
+	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder or dynamic")
 	seed := flag.Int64("seed", 20250806, "operand generator seed")
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<suite>.json)")
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
 	repeats := flag.Int("repeats", 0, "timing repetitions per measurement, best wins (0 = suite default)")
 	workers := flag.Int("workers", 0, "parallel pool size for the spmm suite (0 = GOMAXPROCS)")
 	calibPath := flag.String("calib", "", "planner calibration table file for the spmm suite: loaded if present, else measured and written (empty = measure fresh, unpinned)")
-	canonical := flag.Bool("canonical", false, "emit the canonical suite projection (timing fields zeroed) for byte-comparable output (spmm suite)")
+	canonical := flag.Bool("canonical", false, "emit the canonical suite projection (timing fields zeroed) for byte-comparable output (spmm and dynamic suites)")
 	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the suite runs")
@@ -88,8 +96,10 @@ func main() {
 		data, summary, err = runSpMM(*seed, *widths, *repeats, *workers, *calibPath, *canonical, reg)
 	case "reorder":
 		data, summary, err = runReorder(*seed, *repeats, reg)
+	case "dynamic":
+		data, summary, err = runDynamic(*seed, *repeats, *canonical, reg)
 	default:
-		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm or reorder)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder or dynamic)\n", *suiteName)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -215,6 +225,35 @@ func runReorder(seed int64, repeats int, reg *obs.Registry) ([]byte, string, err
 		fmt.Printf("%-14s %-6d %-8d %12.0f %10.1f %8.2f%% %9.2f %11.2f\n",
 			r.Graph, r.Partitions, r.Workers, r.ReorderNs, r.PartitionsPerSec,
 			r.ImprovementRate*100, r.SpeedupVsSerial, r.BreakEvenEpochs)
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		return nil, "", err
+	}
+	return data, fmt.Sprintf("%d results, seed %d", len(suite.Results), suite.Seed), nil
+}
+
+func runDynamic(seed int64, repeats int, canonical bool, reg *obs.Registry) ([]byte, string, error) {
+	cfg := bench.DefaultDynamicConfig()
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	cfg.Obs = reg
+
+	suite, err := bench.RunDynamic(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Printf("%-14s %-10s %-8s %-8s %-8s %14s %14s %9s\n",
+		"graph", "mutations", "repairs", "swaps", "rebuilds", "repair ns/mut", "scratch ns", "speedup")
+	for _, r := range suite.Results {
+		fmt.Printf("%-14s %-10d %-8d %-8d %-8d %14.0f %14.0f %9.1f\n",
+			r.Graph, r.Mutations, r.Repairs, r.RepairSwaps, r.Rebuilds,
+			r.RepairNsPerMutation, r.ScratchReorderNs, r.RepairSpeedup)
+	}
+	if canonical {
+		suite = bench.CanonicalDynamic(suite)
 	}
 	data, err := suite.JSON()
 	if err != nil {

@@ -21,6 +21,18 @@
 // deterministic fault injector (internal/resil) over the row-parallel
 // phases; contained faults are retried and the recomputed permutation
 // is bit-identical.
+//
+// -mutate applies a dynamic edge-mutation stream to the completed
+// reordering through the incremental maintenance layer (internal/dyn)
+// and reports the repair/rebuild trajectory, e.g.
+//
+//	sogre-reorder -gen er -n 1024 -mutate 'add@0-9; del@3-4'
+//
+// The stream grammar is clauses separated by ';', ',' or newlines:
+// "seed=<int>", "add@<u>-<v>", "del@<u>-<v>" (original vertex ids).
+// -staleness-budget tunes when accumulated conformity drift triggers
+// a full re-reorder. Incompatible with -large, which does not retain
+// the single-matrix state the mutation layer repairs.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pattern"
@@ -51,7 +64,14 @@ func main() {
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while reordering")
 	faults := flag.String("faults", "", "fault-injection plan for the row-parallel phases, e.g. 'seed=1; crash@tile:3' (see internal/resil); injected faults are retried")
+	mutate := flag.String("mutate", "", "edge-mutation stream to apply incrementally after reordering, e.g. 'add@0-9; del@3-4' (see internal/dyn)")
+	budget := flag.Float64("staleness-budget", dyn.DefaultStalenessBudget, "fraction of the modeled cycle savings that conformity drift may consume before -mutate triggers a full re-reorder")
 	flag.Parse()
+
+	if *mutate != "" && *large {
+		fmt.Fprintln(os.Stderr, "sogre-reorder: -mutate is incompatible with -large")
+		os.Exit(2)
+	}
 
 	var reg *obs.Registry
 	if *metrics != "" || *debugAddr != "" {
@@ -175,9 +195,44 @@ func main() {
 		fmt.Printf("iterations:       %d (swaps %d) in %v\n", res.Iterations, res.Swaps, res.Elapsed)
 	}
 
-	if *out != "" {
-		rg, err := g.ApplyPermutation(perm)
+	var mutated *dyn.Mutable
+	if *mutate != "" {
+		st, err := dyn.ParseMutations(*mutate)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(2)
+		}
+		mutated, err = dyn.New(res, dyn.Options{
+			StalenessBudget: *budget,
+			Workers:         *workers,
+			Obs:             reg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := mutated.ApplyStream(st); err != nil {
+			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
+			os.Exit(1)
+		}
+		stats := mutated.Stats()
+		perm = mutated.Perm()
+		fmt.Printf("mutations:        %d (%d inserts, %d deletes)\n",
+			stats.Mutations, stats.Inserts, stats.Deletes)
+		fmt.Printf("repairs:          %d (%d swaps), rebuilds %d\n",
+			stats.Repairs, stats.RepairSwaps, stats.Rebuilds)
+		fmt.Printf("conformity now:   segvecs %d, blocks %d\n", stats.PScore, stats.MBScore)
+		fmt.Printf("staleness drift:  %.0f cycles (budget %.0f)\n",
+			stats.DriftCycles, stats.BudgetCycles)
+	}
+
+	if *out != "" {
+		var rg *graph.Graph
+		if mutated != nil {
+			// The mutated, reordered adjacency — the state the repairs
+			// maintained, already under the (possibly rebuilt) perm.
+			rg = graph.FromBitMatrix(mutated.Matrix())
+		} else if rg, err = g.ApplyPermutation(perm); err != nil {
 			fmt.Fprintf(os.Stderr, "sogre-reorder: %v\n", err)
 			os.Exit(1)
 		}

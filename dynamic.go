@@ -1,0 +1,91 @@
+package sogre
+
+import (
+	"repro/internal/dyn"
+)
+
+// Mutable is a reordered adjacency matrix that accepts a stream of
+// edge inserts and deletes while keeping its V:N:M conformity
+// bookkeeping exact. Each mutation recomputes only the touched
+// segment vectors and meta-blocks; inserts that break conformity
+// trigger a localized repair, and accumulated drift past the
+// staleness budget triggers a full re-reorder (DESIGN.md §12).
+type Mutable = dyn.Mutable
+
+// MutableOptions configures the incremental maintenance policy: the
+// staleness budget (fraction of the modeled per-epoch cycle savings
+// the drift may consume before a rebuild), the dense width used to
+// price drift, and the repair search bounds.
+type MutableOptions = dyn.Options
+
+// Mutation is one edge insert or delete, in original vertex ids.
+type Mutation = dyn.Mutation
+
+// MutationStream is a parsed or generated sequence of mutations with
+// an optional generator seed; its String method renders the canonical
+// text form accepted by ParseMutations and the -mutate CLI flag.
+type MutationStream = dyn.Stream
+
+// MutationOutcome reports what one applied mutation did: the exact
+// conformity deltas, repair swaps performed, and whether a full
+// rebuild fired.
+type MutationOutcome = dyn.Outcome
+
+// MutableStats aggregates a Mutable's lifetime: mutation counts,
+// repairs, rebuilds, current scores and the staleness-budget
+// arithmetic.
+type MutableStats = dyn.Stats
+
+// Mutation operators.
+const (
+	OpInsert = dyn.OpInsert
+	OpDelete = dyn.OpDelete
+)
+
+// DefaultStalenessBudget is the rebuild threshold used when
+// MutableOptions leaves StalenessBudget unset in callers that apply
+// defaults explicitly; Mutable construction itself rejects a
+// non-positive budget with ErrStalenessBudget.
+const DefaultStalenessBudget = dyn.DefaultStalenessBudget
+
+// Typed errors surfaced by the dynamic API; test with errors.Is.
+const (
+	ErrStalenessBudget = dyn.ErrBudget
+	ErrEdgeExists      = dyn.ErrEdgeExists
+	ErrEdgeMissing     = dyn.ErrEdgeMissing
+	ErrVertexRange     = dyn.ErrVertexRange
+)
+
+// NewMutable wraps a completed reordering in a Mutable. The result's
+// matrix is cloned: the Mutable owns its state and res stays valid.
+func NewMutable(res *ReorderResult, opt MutableOptions) (*Mutable, error) {
+	return dyn.New(res, opt)
+}
+
+// ParseMutations parses the canonical mutation-stream text format:
+// clauses separated by ';', ',' or newlines, each "seed=<int>",
+// "add@<u>-<v>" or "del@<u>-<v>". A blank input yields a nil stream.
+// String on the returned stream is an exact parse fixed point.
+func ParseMutations(s string) (*MutationStream, error) {
+	return dyn.ParseMutations(s)
+}
+
+// GenerateMutations produces a seeded, deterministic stream of nOps
+// valid single-edge mutations for g: inserts name absent edges and
+// deletes name live ones as the stream itself evolves.
+func GenerateMutations(g *Graph, nOps int, seed int64) *MutationStream {
+	return dyn.GenerateStream(g, nOps, seed)
+}
+
+// ApplyEdits parses stream and applies every mutation to m in order,
+// returning one outcome per applied mutation. On the first invalid
+// mutation it stops and returns the outcomes so far alongside a
+// wrapped typed error; the Mutable is left in the state produced by
+// the preceding valid mutations.
+func ApplyEdits(m *Mutable, stream string) ([]MutationOutcome, error) {
+	st, err := ParseMutations(stream)
+	if err != nil {
+		return nil, err
+	}
+	return m.ApplyStream(st)
+}

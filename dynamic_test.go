@@ -1,0 +1,157 @@
+package sogre
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDynamicFacade drives the public dynamic-graph pipeline end to
+// end: reorder, wrap in a Mutable, apply a textual edit stream, and
+// confirm the bookkeeping matches a fresh Conformity recount.
+func TestDynamicFacade(t *testing.T) {
+	g := GenerateErdosRenyi(64, 0.08, 11)
+	res, err := Reorder(g, NM(2, 4), ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMutable(res, MutableOptions{StalenessBudget: DefaultStalenessBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick one absent edge and one present edge to exercise both ops.
+	var au, av, du, dv = -1, -1, -1, -1
+	for u := 0; u < g.N() && (au < 0 || du < 0); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) {
+				if du < 0 {
+					du, dv = u, v
+				}
+			} else if au < 0 {
+				au, av = u, v
+			}
+		}
+	}
+	if au < 0 || du < 0 {
+		t.Fatal("test graph lacks both a present and an absent edge")
+	}
+	outs, err := ApplyEdits(m, MutationStreamOf(au, av, du, dv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("applied %d mutations, want 2", len(outs))
+	}
+	stats := m.Stats()
+	if stats.Mutations != 2 || stats.Inserts != 1 || stats.Deletes != 1 {
+		t.Fatalf("stats miscounted: %+v", stats)
+	}
+	// The maintained scores must equal a fresh recount on the mutated
+	// graph under the maintained permutation.
+	mg, err := NewGraph(g.N(), edgesOf(g, [2]int{au, av}, [2]int{du, dv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := mg.ApplyPermutation(m.Perm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, mbs := Conformity(pg, NM(2, 4))
+	if ps != stats.PScore || mbs != stats.MBScore {
+		t.Fatalf("maintained scores (%d,%d) != recount (%d,%d)",
+			stats.PScore, stats.MBScore, ps, mbs)
+	}
+}
+
+// MutationStreamOf renders "add@au-av; del@du-dv" through the typed
+// API so the test exercises the String side of the round trip too.
+func MutationStreamOf(au, av, du, dv int) string {
+	st := &MutationStream{Ops: []Mutation{
+		{Op: OpInsert, U: au, V: av},
+		{Op: OpDelete, U: du, V: dv},
+	}}
+	return st.String()
+}
+
+// edgesOf rebuilds g's edge list with one edge added and one removed.
+func edgesOf(g *Graph, add, del [2]int) [][2]int {
+	var edges [][2]int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) < u {
+				continue
+			}
+			if (u == del[0] && int(v) == del[1]) || (u == del[1] && int(v) == del[0]) {
+				continue
+			}
+			edges = append(edges, [2]int{u, int(v)})
+		}
+	}
+	return append(edges, add)
+}
+
+func TestDynamicFacadeErrors(t *testing.T) {
+	g, err := NewGraph(6, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reorder(g, NM(2, 4), ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMutable(res, MutableOptions{}); !errors.Is(err, ErrStalenessBudget) {
+		t.Fatalf("zero budget: got %v, want ErrStalenessBudget", err)
+	}
+	m, err := NewMutable(res, MutableOptions{StalenessBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyEdits(m, "add@0-1"); !errors.Is(err, ErrEdgeExists) {
+		t.Fatalf("duplicate insert: got %v, want ErrEdgeExists", err)
+	}
+	if _, err := ApplyEdits(m, "del@0-5"); !errors.Is(err, ErrEdgeMissing) {
+		t.Fatalf("missing delete: got %v, want ErrEdgeMissing", err)
+	}
+	if _, err := ApplyEdits(m, "add@0-99"); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("out of range: got %v, want ErrVertexRange", err)
+	}
+	if _, err := ApplyEdits(m, "this is not a stream"); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	// Valid edits still apply after rejected ones.
+	outs, err := ApplyEdits(m, "add@0-2; del@0-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("applied %d, want 2", len(outs))
+	}
+}
+
+// TestGenerateMutationsFacade pins determinism and replayability of
+// the public stream generator against a fresh Mutable.
+func TestGenerateMutationsFacade(t *testing.T) {
+	g := GenerateBanded(48, 3, 0.8, 2)
+	st := GenerateMutations(g, 20, 77)
+	if st.Seed != 77 || len(st.Ops) != 20 {
+		t.Fatalf("generated stream %q", st)
+	}
+	if st.String() != GenerateMutations(g, 20, 77).String() {
+		t.Fatal("generator not deterministic per seed")
+	}
+	res, err := Reorder(g, NM(2, 4), ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMutable(res, MutableOptions{StalenessBudget: DefaultStalenessBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ApplyEdits(m, st.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 20 {
+		t.Fatalf("applied %d of 20 generated mutations", len(outs))
+	}
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dyn"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+)
+
+// DynamicSchema identifies the dynamic-suite JSON layout
+// (BENCH_dynamic.json); bump on breaking changes.
+const DynamicSchema = "sogre-bench-dynamic/v1"
+
+// DynamicConfig sizes the dynamic-graph benchmark: per graph, a seeded
+// single-edge mutation stream is applied to a dyn.Mutable and the
+// localized-repair wall-clock per mutation is compared against a full
+// from-scratch re-reorder of the mutated graph — the cost the repair
+// path exists to avoid. A second, untimed pass under the configured
+// staleness budget pins the deterministic block (final scores, repair
+// and rebuild counts, drift pricing).
+type DynamicConfig struct {
+	Seed      int64
+	Graphs    []GraphSpec
+	Pattern   pattern.VNM
+	H         int // dense width for drift/savings pricing
+	Mutations int // single-edge mutations per graph
+	Repeats   int // best-of wall-time repetitions
+	// StalenessBudget configures the deterministic (budgeted) pass;
+	// the timed repair pass runs with an effectively infinite budget so
+	// rebuilds never pollute the per-mutation repair timing.
+	StalenessBudget float64
+	// Obs, when set, instruments the deterministic pass (dyn/* counters
+	// and spans) through the same registry.
+	Obs *obs.Registry
+}
+
+// DefaultDynamicConfig returns the checked-in dynamic workload: the
+// three regime families at 1K vertices, 64 single-edge mutations each,
+// under the facade's default staleness budget.
+func DefaultDynamicConfig() DynamicConfig {
+	return DynamicConfig{
+		Seed: 20250806,
+		Graphs: []GraphSpec{
+			{Name: "er-1k", Family: "er", N: 1024, Degree: 6},
+			{Name: "powerlaw-1k", Family: "powerlaw", N: 1024, Degree: 6},
+			{Name: "banded-1k", Family: "banded", N: 1024, Degree: 6},
+		},
+		Pattern:         pattern.New(4, 2, 8),
+		H:               128,
+		Mutations:       64,
+		Repeats:         3,
+		StalenessBudget: dyn.DefaultStalenessBudget,
+	}
+}
+
+// Validate rejects configurations that cannot produce a meaningful
+// suite.
+func (c DynamicConfig) Validate() error {
+	switch {
+	case len(c.Graphs) == 0:
+		return fmt.Errorf("bench: Graphs must be nonempty")
+	case c.Mutations < 1:
+		return fmt.Errorf("bench: Mutations %d must be >= 1", c.Mutations)
+	case c.Repeats < 1:
+		return fmt.Errorf("bench: Repeats %d must be >= 1", c.Repeats)
+	case c.H < 1:
+		return fmt.Errorf("bench: H %d must be >= 1", c.H)
+	case !(c.StalenessBudget > 0):
+		return fmt.Errorf("bench: StalenessBudget %v must be > 0", c.StalenessBudget)
+	}
+	for _, g := range c.Graphs {
+		if g.N < 1 {
+			return fmt.Errorf("bench: graph %q has N %d", g.Name, g.N)
+		}
+	}
+	return nil
+}
+
+// DynamicResult is one graph's row. The deterministic block (digest,
+// scores, repair/rebuild counts, drift pricing) is byte-identical
+// across same-config runs; the timing block (repair_ns_per_mutation,
+// scratch_reorder_ns, repair_speedup) varies and is zeroed by
+// CanonicalDynamic.
+type DynamicResult struct {
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	Edges     int    `json:"edges"`
+	Mutations int    `json:"mutations"`
+
+	// PermDigest fingerprints the maintained permutation after the
+	// budgeted pass — repairs, rebuilds and all.
+	PermDigest   string `json:"perm_digest"`
+	FinalPScore  int    `json:"final_pscore"`
+	FinalMBScore int    `json:"final_mbscore"`
+	Repairs      int    `json:"repairs"`
+	RepairSwaps  int    `json:"repair_swaps"`
+	Rebuilds     int    `json:"rebuilds"`
+
+	// DriftCycles and SavedCyclesPerEpoch expose the staleness-budget
+	// arithmetic of the budgeted pass's end state; MutationsPerRebuild
+	// is the amortization metric under this mutation mix (0 when no
+	// rebuild fired).
+	DriftCycles         float64 `json:"drift_cycles"`
+	SavedCyclesPerEpoch float64 `json:"saved_cycles_per_epoch"`
+	MutationsPerRebuild float64 `json:"mutations_per_rebuild"`
+
+	// RepairNsPerMutation is the best-of-Repeats mean wall-clock of one
+	// incrementally-repaired single-edge mutation; ScratchReorderNs is
+	// the best-of-Repeats wall-clock of one full core.Reorder of the
+	// mutated graph — what each mutation would cost without the
+	// incremental path. RepairSpeedup is their ratio.
+	RepairNsPerMutation float64 `json:"repair_ns_per_mutation"`
+	ScratchReorderNs    float64 `json:"scratch_reorder_ns"`
+	RepairSpeedup       float64 `json:"repair_speedup"`
+}
+
+// DynamicSuite is the full dynamic-benchmark output.
+type DynamicSuite struct {
+	Schema     string          `json:"schema"`
+	Seed       int64           `json:"seed"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Pattern    string          `json:"pattern"`
+	H          int             `json:"h"`
+	Budget     float64         `json:"staleness_budget"`
+	Mutations  int             `json:"mutations"`
+	Results    []DynamicResult `json:"results"`
+}
+
+// RunDynamic executes the dynamic suite. Per graph: one full reorder
+// seeds the Mutable; a deterministic budgeted pass records the repair
+// and rebuild trajectory; a repair-only timed pass measures the
+// per-mutation incremental cost; and a from-scratch core.Reorder of
+// the mutated graph is timed as the baseline each mutation avoids.
+func RunDynamic(cfg DynamicConfig) (*DynamicSuite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &DynamicSuite{
+		Schema:     DynamicSchema,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Pattern:    cfg.Pattern.String(),
+		H:          cfg.H,
+		Budget:     cfg.StalenessBudget,
+		Mutations:  cfg.Mutations,
+	}
+	for gi, spec := range cfg.Graphs {
+		g, err := datasets.Family(spec.Family, spec.N, spec.Degree, cfg.Seed+int64(gi))
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		res, err := core.Reorder(g.ToBitMatrix(), cfg.Pattern, core.Options{Obs: cfg.Obs})
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: reorder: %w", spec.Name, err)
+		}
+		st := dyn.GenerateStream(g, cfg.Mutations, cfg.Seed+int64(gi))
+
+		// Deterministic budgeted pass: the row's reproducible block.
+		det, err := dyn.New(res, dyn.Options{
+			StalenessBudget: cfg.StalenessBudget,
+			H:               cfg.H,
+			Obs:             cfg.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+		}
+		if _, err := det.ApplyStream(st); err != nil {
+			return nil, fmt.Errorf("bench: graph %q: budgeted pass: %w", spec.Name, err)
+		}
+		stats := det.Stats()
+		r := DynamicResult{
+			Graph: spec.Name, N: g.N(), Edges: g.NumUndirectedEdges(),
+			Mutations:           cfg.Mutations,
+			PermDigest:          check.PermDigest(det.Perm()),
+			FinalPScore:         stats.PScore,
+			FinalMBScore:        stats.MBScore,
+			Repairs:             stats.Repairs,
+			RepairSwaps:         stats.RepairSwaps,
+			Rebuilds:            stats.Rebuilds,
+			DriftCycles:         stats.DriftCycles,
+			SavedCyclesPerEpoch: stats.SavedCyclesPerEpoch,
+		}
+		if stats.Rebuilds > 0 {
+			r.MutationsPerRebuild = float64(cfg.Mutations) / float64(stats.Rebuilds)
+		}
+
+		// Timed repair pass: fresh Mutable per repetition (construction
+		// untimed), effectively infinite budget so no rebuild pollutes
+		// the per-mutation repair cost.
+		repairNs := 0.0
+		for rep := 0; rep < cfg.Repeats+1; rep++ { // first is warmup
+			d, err := dyn.New(res, dyn.Options{StalenessBudget: 1e18, H: cfg.H})
+			if err != nil {
+				return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+			}
+			start := time.Now()
+			if _, err := d.ApplyStream(st); err != nil {
+				return nil, fmt.Errorf("bench: graph %q: timed pass: %w", spec.Name, err)
+			}
+			per := float64(time.Since(start).Nanoseconds()) / float64(cfg.Mutations)
+			if rep == 0 {
+				continue
+			}
+			if repairNs == 0 || per < repairNs {
+				repairNs = per
+			}
+		}
+		r.RepairNsPerMutation = repairNs
+
+		// From-scratch baseline: a full reorder of the mutated graph —
+		// the cost a single-edge mutation would incur without the
+		// incremental path.
+		mutated := g.ToBitMatrix()
+		for _, m := range st.Ops {
+			if m.Op == dyn.OpInsert {
+				mutated.Set(m.U, m.V)
+				mutated.Set(m.V, m.U)
+			} else {
+				mutated.Clear(m.U, m.V)
+				mutated.Clear(m.V, m.U)
+			}
+		}
+		r.ScratchReorderNs = time1(cfg.Repeats, func() {
+			if _, err := core.Reorder(mutated, cfg.Pattern, core.Options{}); err != nil {
+				panic("bench: from-scratch reorder failed: " + err.Error())
+			}
+		})
+		if repairNs > 0 {
+			r.RepairSpeedup = r.ScratchReorderNs / repairNs
+		}
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// CanonicalDynamic returns a copy with every timing-derived field
+// zeroed — the byte-comparable projection two same-seed runs must
+// agree on. GoMaxProcs is also cleared: it describes the machine, not
+// the workload.
+func CanonicalDynamic(s *DynamicSuite) *DynamicSuite {
+	c := *s
+	c.GoMaxProcs = 0
+	c.Results = append([]DynamicResult(nil), s.Results...)
+	for i := range c.Results {
+		c.Results[i].RepairNsPerMutation = 0
+		c.Results[i].ScratchReorderNs = 0
+		c.Results[i].RepairSpeedup = 0
+	}
+	return &c
+}
+
+// JSON renders the suite as indented JSON with a trailing newline.
+func (s *DynamicSuite) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// smallDynamicConfig keeps the dynamic suite fast enough for the unit
+// test loop while preserving its shape: multiple regimes, single-edge
+// mutations, best-of timing.
+func smallDynamicConfig() DynamicConfig {
+	cfg := DefaultDynamicConfig()
+	cfg.Graphs = []GraphSpec{
+		{Name: "er-s", Family: "er", N: 256, Degree: 5},
+		{Name: "banded-s", Family: "banded", N: 256, Degree: 5},
+	}
+	cfg.Mutations = 16
+	cfg.Repeats = 1
+	return cfg
+}
+
+func TestRunDynamicDeterministicBlock(t *testing.T) {
+	cfg := smallDynamicConfig()
+	s1, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := CanonicalDynamic(s1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := CanonicalDynamic(s2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("canonical dynamic suites differ:\n%s\n---\n%s", j1, j2)
+	}
+	if len(s1.Results) != len(cfg.Graphs) {
+		t.Fatalf("got %d results, want %d", len(s1.Results), len(cfg.Graphs))
+	}
+	for _, r := range s1.Results {
+		if r.PermDigest == "" || r.N == 0 || r.Mutations != cfg.Mutations {
+			t.Fatalf("row %q has an unfilled deterministic block: %+v", r.Graph, r)
+		}
+		if r.FinalPScore < 0 || r.FinalMBScore < 0 {
+			t.Fatalf("row %q has negative scores: %+v", r.Graph, r)
+		}
+	}
+}
+
+// TestRunDynamicRepairBeatsScratch is the ISSUE's bench acceptance:
+// localized repair must beat a from-scratch re-reorder per single-edge
+// mutation at every bench point.
+func TestRunDynamicRepairBeatsScratch(t *testing.T) {
+	s, err := RunDynamic(smallDynamicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Results {
+		if r.RepairNsPerMutation <= 0 || r.ScratchReorderNs <= 0 {
+			t.Fatalf("row %q has empty timing block: %+v", r.Graph, r)
+		}
+		if r.RepairNsPerMutation >= r.ScratchReorderNs {
+			t.Fatalf("row %q: repair %.0f ns/mutation does not beat scratch reorder %.0f ns",
+				r.Graph, r.RepairNsPerMutation, r.ScratchReorderNs)
+		}
+		if r.RepairSpeedup <= 1 {
+			t.Fatalf("row %q: speedup %.2f <= 1", r.Graph, r.RepairSpeedup)
+		}
+	}
+}
+
+func TestDynamicConfigValidate(t *testing.T) {
+	bad := []func(*DynamicConfig){
+		func(c *DynamicConfig) { c.Graphs = nil },
+		func(c *DynamicConfig) { c.Mutations = 0 },
+		func(c *DynamicConfig) { c.Repeats = 0 },
+		func(c *DynamicConfig) { c.H = 0 },
+		func(c *DynamicConfig) { c.StalenessBudget = 0 },
+		func(c *DynamicConfig) { c.Graphs = []GraphSpec{{Name: "x", Family: "er", N: 0}} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultDynamicConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultDynamicConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestCanonicalDynamicZeroesTiming(t *testing.T) {
+	s := &DynamicSuite{
+		Schema:     DynamicSchema,
+		GoMaxProcs: 8,
+		Pattern:    pattern.NM(2, 4).String(),
+		Results: []DynamicResult{{
+			Graph:               "g",
+			PermDigest:          "abc",
+			RepairNsPerMutation: 123,
+			ScratchReorderNs:    456,
+			RepairSpeedup:       3.7,
+		}},
+	}
+	c := CanonicalDynamic(s)
+	if c.GoMaxProcs != 0 {
+		t.Fatal("GoMaxProcs not zeroed")
+	}
+	r := c.Results[0]
+	if r.RepairNsPerMutation != 0 || r.ScratchReorderNs != 0 || r.RepairSpeedup != 0 {
+		t.Fatalf("timing fields not zeroed: %+v", r)
+	}
+	if r.PermDigest != "abc" || s.Results[0].RepairNsPerMutation != 123 {
+		t.Fatal("canonicalization mutated the wrong fields or the original")
+	}
+}

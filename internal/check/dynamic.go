@@ -1,0 +1,183 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/dyn"
+	"repro/internal/pattern"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// This file is the dynamic-graph differential layer: internal/dyn
+// maintains a reordered matrix incrementally, and the only way that
+// feature is trustworthy is a from-scratch oracle re-deriving the same
+// state the slow way after every prefix of a mutation stream
+// (DESIGN.md §12).
+
+// DefaultCycleTolerance bounds how far the incrementally-repaired
+// state's modeled hybrid cycles may exceed a from-scratch reorder's,
+// as a fraction of the plain-CSR cycles of the mutated graph (the
+// currency the staleness budget itself is priced in).
+const DefaultCycleTolerance = 0.5
+
+// HybridModelCycles prices one adjacency matrix under the cycle model:
+// V:N:M-compress what conforms, keep the violating remainder as a CSR
+// residual, and charge both kernels at dense width h. The fallback for
+// an unsplittable matrix is the plain CSR cost.
+func HybridModelCycles(m *bitmat.Matrix, p pattern.VNM, h int) float64 {
+	cm := sptc.DefaultCostModel()
+	a := csr.FromBitMatrix(m)
+	comp, resid, err := venom.SplitToConform(a, p)
+	if err != nil {
+		return cm.CSRSpMMCycles(a.NNZ(), a.N, h)
+	}
+	cycles := cm.VNMSpMMCycles(sptc.Stats(comp, cm), h)
+	if resid.NNZ() > 0 {
+		cycles += cm.CSRSpMMCycles(resid.NNZ(), resid.N, h)
+	}
+	return cycles
+}
+
+// IncrementalEquivalence is the differential oracle for internal/dyn:
+// it builds one Mutable per worker count from the same full reorder of
+// m (an adjacency matrix in original numbering), applies the mutation
+// stream, and after EVERY prefix asserts:
+//
+//  1. Exact bookkeeping — the incrementally-maintained PScore/MBScore
+//     equal a from-scratch pattern.PScoreOn/MBScoreOn recomputation of
+//     the maintained matrix.
+//  2. Losslessness — the maintained matrix is exactly the symmetric
+//     permutation of the mutated original adjacency by the maintained
+//     permutation (repairs and rebuilds renumber, never rewire).
+//  3. Worker invariance — matrices, permutations, scores and
+//     rebuild/repair counts are bit-identical at every worker count.
+//  4. Tolerance-bounded cycles — the maintained state's modeled hybrid
+//     cycles exceed those of a from-scratch core.Reorder of the
+//     mutated graph by at most tol x the mutated graph's plain-CSR
+//     cycles (tol <= 0 selects DefaultCycleTolerance).
+//  5. Rejected mutations (typed errors) leave every Mutable
+//     bit-identical, and every worker count rejects identically.
+//
+// workers nil selects WorkerCounts() = {1, 2, 4, NumCPU}.
+func IncrementalEquivalence(m *bitmat.Matrix, p pattern.VNM, st *dyn.Stream, opt dyn.Options, workers []int, tol float64) error {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	if tol <= 0 {
+		tol = DefaultCycleTolerance
+	}
+	res, err := core.Reorder(m, p, core.Options{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("check: seed reorder: %w", err)
+	}
+	muts := make([]*dyn.Mutable, len(workers))
+	for wi, w := range workers {
+		o := opt
+		o.Workers = w
+		d, err := dyn.New(res, o)
+		if err != nil {
+			return fmt.Errorf("check: dyn.New workers=%d: %w", w, err)
+		}
+		muts[wi] = d
+	}
+	orig := m.Clone() // the mutated graph, original numbering
+	if st == nil {
+		st = &dyn.Stream{}
+	}
+	for k, mut := range st.Ops {
+		ref := muts[0]
+		preMat := ref.Matrix().Clone()
+		prePerm := ref.Perm()
+		refOut, refErr := ref.Apply(mut)
+		for wi, d := range muts[1:] {
+			out, err := d.Apply(mut)
+			if (err == nil) != (refErr == nil) || (refErr != nil && !errors.Is(err, refErr)) {
+				return fmt.Errorf("check: op %d (%s): workers=%d err %v != workers=%d err %v",
+					k, mut, workers[wi+1], err, workers[0], refErr)
+			}
+			if err == nil && (out.RepairSwaps != refOut.RepairSwaps || out.Rebuilt != refOut.Rebuilt) {
+				return fmt.Errorf("check: op %d (%s): outcome diverges at workers=%d: %+v vs %+v",
+					k, mut, workers[wi+1], out, refOut)
+			}
+		}
+		if refErr != nil {
+			// A rejected mutation must be a perfect no-op.
+			if !ref.Matrix().Equal(preMat) || PermDigest(ref.Perm()) != PermDigest(prePerm) {
+				return fmt.Errorf("check: op %d (%s): rejected mutation (%v) changed state", k, mut, refErr)
+			}
+			continue
+		}
+		// Track the same mutation on the original-numbering adjacency.
+		if mut.Op == dyn.OpInsert {
+			orig.Set(mut.U, mut.V)
+			orig.Set(mut.V, mut.U)
+		} else {
+			orig.Clear(mut.U, mut.V)
+			orig.Clear(mut.V, mut.U)
+		}
+		if err := incrementalPrefix(muts, workers, orig, p, tol); err != nil {
+			return fmt.Errorf("check: after op %d (%s): %w", k, mut, err)
+		}
+	}
+	// The empty prefix must hold too (stream may be empty).
+	return incrementalPrefix(muts, workers, orig, p, tol)
+}
+
+func incrementalPrefix(muts []*dyn.Mutable, workers []int, orig *bitmat.Matrix, p pattern.VNM, tol float64) error {
+	ref := muts[0]
+	// (1) exact bookkeeping vs from-scratch recount.
+	viol := ref.Violations()
+	if wantP := pattern.PScore(ref.Matrix(), p); viol.PScore != wantP {
+		return fmt.Errorf("incremental PScore %d != from-scratch %d", viol.PScore, wantP)
+	}
+	if wantMB := pattern.MBScore(ref.Matrix(), p); viol.MBScore != wantMB {
+		return fmt.Errorf("incremental MBScore %d != from-scratch %d", viol.MBScore, wantMB)
+	}
+	// (2) losslessness: maintained matrix == mutated original permuted
+	// by the maintained permutation.
+	if !orig.Permute(ref.Perm()).Equal(ref.Matrix()) {
+		return fmt.Errorf("maintained matrix is not the permutation of the mutated graph")
+	}
+	if !ref.Matrix().IsSymmetric() {
+		return fmt.Errorf("maintained matrix lost symmetry")
+	}
+	// (3) worker invariance.
+	refDigest := PermDigest(ref.Perm())
+	for wi, d := range muts[1:] {
+		if !d.Matrix().Equal(ref.Matrix()) {
+			return fmt.Errorf("matrix diverges at workers=%d", workers[wi+1])
+		}
+		if PermDigest(d.Perm()) != refDigest {
+			return fmt.Errorf("perm diverges at workers=%d", workers[wi+1])
+		}
+		v := d.Violations()
+		if v != viol {
+			return fmt.Errorf("scores diverge at workers=%d: %+v vs %+v", workers[wi+1], v, viol)
+		}
+		s, rs := d.Stats(), ref.Stats()
+		if s.Rebuilds != rs.Rebuilds || s.RepairSwaps != rs.RepairSwaps {
+			return fmt.Errorf("repair/rebuild counts diverge at workers=%d: %+v vs %+v", workers[wi+1], s, rs)
+		}
+	}
+	// (4) tolerance-bounded modeled cycles vs a from-scratch reorder of
+	// the mutated graph.
+	h := dyn.DefaultH
+	scratch, err := core.Reorder(orig, p, core.Options{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("from-scratch reorder of mutated graph: %w", err)
+	}
+	incCycles := HybridModelCycles(ref.Matrix(), p, h)
+	scratchCycles := HybridModelCycles(scratch.Matrix, p, h)
+	a := csr.FromBitMatrix(orig)
+	csrCycles := sptc.DefaultCostModel().CSRSpMMCycles(a.NNZ(), a.N, h)
+	if incCycles > scratchCycles+tol*csrCycles {
+		return fmt.Errorf("incremental state costs %.1f modeled cycles, from-scratch %.1f (+ tolerance %.1f)",
+			incCycles, scratchCycles, tol*csrCycles)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// dynRegimes picks the four density regimes the dynamic oracle sweeps:
+// mesh-like, uniform random, heavy-tailed and ultra-sparse.
+func dynRegimes(t *testing.T) []Regime {
+	t.Helper()
+	want := map[string]bool{"grid": true, "er": true, "powerlaw": true, "ultrasparse": true}
+	var out []Regime
+	for _, r := range Regimes() {
+		if want[r.Name] {
+			out = append(out, r)
+			delete(want, r.Name)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing regimes: %v", want)
+	}
+	return out
+}
+
+// TestIncrementalEquivalenceRegimes is the ISSUE's load-bearing gate:
+// across all four density regimes, every prefix of a seeded mutation
+// stream keeps the incrementally-maintained state equivalent to a
+// from-scratch reorder of the mutated graph, at workers {1,2,4,NumCPU}.
+func TestIncrementalEquivalenceRegimes(t *testing.T) {
+	p := pattern.NM(2, 4)
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	for ri, reg := range dynRegimes(t) {
+		reg := reg
+		seed := int64(100 + ri)
+		t.Run(reg.Name, func(t *testing.T) {
+			t.Parallel()
+			g := reg.RandomGraph(64, seed)
+			st := dyn.GenerateStream(g, 12, seed)
+			if err := IncrementalEquivalence(g.ToBitMatrix(), p, st, opt, nil, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIncrementalEquivalenceVNMPattern runs the oracle under a
+// genuinely blocked V:N:M pattern, where vertical (meta-block) repair
+// is exercised.
+func TestIncrementalEquivalenceVNMPattern(t *testing.T) {
+	reg := dynRegimes(t)[0]
+	g := reg.RandomGraph(48, 7)
+	st := dyn.GenerateStream(g, 10, 7)
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	if err := IncrementalEquivalence(g.ToBitMatrix(), pattern.New(4, 2, 8), st, opt, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalEquivalenceRejects feeds a stream whose ops are
+// partly invalid (duplicate insert, deleting a missing edge, vertex
+// out of range) and asserts the oracle's rejected-mutation no-op
+// clause holds: every worker count rejects identically and rejected
+// ops leave the state bit-identical.
+func TestIncrementalEquivalenceRejects(t *testing.T) {
+	g, err := graph.NewFromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &dyn.Stream{Ops: []dyn.Mutation{
+		{Op: dyn.OpInsert, U: 0, V: 1},  // duplicate insert -> rejected
+		{Op: dyn.OpDelete, U: 0, V: 7},  // missing edge -> rejected
+		{Op: dyn.OpInsert, U: 0, V: 99}, // out of range -> rejected
+		{Op: dyn.OpInsert, U: 0, V: 6},  // valid
+		{Op: dyn.OpDelete, U: 0, V: 6},  // valid
+	}}
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	if err := IncrementalEquivalence(g.ToBitMatrix(), pattern.NM(2, 4), st, opt, []int{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalEquivalenceEmptyInputs covers the degenerate shells:
+// an empty graph with a nil stream, and an empty stream on a real
+// graph (the empty prefix must hold).
+func TestIncrementalEquivalenceEmptyInputs(t *testing.T) {
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	empty, _ := graph.NewFromEdges(0, nil)
+	if err := IncrementalEquivalence(empty.ToBitMatrix(), pattern.NM(2, 4), nil, opt, []int{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.NewFromEdges(5, [][2]int{{0, 1}, {2, 3}})
+	if err := IncrementalEquivalence(g.ToBitMatrix(), pattern.NM(2, 4), &dyn.Stream{}, opt, []int{1, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalEquivalenceBadBudget pins the typed-error path: the
+// oracle itself must surface dyn.ErrBudget rather than panicking.
+func TestIncrementalEquivalenceBadBudget(t *testing.T) {
+	g, _ := graph.NewFromEdges(4, [][2]int{{0, 1}})
+	err := IncrementalEquivalence(g.ToBitMatrix(), pattern.NM(2, 4), nil, dyn.Options{}, []int{1}, 0)
+	if !errors.Is(err, dyn.ErrBudget) {
+		t.Fatalf("zero staleness budget: got %v, want dyn.ErrBudget", err)
+	}
+}
+
+// TestHybridModelCycles sanity-pins the pricing helper the oracle and
+// the staleness budget share: a conforming matrix must price below its
+// plain-CSR cost, and cycles are monotone in the dense width.
+func TestHybridModelCycles(t *testing.T) {
+	reg := dynRegimes(t)[1]
+	g := reg.RandomGraph(64, 3)
+	m := g.ToBitMatrix()
+	p := pattern.NM(2, 4)
+	c32 := HybridModelCycles(m, p, 32)
+	c128 := HybridModelCycles(m, p, 128)
+	if c32 <= 0 || c128 <= c32 {
+		t.Fatalf("hybrid cycles not positive/monotone in width: h=32 %.1f, h=128 %.1f", c32, c128)
+	}
+}
+
+// dynCorpusFromBytes is the total decoder behind
+// FuzzIncrementalVsScratch: the first byte picks n (<= 16), the second
+// the number of edge byte-pairs, and every remaining byte triple is a
+// mutation (op, u, v) — deliberately unvalidated, so the fuzzer also
+// drives duplicate inserts, missing-edge deletes and out-of-range
+// vertices through the oracle's rejection clause.
+func dynCorpusFromBytes(data []byte) (*graph.Graph, *dyn.Stream) {
+	r := &bytesReader{data: data}
+	n := int(r.next()) % 17
+	ne := int(r.next()) % 33
+	var edges [][2]int
+	for e := 0; e < ne && n > 0; e++ {
+		u := int(r.next()) % n
+		v := int(r.next()) % n
+		edges = append(edges, [2]int{u, v})
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		panic("check: total dyn corpus decoder produced invalid edges: " + err.Error())
+	}
+	st := &dyn.Stream{}
+	for r.pos < len(r.data) {
+		op := dyn.Op(r.next() % 2)
+		u := int(r.next())
+		v := int(r.next())
+		if n > 0 && u < 64 { // mostly in-range, keep some out-of-range probes
+			u, v = u%n, v%n
+		}
+		st.Ops = append(st.Ops, dyn.Mutation{Op: op, U: u, V: v})
+	}
+	return g, st
+}
+
+// encodeDynCorpus renders a regime graph and a generated stream in the
+// dynCorpusFromBytes format, seeding the fuzz corpus with realistic
+// shapes.
+func encodeDynCorpus(g *graph.Graph, st *dyn.Stream) []byte {
+	var edges [][2]int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) >= u {
+				edges = append(edges, [2]int{u, int(v)})
+			}
+		}
+	}
+	if len(edges) > 32 {
+		edges = edges[:32]
+	}
+	out := []byte{byte(g.N()), byte(len(edges))}
+	for _, e := range edges {
+		out = append(out, byte(e[0]), byte(e[1]))
+	}
+	for _, m := range st.Ops {
+		out = append(out, byte(m.Op), byte(m.U), byte(m.V))
+	}
+	return out
+}
+
+// FuzzIncrementalVsScratch drives arbitrary graph+stream corpora
+// through the full differential oracle: on every prefix the
+// incremental state must match the from-scratch recount, stay lossless
+// and reject invalid mutations as perfect no-ops. The seed corpus is
+// regime-derived (one graph+stream per density regime).
+func FuzzIncrementalVsScratch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Add([]byte{4, 2, 0, 1, 1, 2, 0, 2, 3, 1, 2, 3})
+	for ri, reg := range Regimes() {
+		if ri >= 4 {
+			break
+		}
+		g := reg.RandomGraph(12, int64(ri))
+		st := dyn.GenerateStream(g, 6, int64(ri))
+		f.Add(encodeDynCorpus(g, st))
+	}
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, st := dynCorpusFromBytes(data)
+		if len(st.Ops) > 24 {
+			st.Ops = st.Ops[:24] // bound per-iteration oracle cost
+		}
+		if err := IncrementalEquivalence(g.ToBitMatrix(), pattern.NM(2, 4), st, opt, []int{1, 2}, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzMutationStreamParse asserts the mutation-stream grammar never
+// panics and that its canonical rendering is a fixed point: any
+// accepted stream re-parses from String() to an identical stream —
+// the property the -mutate CLI flag and the CI dynamic smoke gate rely
+// on when replaying a stream across processes.
+func FuzzMutationStreamParse(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add("seed=7; add@0-1; del@1-2")
+	f.Add("add@3-3") // self-loop
+	f.Add("add@10-4, del@4-10\ndel@0-0")
+	f.Add("add@01-2") // leading zero -> error
+	f.Add("add@-1-2") // sign -> error
+	f.Add("set@1-2")  // unknown op -> error
+	f.Add("add@12")   // missing separator -> error
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := dyn.ParseMutations(s)
+		if err != nil {
+			return
+		}
+		canon := st.String()
+		st2, err := dyn.ParseMutations(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted stream %q rejected: %v", canon, s, err)
+		}
+		if got := st2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+		if st == nil {
+			if canon != "" {
+				t.Fatalf("nil stream rendered non-empty: %q", canon)
+			}
+			return
+		}
+		if st2.Seed != st.Seed || len(st2.Ops) != len(st.Ops) {
+			t.Fatalf("round-trip changed stream: %+v -> %+v", st, st2)
+		}
+		for i := range st.Ops {
+			if st2.Ops[i] != st.Ops[i] {
+				t.Fatalf("round-trip changed op %d: %v -> %v", i, st.Ops[i], st2.Ops[i])
+			}
+		}
+		if strings.Contains(canon, "  ") {
+			t.Fatalf("canonical form has doubled spaces: %q", canon)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// The oracles are only as trustworthy as their rejection paths: these
+// tests feed each invariant checker inputs that violate exactly one
+// clause and pin both the rejection and the located error message.
+
+func TestCSREqualRejects(t *testing.T) {
+	mk := func(n int, edges [][2]int) *graph.Graph {
+		g, err := graph.NewFromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a := csr.FromGraph(mk(4, [][2]int{{0, 1}, {2, 3}}))
+	if err := CSREqual(a, a); err != nil {
+		t.Fatalf("matrix not equal to itself: %v", err)
+	}
+	cases := []struct {
+		name string
+		b    *graph.Graph
+		want string
+	}{
+		{"dims", mk(5, [][2]int{{0, 1}, {2, 3}}), "dims"},
+		{"nnz", mk(4, [][2]int{{0, 1}, {2, 3}, {1, 2}}), "nnz"},
+		{"entries", mk(4, [][2]int{{0, 2}, {1, 3}}), "row"},
+	}
+	for _, tc := range cases {
+		err := CSREqual(a, csr.FromGraph(tc.b))
+		if err == nil {
+			t.Fatalf("%s: unequal matrices accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not locate the %q difference", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReorderLosslessRejects(t *testing.T) {
+	g, err := graph.NewFromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Reorder(g.ToBitMatrix(), pattern.NM(2, 4), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReorderLossless(g, res); err != nil {
+		t.Fatalf("genuine reordering rejected: %v", err)
+	}
+
+	// Non-bijective permutation.
+	bad := *res
+	bad.Perm = append([]int(nil), res.Perm...)
+	bad.Perm[0] = bad.Perm[1]
+	if err := ReorderLossless(g, &bad); err == nil {
+		t.Fatal("non-bijective perm certified")
+	}
+
+	// Result matrix that is not the permutation of the input.
+	tampered := *res
+	tampered.Matrix = res.Matrix.Clone()
+	tampered.Matrix.Set(0, 3)
+	tampered.Matrix.Set(3, 0)
+	if err := ReorderLossless(g, &tampered); err == nil ||
+		!strings.Contains(err.Error(), "permutation of the input") {
+		t.Fatalf("tampered matrix: got %v", err)
+	}
+
+	// Certificate replayed against a different graph.
+	h, err := graph.NewFromEdges(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReorderLossless(h, res); err == nil {
+		t.Fatal("certificate for g accepted on h")
+	}
+}
+
+// TestIncrementalEquivalenceBadPattern pins the oracle's seed-reorder
+// error path: an invalid pattern must surface as an error, not a
+// panic, before any Mutable exists.
+func TestIncrementalEquivalenceBadPattern(t *testing.T) {
+	g, err := graph.NewFromEdges(4, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := dyn.Options{StalenessBudget: dyn.DefaultStalenessBudget}
+	bad := pattern.VNM{V: 1, N: 3, M: 3, K: 4} // M not a power of two
+	err = IncrementalEquivalence(g.ToBitMatrix(), bad, nil, opt, []int{1}, 0)
+	if err == nil || !strings.Contains(err.Error(), "seed reorder") {
+		t.Fatalf("invalid pattern: got %v, want seed-reorder error", err)
+	}
+}
+
+// TestOracleErrorMessages pins the formatting of the typed disagreement
+// errors the differential harnesses return: each must locate the
+// failure (kernel, coordinates, values) so a fuzz-found repro is
+// actionable from the message alone.
+func TestOracleErrorMessages(t *testing.T) {
+	de := &DiffError{Kernel: "hybrid", Row: 3, Col: 7, Got: 1.5, Ref: 1.0, Bound: 0.25}
+	for _, want := range []string{"hybrid", "(3,7)", "1.5", "0.25"} {
+		if !strings.Contains(de.Error(), want) {
+			t.Fatalf("DiffError %q missing %q", de.Error(), want)
+		}
+	}
+	be := &BitwiseError{Kernel: "csr-parallel", Workers: 4, Target: 9, Row: 2, Col: 5, Got: 1, Ref: 2}
+	for _, want := range []string{"csr-parallel", "workers=4", "(2,5)"} {
+		if !strings.Contains(be.Error(), want) {
+			t.Fatalf("BitwiseError %q missing %q", be.Error(), want)
+		}
+	}
+	re := &RegretError{ChosenNs: 300, BestNs: 100, MaxFactor: 2}
+	for _, want := range []string{"300", "100", "3.00", "2.00"} {
+		if !strings.Contains(re.Error(), want) {
+			t.Fatalf("RegretError %q missing %q", re.Error(), want)
+		}
+	}
+}

@@ -1,0 +1,697 @@
+// Package dyn maintains a V:N:M-reordered adjacency matrix under a
+// stream of edge inserts and deletes — ROADMAP item 2 (dynamic-graph
+// support). A Mutable wraps the output of a full reorder
+// (core.Result) and, per mutation, performs *localized* repair instead
+// of re-running the whole dual-level algorithm:
+//
+//   - PScore/MBScore are tracked by exact deltas: an edge flip at
+//     positions (i, j) can only change the segment vectors (i, seg(j))
+//     and (j, seg(i)) and the meta-blocks (band(i), seg(j)) and
+//     (band(j), seg(i)), so those partial scores (pattern.RowPScore
+//     and friends) are recomputed before and after and the running
+//     totals adjusted — never a full rescan.
+//   - When an insert breaks conformity, repair re-derives Stage-1 row
+//     encodings only for the touched rows (hamming position codes of
+//     their segment bits) and re-evaluates only the meta-blocks and
+//     stripes the candidate swap touches; every candidate swap is
+//     exactly evaluated apply→score→revert and kept only if total
+//     violations strictly decrease, so the incremental bookkeeping
+//     stays equal to ground truth (check.IncrementalEquivalence).
+//   - Conformity drift since the last full reorder is priced with the
+//     internal/predictor/cycle cost model; when the modeled drift
+//     cycles exceed a configurable fraction (the staleness budget) of
+//     the per-epoch cycle savings the reorder bought, the Mutable
+//     triggers a full re-reorder and composes the permutations.
+//
+// All state transitions are deterministic and worker-count-invariant:
+// scoring reductions are exact integer sums (pool-size invariant),
+// core.Reorder is bit-identical across worker counts, and repair is a
+// serial deterministic scan.
+package dyn
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/bitmat"
+	"repro/internal/core"
+	"repro/internal/csr"
+	"repro/internal/hamming"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+	"repro/internal/sptc"
+	"repro/internal/venom"
+)
+
+// dynError is a typed constant error: the package keeps sentinel
+// errors as consts (not package-level vars) to satisfy the kernel
+// purity lint in scripts/ci.sh.
+type dynError string
+
+func (e dynError) Error() string { return string(e) }
+
+const (
+	// ErrNoResult is returned by New when the wrapped reorder result
+	// (or its matrix) is nil.
+	ErrNoResult = dynError("dyn: nil reorder result")
+	// ErrBudget is returned by New when the staleness budget is zero,
+	// negative, or NaN: a Mutable always needs an explicit positive
+	// budget (DefaultStalenessBudget is the facade's choice).
+	ErrBudget = dynError("dyn: staleness budget must be positive")
+	// ErrEmptyGraph is returned for any mutation against a 0-vertex
+	// graph.
+	ErrEmptyGraph = dynError("dyn: mutation on empty graph")
+	// ErrVertexRange is returned when a mutation names a vertex
+	// outside [0, n).
+	ErrVertexRange = dynError("dyn: vertex out of range")
+	// ErrEdgeExists is returned for an insert of an edge already
+	// present (duplicate insert).
+	ErrEdgeExists = dynError("dyn: edge already present")
+	// ErrEdgeMissing is returned for a delete of an edge not present.
+	ErrEdgeMissing = dynError("dyn: edge not present")
+	// ErrUnknownOp is returned for a Mutation with an invalid Op.
+	ErrUnknownOp = dynError("dyn: unknown mutation op")
+)
+
+const (
+	// DefaultStalenessBudget is the facade default: a rebuild triggers
+	// when modeled drift cycles exceed half the per-epoch savings the
+	// last reorder bought.
+	DefaultStalenessBudget = 0.5
+	// DefaultH is the dense width the drift pricing assumes when
+	// Options.H is zero (the common GNN hidden width in BENCH_spmm).
+	DefaultH = 32
+	// DefaultMaxRepairCandidates bounds the exactly-evaluated swap
+	// candidates per violated cell when Options.MaxRepairCandidates is
+	// zero.
+	DefaultMaxRepairCandidates = 16
+)
+
+// Options configures a Mutable.
+type Options struct {
+	// StalenessBudget is the rebuild trigger, as a fraction of the
+	// modeled per-epoch cycle savings of the last full reorder: when
+	// the priced conformity drift exceeds budget × savings, the next
+	// mutation triggers a full re-reorder. Must be > 0 (New returns
+	// ErrBudget otherwise); if the last reorder bought no savings,
+	// staleness costs nothing and no rebuild ever triggers.
+	StalenessBudget float64
+	// H is the dense width used to price drift and savings with the
+	// cycle model. Zero means DefaultH.
+	H int
+	// MaxRepairCandidates bounds how many candidate swaps repair
+	// exactly evaluates per violated cell. Zero means
+	// DefaultMaxRepairCandidates; negative disables repair (like
+	// DisableRepair).
+	MaxRepairCandidates int
+	// DisableRepair turns off localized repair: mutations only
+	// maintain scores (useful for the metamorphic no-op theorems).
+	DisableRepair bool
+	// Workers sizes the pool for the full-scan scoring passes at
+	// construction and rebuild; every setting is bit-identical
+	// (DESIGN.md §8).
+	Workers int
+	// Reorder configures the full re-reorder a staleness rebuild runs.
+	// Its Workers/Obs fields default to this struct's when unset.
+	Reorder core.Options
+	// Obs, when set, charges dyn/* counters and spans.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.H == 0 {
+		o.H = DefaultH
+	}
+	if o.MaxRepairCandidates == 0 {
+		o.MaxRepairCandidates = DefaultMaxRepairCandidates
+	}
+	if o.MaxRepairCandidates < 0 {
+		o.DisableRepair = true
+	}
+	return o
+}
+
+// Outcome reports what one applied mutation did to the maintained
+// state.
+type Outcome struct {
+	Mutation Mutation
+	// DeltaPScore/DeltaMBScore are the net score changes of the
+	// mutation including any repair swaps (before any rebuild).
+	DeltaPScore  int
+	DeltaMBScore int
+	// RepairSwaps counts accepted localized repair swaps.
+	RepairSwaps int
+	// Rebuilt reports that the staleness budget was exceeded and a
+	// full re-reorder ran.
+	Rebuilt bool
+}
+
+// Stats summarizes the lifetime of a Mutable.
+type Stats struct {
+	Mutations   int `json:"mutations"`
+	Inserts     int `json:"inserts"`
+	Deletes     int `json:"deletes"`
+	Repairs     int `json:"repairs"`      // repair invocations
+	RepairSwaps int `json:"repair_swaps"` // accepted swaps
+	Rebuilds    int `json:"rebuilds"`
+
+	PScore      int `json:"pscore"`       // current horizontal violations
+	MBScore     int `json:"mbscore"`      // current vertical violations
+	BasePScore  int `json:"base_pscore"`  // right after the last full reorder
+	BaseMBScore int `json:"base_mbscore"` //
+
+	DriftCycles         float64 `json:"drift_cycles"`  // priced drift vs base
+	BudgetCycles        float64 `json:"budget_cycles"` // rebuild threshold
+	SavedCyclesPerEpoch float64 `json:"saved_cycles_per_epoch"`
+}
+
+// Mutable is a reordered adjacency matrix that stays live under edge
+// mutations. Mutations are expressed in ORIGINAL vertex ids (the
+// numbering the wrapped reorder started from); the Mutable maps them
+// through its maintained permutation, so a stream keeps meaning the
+// same graph change across repairs and rebuilds.
+type Mutable struct {
+	opt Options
+	pat pattern.VNM
+	cm  sptc.CostModel
+
+	m    *bitmat.Matrix
+	perm []int // position -> original vertex
+	inv  []int // original vertex -> position
+
+	pscore, mbscore int // exact running violation counts
+	baseP, baseMB   int // conformity right after the last full reorder
+	saved           float64
+	drift           float64
+
+	stats Stats
+}
+
+// New wraps a completed reorder in a Mutable. The result's matrix is
+// cloned, so the caller's Result stays valid. Returns ErrNoResult for
+// a nil result/matrix and ErrBudget for a non-positive staleness
+// budget.
+func New(res *core.Result, opt Options) (*Mutable, error) {
+	if res == nil || res.Matrix == nil {
+		return nil, ErrNoResult
+	}
+	if !(opt.StalenessBudget > 0) { // also rejects NaN
+		return nil, ErrBudget
+	}
+	opt = opt.withDefaults()
+	n := res.Matrix.N()
+	d := &Mutable{
+		opt:  opt,
+		pat:  res.Pattern,
+		cm:   sptc.DefaultCostModel(),
+		m:    res.Matrix.Clone(),
+		perm: append([]int(nil), res.Perm...),
+		inv:  make([]int, n),
+	}
+	if len(d.perm) != n {
+		return nil, fmt.Errorf("dyn: perm length %d != n %d", len(d.perm), n)
+	}
+	for pos, orig := range d.perm {
+		d.inv[orig] = pos
+	}
+	pool := sched.New(opt.Workers)
+	d.pscore = pattern.PScoreOn(pool, d.m, d.pat)
+	d.mbscore = pattern.MBScoreOn(pool, d.m, d.pat)
+	d.reprice()
+	return d, nil
+}
+
+// N returns the vertex count.
+func (d *Mutable) N() int { return d.m.N() }
+
+// Pattern returns the maintained V:N:M pattern.
+func (d *Mutable) Pattern() pattern.VNM { return d.pat }
+
+// Matrix returns the maintained reordered adjacency matrix. It aliases
+// internal state — callers must treat it as read-only.
+func (d *Mutable) Matrix() *bitmat.Matrix { return d.m }
+
+// Perm returns a copy of the maintained permutation (position ->
+// original vertex id).
+func (d *Mutable) Perm() []int { return append([]int(nil), d.perm...) }
+
+// Violations returns the exactly-maintained conformity scores.
+func (d *Mutable) Violations() pattern.Violations {
+	return pattern.Violations{Pattern: d.pat, PScore: d.pscore, MBScore: d.mbscore}
+}
+
+// Stats returns lifetime counters and the current drift pricing.
+func (d *Mutable) Stats() Stats {
+	s := d.stats
+	s.PScore, s.MBScore = d.pscore, d.mbscore
+	s.BasePScore, s.BaseMBScore = d.baseP, d.baseMB
+	s.DriftCycles = d.drift
+	s.BudgetCycles = d.opt.StalenessBudget * d.saved
+	s.SavedCyclesPerEpoch = d.saved
+	return s
+}
+
+// Insert applies an edge insert in original ids.
+func (d *Mutable) Insert(u, v int) (Outcome, error) {
+	return d.Apply(Mutation{Op: OpInsert, U: u, V: v})
+}
+
+// Delete applies an edge delete in original ids.
+func (d *Mutable) Delete(u, v int) (Outcome, error) {
+	return d.Apply(Mutation{Op: OpDelete, U: u, V: v})
+}
+
+// Apply applies one mutation. A rejected mutation (typed error) leaves
+// the Mutable bit-identical to before the call.
+func (d *Mutable) Apply(mut Mutation) (Outcome, error) {
+	out := Outcome{Mutation: mut}
+	n := d.m.N()
+	if n == 0 {
+		return out, ErrEmptyGraph
+	}
+	if mut.Op != OpInsert && mut.Op != OpDelete {
+		return out, ErrUnknownOp
+	}
+	if mut.U < 0 || mut.U >= n || mut.V < 0 || mut.V >= n {
+		return out, ErrVertexRange
+	}
+	i, j := d.inv[mut.U], d.inv[mut.V]
+	present := d.m.Get(i, j)
+	if mut.Op == OpInsert && present {
+		return out, ErrEdgeExists
+	}
+	if mut.Op == OpDelete && !present {
+		return out, ErrEdgeMissing
+	}
+	ob := d.opt.Obs
+	ob.Counter("dyn/mutations").Inc()
+
+	// Exact delta: only the two touched segment vectors and the two
+	// touched meta-blocks can change.
+	cells, blocks := d.edgeRegion(i, j)
+	beforeP, beforeMB := d.regionScores(cells, blocks)
+	if mut.Op == OpInsert {
+		ob.Counter("dyn/inserts").Inc()
+		d.stats.Inserts++
+		d.m.Set(i, j)
+		d.m.Set(j, i)
+	} else {
+		ob.Counter("dyn/deletes").Inc()
+		d.stats.Deletes++
+		d.m.Clear(i, j)
+		d.m.Clear(j, i)
+	}
+	d.stats.Mutations++
+	afterP, afterMB := d.regionScores(cells, blocks)
+	d.pscore += afterP - beforeP
+	d.mbscore += afterMB - beforeMB
+	out.DeltaPScore = afterP - beforeP
+	out.DeltaMBScore = afterMB - beforeMB
+
+	if !d.opt.DisableRepair && out.DeltaPScore+out.DeltaMBScore > 0 {
+		sp := ob.Span("dyn/repair")
+		p0, mb0 := d.pscore, d.mbscore
+		out.RepairSwaps = d.repair(i, j)
+		sp.End()
+		d.stats.Repairs++
+		d.stats.RepairSwaps += out.RepairSwaps
+		ob.Counter("dyn/repairs").Inc()
+		ob.Counter("dyn/repair_swaps").Add(int64(out.RepairSwaps))
+		out.DeltaPScore += d.pscore - p0
+		out.DeltaMBScore += d.mbscore - mb0
+	}
+
+	rebuilt, err := d.maybeRebuild()
+	if err != nil {
+		return out, err
+	}
+	out.Rebuilt = rebuilt
+	return out, nil
+}
+
+// ApplyStream applies every mutation of a stream in order, stopping at
+// the first error. A nil stream is a no-op.
+func (d *Mutable) ApplyStream(st *Stream) ([]Outcome, error) {
+	if st == nil {
+		return nil, nil
+	}
+	outs := make([]Outcome, 0, len(st.Ops))
+	for k, mut := range st.Ops {
+		out, err := d.Apply(mut)
+		if err != nil {
+			return outs, fmt.Errorf("dyn: op %d (%s): %w", k, mut, err)
+		}
+		outs = append(outs, out)
+	}
+	return outs, nil
+}
+
+// edgeRegion returns the deduplicated segment-vector cells and
+// meta-blocks an edge flip at positions (i, j) can affect.
+func (d *Mutable) edgeRegion(i, j int) (cells, blocks [][2]int) {
+	si, sj := i/d.pat.M, j/d.pat.M
+	bi, bj := i/d.pat.V, j/d.pat.V
+	cells = append(cells, [2]int{i, sj})
+	if i != j || si != sj {
+		if c := ([2]int{j, si}); c != cells[0] {
+			cells = append(cells, c)
+		}
+	}
+	blocks = append(blocks, [2]int{bi, sj})
+	if b := ([2]int{bj, si}); b != blocks[0] {
+		blocks = append(blocks, b)
+	}
+	return cells, blocks
+}
+
+// regionScores counts the violations inside an explicit cell/block
+// region.
+func (d *Mutable) regionScores(cells, blocks [][2]int) (p, mb int) {
+	for _, c := range cells {
+		if d.m.SegmentPop(c[0], c[1], d.pat.M) > d.pat.N {
+			p++
+		}
+	}
+	for _, b := range blocks {
+		if !pattern.MetaBlockVerticalValid(d.m, d.pat, b[0]*d.pat.V, b[1]) {
+			mb++
+		}
+	}
+	return p, mb
+}
+
+// swapRegionScores counts the violations inside the closed region a
+// SwapSym(u, v) can affect: rows {u, v} across every stripe, plus
+// stripes {seg(u), seg(v)} across every other row (P level), and bands
+// {band(u), band(v)} across every stripe plus stripes {seg(u), seg(v)}
+// across every other band (MB level). The region is identical before
+// and after the swap, so before/after differences are exact deltas.
+func (d *Mutable) swapRegionScores(u, v int) (p, mb int) {
+	pat := d.pat
+	n := d.m.N()
+	su, sv := u/pat.M, v/pat.M
+	bu, bv := u/pat.V, v/pat.V
+	nb := pattern.NumBlockRows(d.m, pat)
+
+	p = pattern.RowPScore(d.m, pat, u)
+	if v != u {
+		p += pattern.RowPScore(d.m, pat, v)
+	}
+	for _, s := range uniq2(su, sv) {
+		for r := 0; r < n; r++ {
+			if r == u || r == v {
+				continue
+			}
+			if d.m.SegmentPop(r, s, pat.M) > pat.N {
+				p++
+			}
+		}
+	}
+
+	mb = pattern.BlockRowMBScore(d.m, pat, bu)
+	if bv != bu {
+		mb += pattern.BlockRowMBScore(d.m, pat, bv)
+	}
+	for _, s := range uniq2(su, sv) {
+		for b := 0; b < nb; b++ {
+			if b == bu || b == bv {
+				continue
+			}
+			if !pattern.MetaBlockVerticalValid(d.m, pat, b*pat.V, s) {
+				mb++
+			}
+		}
+	}
+	return p, mb
+}
+
+// trySwap exactly evaluates SwapSym(u, v): apply, rescore the closed
+// region, and keep the swap only if total violations strictly
+// decrease; otherwise revert. Accepting updates the running scores and
+// the permutation.
+func (d *Mutable) trySwap(u, v int) bool {
+	if u == v {
+		return false
+	}
+	beforeP, beforeMB := d.swapRegionScores(u, v)
+	d.m.SwapSym(u, v)
+	afterP, afterMB := d.swapRegionScores(u, v)
+	dP, dMB := afterP-beforeP, afterMB-beforeMB
+	if dP+dMB < 0 {
+		d.pscore += dP
+		d.mbscore += dMB
+		ou, ov := d.perm[u], d.perm[v]
+		d.perm[u], d.perm[v] = ov, ou
+		d.inv[ou], d.inv[ov] = v, u
+		return true
+	}
+	d.m.SwapSym(u, v) // revert
+	return false
+}
+
+// repair runs the localized greedy repair after an insert at positions
+// (i, j) increased violations. Horizontal violations relocate the
+// offending endpoint's column into a spare-capacity stripe
+// (sparsest-first, mirroring Stage-2's detail (ii)); vertical
+// violations re-derive the touched row's Stage-1 encoding (hamming
+// position codes of its segment bits) and look for a mask-compatible
+// partner row outside the band. Every candidate is exactly evaluated
+// by trySwap, so accepted swaps strictly decrease total violations.
+// Returns the number of accepted swaps.
+func (d *Mutable) repair(i, j int) int {
+	swaps := 0
+	maxCand := d.opt.MaxRepairCandidates
+	cells, blocks := d.edgeRegion(i, j)
+	for _, c := range cells {
+		r, s := c[0], c[1]
+		if d.m.SegmentPop(r, s, d.pat.M) <= d.pat.N {
+			continue
+		}
+		// The relocatable endpoint whose column sits in stripe s.
+		t := j
+		if r == j && i/d.pat.M == s {
+			t = i
+		}
+		if d.repairHorizontal(r, s, t, maxCand) {
+			swaps++
+		}
+	}
+	for _, blk := range blocks {
+		b, s := blk[0], blk[1]
+		if pattern.MetaBlockVerticalValid(d.m, d.pat, b*d.pat.V, s) {
+			continue
+		}
+		t := i
+		if j/d.pat.V == b {
+			t = j
+		}
+		if d.repairVertical(b, s, t, maxCand) {
+			swaps++
+		}
+	}
+	return swaps
+}
+
+// repairHorizontal fixes an over-full segment vector (r, s) by
+// swapping the offending column t into a stripe where row r has spare
+// horizontal capacity, trying the sparsest stripes first.
+func (d *Mutable) repairHorizontal(r, s, t, maxCand int) bool {
+	pat := d.pat
+	n := d.m.N()
+	segs := d.m.NumSegments(pat.M)
+	// Stripes with spare capacity in row r, sparsest first (ties by
+	// stripe index: deterministic).
+	type stripe struct{ pop, s int }
+	var cand []stripe
+	for s2 := 0; s2 < segs; s2++ {
+		if s2 == s {
+			continue
+		}
+		if pop := d.m.SegmentPop(r, s2, pat.M); pop < pat.N {
+			cand = append(cand, stripe{pop, s2})
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].pop != cand[b].pop {
+			return cand[a].pop < cand[b].pop
+		}
+		return cand[a].s < cand[b].s
+	})
+	tried := 0
+	for _, st := range cand {
+		lo, hi := st.s*pat.M, (st.s+1)*pat.M
+		if hi > n {
+			hi = n
+		}
+		for c := lo; c < hi && tried < maxCand; c++ {
+			if c == r || c == t || d.m.Get(r, c) {
+				continue
+			}
+			tried++
+			if d.trySwap(t, c) {
+				return true
+			}
+		}
+		if tried >= maxCand {
+			break
+		}
+	}
+	return false
+}
+
+// repairVertical fixes an over-wide meta-block (band b, stripe s) by
+// swapping the touched row t out of the band for a partner row whose
+// segment bits fit the band's remaining column set. Candidates are
+// ranked by the resulting distinct-column count, then by hamming
+// distance between the partner's Stage-1 position code and the
+// touched row's (recomputed here, only for the touched row), then by
+// row index — a deterministic, bounded shortlist that the exact
+// trySwap evaluation then filters.
+func (d *Mutable) repairVertical(b, s, t, maxCand int) bool {
+	pat := d.pat
+	n := d.m.N()
+	lo, hi := b*pat.V, (b+1)*pat.V
+	if hi > n {
+		hi = n
+	}
+	var bandRest uint64
+	for r := lo; r < hi; r++ {
+		if r != t {
+			bandRest |= d.m.Segment(r, s, pat.M)
+		}
+	}
+	tCode := hamming.PositionCode(d.m.Segment(t, s, pat.M))
+	type cand struct {
+		cols, dist, r int
+	}
+	shortlist := make([]cand, 0, maxCand+1)
+	for r := 0; r < n; r++ {
+		if r >= lo && r < hi {
+			continue
+		}
+		seg := d.m.Segment(r, s, pat.M)
+		c := cand{
+			cols: bits.OnesCount64(bandRest | seg),
+			dist: hamming.Distance(hamming.PositionCode(seg), tCode),
+			r:    r,
+		}
+		if c.cols > pat.EffK() {
+			continue // would still violate: not worth exact evaluation
+		}
+		pos := len(shortlist)
+		for pos > 0 && less(c, shortlist[pos-1]) {
+			pos--
+		}
+		if pos < maxCand {
+			shortlist = append(shortlist, cand{})
+			copy(shortlist[pos+1:], shortlist[pos:])
+			shortlist[pos] = c
+			if len(shortlist) > maxCand {
+				shortlist = shortlist[:maxCand]
+			}
+		}
+	}
+	for _, c := range shortlist {
+		if d.trySwap(t, c.r) {
+			return true
+		}
+	}
+	return false
+}
+
+func less(a, b struct{ cols, dist, r int }) bool {
+	if a.cols != b.cols {
+		return a.cols < b.cols
+	}
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.r < b.r
+}
+
+// reprice refreshes the staleness baseline: the conformity scores
+// right after a full reorder and the modeled per-epoch cycle savings
+// that reorder bought (CSR on the graph vs the V:N:M hybrid split of
+// the reordered matrix).
+func (d *Mutable) reprice() {
+	d.baseP, d.baseMB = d.pscore, d.mbscore
+	d.drift = 0
+	a := csr.FromBitMatrix(d.m)
+	csrCycles := d.cm.CSRSpMMCycles(a.NNZ(), a.N, d.opt.H)
+	comp, resid, err := venom.SplitToConform(a, d.pat)
+	if err != nil {
+		d.saved = 0
+		return
+	}
+	hybrid := d.cm.VNMSpMMCycles(sptc.Stats(comp, d.cm), d.opt.H)
+	if resid.NNZ() > 0 {
+		hybrid += d.cm.CSRSpMMCycles(resid.NNZ(), resid.N, d.opt.H)
+	}
+	d.saved = csrCycles - hybrid
+	if d.saved < 0 {
+		d.saved = 0
+	}
+}
+
+// maybeRebuild prices the conformity drift since the last full reorder
+// and triggers one when it exceeds the staleness budget. Drift is an
+// upper bound on the extra residual nonzeros the violations force out
+// of the compressed format — each extra violating segment vector
+// strands at most M nonzeros, each extra violating meta-block at most
+// V×M — priced at the CSR per-element cost of the cycle model. If the
+// last reorder bought no savings, staleness costs nothing and no
+// rebuild triggers.
+func (d *Mutable) maybeRebuild() (bool, error) {
+	driftP := d.pscore - d.baseP
+	if driftP < 0 {
+		driftP = 0
+	}
+	driftMB := d.mbscore - d.baseMB
+	if driftMB < 0 {
+		driftMB = 0
+	}
+	driftNNZ := driftP*d.pat.M + driftMB*d.pat.V*d.pat.M
+	d.drift = d.cm.CSRSpMMCycles(driftNNZ, 0, d.opt.H)
+	if d.saved <= 0 || d.drift <= d.opt.StalenessBudget*d.saved {
+		return false, nil
+	}
+	ob := d.opt.Obs
+	sp := ob.Span("dyn/rebuild")
+	defer sp.End()
+	ropt := d.opt.Reorder
+	if ropt.Workers == 0 {
+		ropt.Workers = d.opt.Workers
+	}
+	if ropt.Obs == nil {
+		ropt.Obs = d.opt.Obs
+	}
+	res, err := core.Reorder(d.m, d.pat, ropt)
+	if err != nil {
+		return false, fmt.Errorf("dyn: rebuild: %w", err)
+	}
+	// res.Perm maps new position -> position in the old numbering;
+	// compose with the maintained position -> original mapping.
+	newPerm := make([]int, len(d.perm))
+	for pos, oldPos := range res.Perm {
+		newPerm[pos] = d.perm[oldPos]
+	}
+	d.perm = newPerm
+	for pos, orig := range d.perm {
+		d.inv[orig] = pos
+	}
+	d.m = res.Matrix
+	d.pscore, d.mbscore = res.FinalPScore, res.FinalMBScore
+	d.reprice()
+	d.stats.Rebuilds++
+	ob.Counter("dyn/rebuilds").Inc()
+	return true, nil
+}
+
+func uniq2(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	return []int{a, b}
+}

@@ -1,0 +1,509 @@
+package dyn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustReorder(t *testing.T, g *graph.Graph, p pattern.VNM) *core.Result {
+	t.Helper()
+	res, err := core.Reorder(g.ToBitMatrix(), p, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustMutable(t *testing.T, g *graph.Graph, p pattern.VNM, opt Options) *Mutable {
+	t.Helper()
+	d, err := New(mustReorder(t, g, p), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// checkExact cross-checks the incrementally-maintained scores against
+// a from-scratch recount of the maintained matrix.
+func checkExact(t *testing.T, d *Mutable) {
+	t.Helper()
+	v := d.Violations()
+	if want := pattern.PScore(d.Matrix(), d.Pattern()); v.PScore != want {
+		t.Fatalf("incremental PScore %d != recount %d", v.PScore, want)
+	}
+	if want := pattern.MBScore(d.Matrix(), d.Pattern()); v.MBScore != want {
+		t.Fatalf("incremental MBScore %d != recount %d", v.MBScore, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := mustGraph(t, 8, [][2]int{{0, 1}, {2, 3}})
+	res := mustReorder(t, g, pattern.NM(2, 4))
+	if _, err := New(nil, Options{StalenessBudget: 1}); !errors.Is(err, ErrNoResult) {
+		t.Fatalf("nil result: got %v, want ErrNoResult", err)
+	}
+	if _, err := New(&core.Result{}, Options{StalenessBudget: 1}); !errors.Is(err, ErrNoResult) {
+		t.Fatalf("nil matrix: got %v, want ErrNoResult", err)
+	}
+	for _, budget := range []float64{0, -0.5, math.NaN()} {
+		if _, err := New(res, Options{StalenessBudget: budget}); !errors.Is(err, ErrBudget) {
+			t.Fatalf("budget %v: got %v, want ErrBudget", budget, err)
+		}
+	}
+	if _, err := New(res, Options{StalenessBudget: DefaultStalenessBudget}); err != nil {
+		t.Fatalf("valid construction failed: %v", err)
+	}
+}
+
+// TestDegenerateMutations pins the typed-error contract of satellite 4:
+// delete of a nonexistent edge, duplicate insert, mutation on an empty
+// graph, out-of-range vertices and unknown ops — typed errors, no
+// panics, and a rejected mutation leaves the state bit-identical.
+func TestDegenerateMutations(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g := mustGraph(t, 8, [][2]int{{0, 1}, {1, 2}})
+	d := mustMutable(t, g, p, Options{StalenessBudget: 1})
+	before := d.Matrix().Clone()
+	beforePerm := d.Perm()
+	cases := []struct {
+		name string
+		mut  Mutation
+		want error
+	}{
+		{"duplicate insert", Mutation{Op: OpInsert, U: 0, V: 1}, ErrEdgeExists},
+		{"delete missing", Mutation{Op: OpDelete, U: 0, V: 7}, ErrEdgeMissing},
+		{"delete missing self-loop", Mutation{Op: OpDelete, U: 3, V: 3}, ErrEdgeMissing},
+		{"negative vertex", Mutation{Op: OpInsert, U: -1, V: 2}, ErrVertexRange},
+		{"vertex too large", Mutation{Op: OpInsert, U: 0, V: 8}, ErrVertexRange},
+		{"unknown op", Mutation{Op: Op(9), U: 0, V: 1}, ErrUnknownOp},
+	}
+	for _, tc := range cases {
+		if _, err := d.Apply(tc.mut); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if !d.Matrix().Equal(before) {
+			t.Fatalf("%s: rejected mutation changed the matrix", tc.name)
+		}
+		for i, v := range d.Perm() {
+			if v != beforePerm[i] {
+				t.Fatalf("%s: rejected mutation changed the permutation", tc.name)
+			}
+		}
+	}
+	if s := d.Stats(); s.Mutations != 0 {
+		t.Fatalf("rejected mutations were counted: %+v", s)
+	}
+
+	empty := mustGraph(t, 0, nil)
+	de := mustMutable(t, empty, p, Options{StalenessBudget: 1})
+	if _, err := de.Apply(Mutation{Op: OpInsert, U: 0, V: 0}); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("empty graph: got %v, want ErrEmptyGraph", err)
+	}
+}
+
+// TestApplyMaintainsExactScores walks a generated stream on a mid-size
+// graph and recounts after every op.
+func TestApplyMaintainsExactScores(t *testing.T) {
+	for _, p := range []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8)} {
+		g, err := datasets.Family("er", 48, 6, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := mustMutable(t, g, p, Options{StalenessBudget: DefaultStalenessBudget})
+		st := GenerateStream(g, 30, 5)
+		for k, m := range st.Ops {
+			if _, err := d.Apply(m); err != nil {
+				t.Fatalf("pattern %v op %d (%s): %v", p, k, m, err)
+			}
+			checkExact(t, d)
+		}
+		s := d.Stats()
+		if s.Mutations != 30 || s.Inserts+s.Deletes != 30 {
+			t.Fatalf("pattern %v: stats %+v do not account for 30 ops", p, s)
+		}
+	}
+}
+
+// TestInsertDeleteIsConformityNoOp is the first metamorphic theorem:
+// with repair disabled, inserting an edge and deleting it again
+// restores matrix, permutation and scores exactly.
+func TestInsertDeleteIsConformityNoOp(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("community", 40, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustMutable(t, g, p, Options{StalenessBudget: 1e9, DisableRepair: true})
+	before := d.Matrix().Clone()
+	beforeViol := d.Violations()
+	pairs := [][2]int{{0, 9}, {3, 3}, {17, 22}}
+	for _, e := range pairs {
+		if d.Matrix().Get(e[0], e[1]) {
+			continue
+		}
+		if _, err := d.Insert(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Delete(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Matrix().Equal(before) {
+			t.Fatalf("insert+delete of (%d,%d) changed the matrix", e[0], e[1])
+		}
+		if v := d.Violations(); v != beforeViol {
+			t.Fatalf("insert+delete of (%d,%d) changed scores: %+v -> %+v", e[0], e[1], beforeViol, v)
+		}
+	}
+}
+
+// TestMutationOrderPermutation is the second metamorphic theorem:
+// reordering mutations that touch independent meta-blocks yields the
+// identical final state. Two flavours: any ops with repair disabled
+// (mutations commute outright), and delete-only streams with repair
+// enabled (deletes never trigger repair).
+func TestMutationOrderPermutation(t *testing.T) {
+	p := pattern.New(4, 2, 8)
+	g, err := datasets.Family("banded", 64, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(opt Options, ops []Mutation) *Mutable {
+		d := mustMutable(t, g, p, opt)
+		for k, m := range ops {
+			if _, err := d.Apply(m); err != nil {
+				t.Fatalf("op %d (%s): %v", k, m, err)
+			}
+		}
+		return d
+	}
+	sameState := func(a, b *Mutable, label string) {
+		t.Helper()
+		if !a.Matrix().Equal(b.Matrix()) {
+			t.Fatalf("%s: permuted order changed the matrix", label)
+		}
+		if va, vb := a.Violations(), b.Violations(); va != vb {
+			t.Fatalf("%s: permuted order changed scores: %+v vs %+v", label, va, vb)
+		}
+	}
+
+	norepair := Options{StalenessBudget: 1e9, DisableRepair: true}
+	base := mustMutable(t, g, p, norepair)
+	var ins []Mutation
+	// Three inserts in well-separated position ranges (independent
+	// bands and stripes of the reordered matrix map back to distinct
+	// original vertices via the perm).
+	perm := base.Perm()
+	for _, pos := range [][2]int{{0, 1}, {24, 25}, {48, 49}} {
+		u, v := perm[pos[0]], perm[pos[1]]
+		if !base.Matrix().Get(pos[0], pos[1]) {
+			ins = append(ins, Mutation{Op: OpInsert, U: u, V: v})
+		}
+	}
+	if len(ins) < 2 {
+		t.Fatal("test setup: fewer than 2 independent absent edges")
+	}
+	rev := make([]Mutation, len(ins))
+	for i, m := range ins {
+		rev[len(ins)-1-i] = m
+	}
+	sameState(run(norepair, ins), run(norepair, rev), "repair-off inserts")
+
+	// Delete-only permutation with repair ENABLED: deletes never
+	// increase violations, so no repair fires and order is immaterial.
+	repair := Options{StalenessBudget: 1e9}
+	var dels []Mutation
+	for u := 0; u < g.N() && len(dels) < 4; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				dels = append(dels, Mutation{Op: OpDelete, U: u, V: int(v)})
+				break
+			}
+		}
+	}
+	if len(dels) < 2 {
+		t.Fatal("test setup: fewer than 2 deletable edges")
+	}
+	revd := make([]Mutation, len(dels))
+	for i, m := range dels {
+		revd[len(dels)-1-i] = m
+	}
+	a, b := run(repair, dels), run(repair, revd)
+	sameState(a, b, "repair-on deletes")
+	if s := a.Stats(); s.Repairs != 0 {
+		t.Fatalf("deletes triggered repair: %+v", s)
+	}
+}
+
+// TestRelabelInvariance is the third metamorphic theorem: two Mutables
+// wrapping the identical reordered matrix whose original labelings
+// differ by a relabeling make identical repair decisions — the
+// maintained matrices stay bit-equal and the permutations stay related
+// by the relabeling, for the whole stream.
+func TestRelabelInvariance(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("er", 40, 6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustReorder(t, g, p)
+	n := g.N()
+	// relabel[old original id] = new original id (a fixed derangement-ish
+	// rotation keeps it simple and deterministic).
+	relabel := make([]int, n)
+	for i := range relabel {
+		relabel[i] = (i + 7) % n
+	}
+	res2 := &core.Result{
+		Pattern: res.Pattern,
+		Matrix:  res.Matrix.Clone(),
+		Perm:    make([]int, n),
+	}
+	for pos, orig := range res.Perm {
+		res2.Perm[pos] = relabel[orig]
+	}
+	opt := Options{StalenessBudget: DefaultStalenessBudget}
+	d1, err := New(res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(res2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GenerateStream(g, 20, 17)
+	for k, m := range st.Ops {
+		o1, err1 := d1.Apply(m)
+		o2, err2 := d2.Apply(Mutation{Op: m.Op, U: relabel[m.U], V: relabel[m.V]})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("op %d (%s): relabeled apply diverges: %v vs %v", k, m, err1, err2)
+		}
+		if o1.RepairSwaps != o2.RepairSwaps || o1.Rebuilt != o2.Rebuilt ||
+			o1.DeltaPScore != o2.DeltaPScore || o1.DeltaMBScore != o2.DeltaMBScore {
+			t.Fatalf("op %d (%s): repair decisions diverge under relabeling: %+v vs %+v", k, m, o1, o2)
+		}
+		if !d1.Matrix().Equal(d2.Matrix()) {
+			t.Fatalf("op %d (%s): matrices diverge under relabeling", k, m)
+		}
+		p1, p2 := d1.Perm(), d2.Perm()
+		for pos := range p1 {
+			if relabel[p1[pos]] != p2[pos] {
+				t.Fatalf("op %d (%s): perms no longer related by the relabeling at pos %d", k, m, pos)
+			}
+		}
+	}
+}
+
+// TestRepairReducesDamage asserts the repair path actually fires and
+// strictly helps: adversarial inserts aimed at already-full segment
+// vectors must end with fewer violations than the same inserts with
+// repair disabled, while both stay exact.
+func TestRepairReducesDamage(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("banded", 96, 6, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{StalenessBudget: 1e9} // no rebuilds: isolate repair
+	withRepair := mustMutable(t, g, p, opt)
+	noRepair := mustMutable(t, g, p, Options{StalenessBudget: 1e9, DisableRepair: true})
+	// Build adversarial inserts from the shared base state: for rows
+	// whose stripe already holds exactly N nonzeros, insert one more
+	// edge into that stripe — each insert breaks the horizontal
+	// constraint of its segment vector.
+	base, perm := withRepair.Matrix(), withRepair.Perm()
+	var adv []Mutation
+	usedRow := make(map[int]bool)
+	for r := 0; r < base.N() && len(adv) < 12; r++ {
+		if usedRow[r] {
+			continue
+		}
+		for s := 0; s < base.NumSegments(p.M); s++ {
+			if base.SegmentPop(r, s, p.M) != p.N {
+				continue
+			}
+			lo, hi := s*p.M, (s+1)*p.M
+			if hi > base.N() {
+				hi = base.N()
+			}
+			found := false
+			for c := lo; c < hi; c++ {
+				if c != r && !base.Get(r, c) && !usedRow[c] {
+					adv = append(adv, Mutation{Op: OpInsert, U: perm[r], V: perm[c]})
+					usedRow[r], usedRow[c] = true, true
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+	}
+	if len(adv) < 4 {
+		t.Fatalf("test setup: only %d adversarial inserts found", len(adv))
+	}
+	for _, m := range adv {
+		if _, err := withRepair.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := noRepair.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkExact(t, withRepair)
+	checkExact(t, noRepair)
+	vr, vn := withRepair.Violations(), noRepair.Violations()
+	if vr.PScore+vr.MBScore > vn.PScore+vn.MBScore {
+		t.Fatalf("repair made things worse: %+v vs unrepaired %+v", vr, vn)
+	}
+	if withRepair.Stats().Repairs == 0 {
+		t.Fatalf("repair never fired on %d adversarial inserts: %+v (unrepaired end state %+v)", len(adv), withRepair.Stats(), vn)
+	}
+	if vr.PScore+vr.MBScore >= vn.PScore+vn.MBScore {
+		t.Fatalf("repair bought nothing on adversarial inserts: %+v vs unrepaired %+v", vr, vn)
+	}
+	if withRepair.Stats().RepairSwaps > 0 && vr.PScore+vr.MBScore == vn.PScore+vn.MBScore {
+		t.Fatalf("accepted repair swaps did not reduce violations: %+v vs %+v", vr, vn)
+	}
+}
+
+// TestStalenessRebuild drives a Mutable over its staleness budget and
+// asserts the full re-reorder fires, restores near-baseline conformity
+// and keeps the composed permutation lossless.
+func TestStalenessRebuild(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("banded", 96, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget makes any conformity drift exceed the threshold as
+	// long as the reorder bought modeled savings.
+	d := mustMutable(t, g, p, Options{StalenessBudget: 1e-9, DisableRepair: true})
+	if d.Stats().SavedCyclesPerEpoch <= 0 {
+		t.Skipf("reorder bought no modeled savings on this graph: %+v", d.Stats())
+	}
+	orig := g.ToBitMatrix()
+	st := GenerateStream(g, 25, 31)
+	rebuilt := false
+	for k, m := range st.Ops {
+		out, err := d.Apply(m)
+		if err != nil {
+			t.Fatalf("op %d (%s): %v", k, m, err)
+		}
+		if m.Op == OpInsert {
+			orig.Set(m.U, m.V)
+			orig.Set(m.V, m.U)
+		} else {
+			orig.Clear(m.U, m.V)
+			orig.Clear(m.V, m.U)
+		}
+		checkExact(t, d)
+		if out.Rebuilt {
+			rebuilt = true
+			// After a rebuild the drift baseline resets.
+			s := d.Stats()
+			if s.DriftCycles != 0 {
+				t.Fatalf("op %d: rebuild left nonzero drift: %+v", k, s)
+			}
+			// Losslessness across the composed permutation.
+			if !orig.Permute(d.Perm()).Equal(d.Matrix()) {
+				t.Fatalf("op %d: rebuild broke the perm composition", k)
+			}
+		}
+	}
+	if !rebuilt {
+		t.Fatalf("no rebuild fired under a 1e-9 budget: %+v", d.Stats())
+	}
+	if d.Stats().Rebuilds == 0 {
+		t.Fatalf("stats did not count rebuilds: %+v", d.Stats())
+	}
+}
+
+// TestObsCounters wires a registry through a short stream and checks
+// the dyn/* counters line up with the Stats the Mutable reports.
+func TestObsCounters(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("er", 32, 5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	d := mustMutable(t, g, p, Options{StalenessBudget: DefaultStalenessBudget, Obs: reg})
+	st := GenerateStream(g, 15, 41)
+	if _, err := d.ApplyStream(st); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	for name, want := range map[string]int64{
+		"dyn/mutations":    int64(s.Mutations),
+		"dyn/inserts":      int64(s.Inserts),
+		"dyn/deletes":      int64(s.Deletes),
+		"dyn/repairs":      int64(s.Repairs),
+		"dyn/repair_swaps": int64(s.RepairSwaps),
+		"dyn/rebuilds":     int64(s.Rebuilds),
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Fatalf("%s = %d, want %d (stats %+v)", name, got, want, s)
+		}
+	}
+}
+
+// TestApplyStreamStopsAtError pins ApplyStream's error contract: the
+// outcomes of the successful prefix are returned alongside a wrapped
+// typed error.
+func TestApplyStreamStopsAtError(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g := mustGraph(t, 8, [][2]int{{0, 1}})
+	d := mustMutable(t, g, p, Options{StalenessBudget: 1})
+	st := &Stream{Ops: []Mutation{
+		{Op: OpInsert, U: 2, V: 3},
+		{Op: OpInsert, U: 0, V: 1}, // duplicate -> stops here
+		{Op: OpInsert, U: 4, V: 5},
+	}}
+	outs, err := d.ApplyStream(st)
+	if !errors.Is(err, ErrEdgeExists) {
+		t.Fatalf("got %v, want wrapped ErrEdgeExists", err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes before the error, want 1", len(outs))
+	}
+	if outs2, err := d.ApplyStream(nil); err != nil || outs2 != nil {
+		t.Fatalf("nil stream: got %v, %v", outs2, err)
+	}
+}
+
+// TestNegativeMaxCandidatesDisablesRepair covers the option
+// normalization edge.
+func TestNegativeMaxCandidatesDisablesRepair(t *testing.T) {
+	p := pattern.NM(2, 4)
+	g, err := datasets.Family("banded", 48, 6, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mustMutable(t, g, p, Options{StalenessBudget: 1e9, MaxRepairCandidates: -1})
+	st := GenerateStream(g, 20, 53)
+	if _, err := d.ApplyStream(st); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Repairs != 0 || s.RepairSwaps != 0 {
+		t.Fatalf("negative MaxRepairCandidates still repaired: %+v", s)
+	}
+	checkExact(t, d)
+}

@@ -1,0 +1,221 @@
+package dyn
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Op enumerates the two edge mutations a dynamic graph stream carries.
+type Op uint8
+
+const (
+	// OpInsert adds an undirected edge (a self-loop when U == V).
+	OpInsert Op = iota
+	// OpDelete removes an existing undirected edge.
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "add"
+	case OpDelete:
+		return "del"
+	}
+	return "unknown"
+}
+
+// Mutation is one edge insert or delete, in ORIGINAL vertex ids (the
+// numbering of the graph that was reordered — Mutable maps through the
+// maintained permutation internally, so streams are stable across
+// rebuilds).
+type Mutation struct {
+	Op   Op
+	U, V int
+}
+
+func (m Mutation) String() string {
+	return fmt.Sprintf("%s@%d-%d", m.Op, m.U, m.V)
+}
+
+// Stream is a parsed mutation stream: an optional seed recording the
+// generator provenance (GenerateStream) and the ordered mutations.
+type Stream struct {
+	Seed int64
+	Ops  []Mutation
+}
+
+// String renders the stream in the canonical form ParseMutations
+// accepts: ParseMutations(s.String()) reproduces s exactly (the same
+// parse-String fixed point resil.Plan keeps for fault plans).
+func (s *Stream) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Ops)+1)
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	}
+	for _, m := range s.Ops {
+		parts = append(parts, m.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseMutations parses the textual mutation-stream format the CLIs'
+// -mutate flag accepts: clauses separated by ';', ',' or newlines, each
+// either
+//
+//	seed=<int>          generator seed the stream was drawn with
+//	add@<u>-<v>         insert undirected edge {u, v} (u == v: self-loop)
+//	del@<u>-<v>         delete undirected edge {u, v}
+//
+// Vertex ids are nonnegative integers in the ORIGINAL numbering.
+// Duplicate clauses are allowed — applying them simply fails with the
+// typed edge errors at apply time. An empty stream string yields a nil
+// Stream (no mutations).
+func ParseMutations(s string) (*Stream, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ';' || r == ',' || r == '\n'
+	})
+	st := &Stream{}
+	for _, raw := range fields {
+		clause := strings.TrimSpace(raw)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dyn: bad seed %q: %v", rest, err)
+			}
+			st.Seed = seed
+			continue
+		}
+		opStr, rest, ok := strings.Cut(clause, "@")
+		if !ok {
+			return nil, fmt.Errorf("dyn: clause %q has no '@'", clause)
+		}
+		var op Op
+		switch opStr {
+		case "add":
+			op = OpInsert
+		case "del":
+			op = OpDelete
+		default:
+			return nil, fmt.Errorf("dyn: unknown op %q in %q", opStr, clause)
+		}
+		uStr, vStr, ok := strings.Cut(rest, "-")
+		if !ok {
+			return nil, fmt.Errorf("dyn: clause %q has no '-' edge separator", clause)
+		}
+		u, err := parseVertex(uStr, clause)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseVertex(vStr, clause)
+		if err != nil {
+			return nil, err
+		}
+		st.Ops = append(st.Ops, Mutation{Op: op, U: u, V: v})
+	}
+	if st.Seed == 0 && len(st.Ops) == 0 {
+		return nil, nil
+	}
+	return st, nil
+}
+
+func parseVertex(s, clause string) (int, error) {
+	// Reject forms strconv accepts but the canonical renderer never
+	// emits (signs, leading zeros) so parse-String is a fixed point.
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return 0, fmt.Errorf("dyn: bad vertex %q in %q", s, clause)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("dyn: bad vertex %q in %q", s, clause)
+	}
+	return v, nil
+}
+
+// GenerateStream draws a seeded random mutation stream that is valid
+// against g: every insert names an edge absent at that point of the
+// stream and every delete an edge present, so applying the stream in
+// order never hits the typed edge errors. Roughly half the mutations
+// are inserts. The returned stream records the seed.
+func GenerateStream(g *graph.Graph, nOps int, seed int64) *Stream {
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	st := &Stream{Seed: seed}
+	if n == 0 || nOps <= 0 {
+		return st
+	}
+	// Live edge set: membership map plus a slice for uniform deletion
+	// picks. Keys are u*n+v with u <= v.
+	key := func(u, v int) int {
+		if u > v {
+			u, v = v, u
+		}
+		return u*n + v
+	}
+	present := make(map[int]int) // key -> index in edges
+	var edges [][2]int
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		present[key(u, v)] = len(edges)
+		edges = append(edges, [2]int{u, v})
+	}
+	delEdge := func(u, v int) {
+		k := key(u, v)
+		i := present[k]
+		last := edges[len(edges)-1]
+		edges[i] = last
+		present[key(last[0], last[1])] = i
+		edges = edges[:len(edges)-1]
+		delete(present, k)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) >= u {
+				addEdge(u, int(v))
+			}
+		}
+	}
+	for len(st.Ops) < nOps {
+		insert := rng.Intn(2) == 0
+		if len(edges) == 0 {
+			insert = true
+		}
+		if insert {
+			// Sample absent pairs; bail to deletion if the graph is near
+			// complete and sampling keeps missing.
+			found := false
+			for try := 0; try < 64; try++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if _, ok := present[key(u, v)]; ok {
+					continue
+				}
+				st.Ops = append(st.Ops, Mutation{Op: OpInsert, U: u, V: v})
+				addEdge(u, v)
+				found = true
+				break
+			}
+			if found || len(edges) == 0 {
+				continue
+			}
+			insert = false
+		}
+		if !insert {
+			e := edges[rng.Intn(len(edges))]
+			st.Ops = append(st.Ops, Mutation{Op: OpDelete, U: e[0], V: e[1]})
+			delEdge(e[0], e[1])
+		}
+	}
+	return st
+}

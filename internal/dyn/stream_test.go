@@ -1,0 +1,155 @@
+package dyn
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestParseMutationsRoundTrip(t *testing.T) {
+	cases := []struct {
+		in    string
+		canon string // expected canonical rendering
+	}{
+		{"", ""},
+		{"seed=42", "seed=42"},
+		{"seed=-3", "seed=-3"},
+		{"add@0-1", "add@0-1"},
+		{"del@5-5", "del@5-5"},
+		{" add@3-4 ;del@4-3 ", "add@3-4; del@4-3"},
+		{"seed=7\nadd@1-2,del@2-1", "seed=7; add@1-2; del@2-1"},
+		{";;,\n", ""},
+		{"seed=9; add@10-20; del@20-10; add@0-0", "seed=9; add@10-20; del@20-10; add@0-0"},
+	}
+	for _, tc := range cases {
+		st, err := ParseMutations(tc.in)
+		if err != nil {
+			t.Fatalf("ParseMutations(%q): %v", tc.in, err)
+		}
+		if got := st.String(); got != tc.canon {
+			t.Fatalf("ParseMutations(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+		// Exact fixed point: re-parsing the canonical form reproduces it.
+		st2, err := ParseMutations(tc.canon)
+		if err != nil {
+			t.Fatalf("re-parse of canonical %q: %v", tc.canon, err)
+		}
+		if got := st2.String(); got != tc.canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", tc.canon, got)
+		}
+	}
+}
+
+func TestParseMutationsErrors(t *testing.T) {
+	bad := []string{
+		"seed=x",      // non-integer seed
+		"add@1",       // no edge separator
+		"add@1-",      // empty vertex
+		"add@-1-2",    // sign (canonical renderer never emits)
+		"add@01-2",    // leading zero
+		"grow@1-2",    // unknown op
+		"add1-2",      // missing '@'
+		"add@1-2-3",   // vertex "2-3" is not an integer
+		"add@1.5-2",   // non-integer vertex
+		"seed=1 typo", // trailing junk inside a clause
+	}
+	for _, s := range bad {
+		if st, err := ParseMutations(s); err == nil {
+			t.Fatalf("ParseMutations(%q) accepted: %+v", s, st)
+		}
+	}
+}
+
+func TestParseMutationsEmptyIsNil(t *testing.T) {
+	st, err := ParseMutations("  \n ; , ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Fatalf("blank stream parsed non-nil: %+v", st)
+	}
+	if got := st.String(); got != "" {
+		t.Fatalf("nil stream renders %q, want empty", got)
+	}
+}
+
+// TestGenerateStreamValid asserts the generator's contract: the stream
+// is deterministic per seed, records its seed, and applies cleanly (no
+// typed edge errors) against the generating graph.
+func TestGenerateStreamValid(t *testing.T) {
+	g, err := graph.NewFromEdges(24, [][2]int{{0, 1}, {1, 2}, {2, 3}, {10, 11}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GenerateStream(g, 40, 99)
+	if st.Seed != 99 {
+		t.Fatalf("stream seed %d, want 99", st.Seed)
+	}
+	if len(st.Ops) != 40 {
+		t.Fatalf("generated %d ops, want 40", len(st.Ops))
+	}
+	if st2 := GenerateStream(g, 40, 99); st2.String() != st.String() {
+		t.Fatalf("same seed generated different streams:\n%s\n%s", st, st2)
+	}
+	if st3 := GenerateStream(g, 40, 100); st3.String() == st.String() {
+		t.Fatal("different seeds generated identical streams")
+	}
+	// Validity: replay against an edge-set model of the graph.
+	have := map[[2]int]bool{}
+	norm := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			have[norm(u, int(v))] = true
+		}
+	}
+	for k, m := range st.Ops {
+		e := norm(m.U, m.V)
+		switch m.Op {
+		case OpInsert:
+			if have[e] {
+				t.Fatalf("op %d (%s) inserts a present edge", k, m)
+			}
+			have[e] = true
+		case OpDelete:
+			if !have[e] {
+				t.Fatalf("op %d (%s) deletes a missing edge", k, m)
+			}
+			delete(have, e)
+		}
+	}
+	// Round trip through the canonical text format.
+	st4, err := ParseMutations(st.String())
+	if err != nil {
+		t.Fatalf("generated stream does not re-parse: %v", err)
+	}
+	if st4.String() != st.String() {
+		t.Fatal("generated stream round trip changed the stream")
+	}
+}
+
+func TestGenerateStreamDegenerate(t *testing.T) {
+	empty, _ := graph.NewFromEdges(0, nil)
+	if st := GenerateStream(empty, 5, 1); len(st.Ops) != 0 {
+		t.Fatalf("empty graph generated %d ops", len(st.Ops))
+	}
+	g, _ := graph.NewFromEdges(3, nil)
+	if st := GenerateStream(g, 0, 1); len(st.Ops) != 0 {
+		t.Fatalf("nOps=0 generated %d ops", len(st.Ops))
+	}
+	// A 1-vertex graph can only toggle its self-loop.
+	one, _ := graph.NewFromEdges(1, nil)
+	st := GenerateStream(one, 6, 2)
+	if len(st.Ops) != 6 {
+		t.Fatalf("1-vertex graph generated %d ops, want 6", len(st.Ops))
+	}
+	for k, m := range st.Ops {
+		if m.U != 0 || m.V != 0 {
+			t.Fatalf("op %d (%s) names a vertex beyond the single one", k, m)
+		}
+	}
+}

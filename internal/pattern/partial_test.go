@@ -1,0 +1,75 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// randomSym returns a seeded random symmetric bit matrix.
+func randomSym(n int, density float64, seed int64) *bitmat.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := bitmat.New(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j)
+				m.Set(j, i)
+			}
+		}
+	}
+	return m
+}
+
+// TestPartialScoresSumToTotals pins the partial-score helpers to the
+// full scores: summing RowPScore over rows, SegPScore over stripes,
+// BlockRowMBScore over bands and SegMBScore over stripes must each
+// reproduce PScore / MBScore exactly — the invariant the incremental
+// delta tracking in internal/dyn rests on.
+func TestPartialScoresSumToTotals(t *testing.T) {
+	patterns := []VNM{NM(2, 4), New(4, 2, 8), New(2, 1, 4), New(8, 3, 16)}
+	for _, n := range []int{0, 1, 3, 7, 16, 33, 70} {
+		for si, density := range []float64{0, 0.1, 0.4, 0.9} {
+			m := randomSym(n, density, int64(n*10+si))
+			for _, p := range patterns {
+				wantP, wantMB := PScore(m, p), MBScore(m, p)
+				sumRow, sumSeg := 0, 0
+				for i := 0; i < n; i++ {
+					sumRow += RowPScore(m, p, i)
+				}
+				for s := 0; s < m.NumSegments(p.M); s++ {
+					sumSeg += SegPScore(m, p, s)
+				}
+				if sumRow != wantP || sumSeg != wantP {
+					t.Fatalf("n=%d density=%v pattern %v: PScore partial sums row=%d seg=%d, want %d",
+						n, density, p, sumRow, sumSeg, wantP)
+				}
+				sumBand, sumSegMB := 0, 0
+				for b := 0; b < NumBlockRows(m, p); b++ {
+					sumBand += BlockRowMBScore(m, p, b)
+				}
+				for s := 0; s < m.NumSegments(p.M); s++ {
+					sumSegMB += SegMBScore(m, p, s)
+				}
+				if sumBand != wantMB || sumSegMB != wantMB {
+					t.Fatalf("n=%d density=%v pattern %v: MBScore partial sums band=%d seg=%d, want %d",
+						n, density, p, sumBand, sumSegMB, wantMB)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialScoresMatchSegmentPScores cross-checks SegPScore against
+// the existing batch SegmentPScores helper.
+func TestPartialScoresMatchSegmentPScores(t *testing.T) {
+	m := randomSym(40, 0.3, 99)
+	p := New(4, 2, 8)
+	batch := SegmentPScores(m, p)
+	for s, want := range batch {
+		if got := SegPScore(m, p, s); got != want {
+			t.Fatalf("SegPScore(%d) = %d, SegmentPScores gives %d", s, got, want)
+		}
+	}
+}

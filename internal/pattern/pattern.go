@@ -236,6 +236,70 @@ func MBScoreOn(pool *sched.Pool, m *bitmat.Matrix, p VNM) int {
 	return pool.ReduceInt(blocksPerCol, body)
 }
 
+// RowPScore returns the number of row i's segment vectors violating the
+// horizontal constraint — one row's contribution to PScore. The
+// incremental maintenance layer (internal/dyn) uses these partial
+// scores to track conformity drift by exact deltas: recompute the
+// affected partials before and after a local change and adjust the
+// running total, instead of rescanning the matrix.
+func RowPScore(m *bitmat.Matrix, p VNM, i int) int {
+	segs := m.NumSegments(p.M)
+	count := 0
+	for s := 0; s < segs; s++ {
+		if m.SegmentPop(i, s, p.M) > p.N {
+			count++
+		}
+	}
+	return count
+}
+
+// SegPScore returns the number of segment vectors in column stripe seg
+// violating the horizontal constraint — one stripe's contribution to
+// PScore (the per-segment entries of SegmentPScores, computed alone).
+func SegPScore(m *bitmat.Matrix, p VNM, seg int) int {
+	count := 0
+	for i := 0; i < m.N(); i++ {
+		if m.SegmentPop(i, seg, p.M) > p.N {
+			count++
+		}
+	}
+	return count
+}
+
+// NumBlockRows returns the number of V-row meta-block bands:
+// ceil(n / V).
+func NumBlockRows(m *bitmat.Matrix, p VNM) int {
+	return (m.N() + p.V - 1) / p.V
+}
+
+// BlockRowMBScore returns the number of meta-blocks in block band b
+// (rows [b*V, (b+1)*V)) violating the vertical constraint — one band's
+// contribution to MBScore.
+func BlockRowMBScore(m *bitmat.Matrix, p VNM, b int) int {
+	segs := m.NumSegments(p.M)
+	rowStart := b * p.V
+	count := 0
+	for s := 0; s < segs; s++ {
+		if !MetaBlockVerticalValid(m, p, rowStart, s) {
+			count++
+		}
+	}
+	return count
+}
+
+// SegMBScore returns the number of meta-blocks in column stripe seg
+// violating the vertical constraint — one stripe's contribution to
+// MBScore.
+func SegMBScore(m *bitmat.Matrix, p VNM, seg int) int {
+	count := 0
+	for b := 0; b < NumBlockRows(m, p); b++ {
+		if !MetaBlockVerticalValid(m, p, b*p.V, seg) {
+			count++
+		}
+	}
+	return count
+}
+
 // Violations aggregates both violation counts for a matrix under a
 // pattern.
 type Violations struct {

@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${1:-5s}"
-COVER_FLOOR=85   # percent, for internal/check
+COVER_FLOOR=86   # percent, for internal/check
 
 echo "== go vet =="
 go vet ./...
@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -41,14 +41,15 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
     ./internal/check/ ./internal/gnn/ ./internal/core/ \
     ./internal/distributed/ ./internal/obs/ ./internal/resil/ \
-    ./internal/plan/
+    ./internal/plan/ ./internal/dyn/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
     for target in FuzzCompressDecompress FuzzReorderLossless \
                   FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
                   FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
-                  FuzzFaultPlanParse FuzzCalibrationParse; do
+                  FuzzFaultPlanParse FuzzCalibrationParse \
+                  FuzzMutationStreamParse FuzzIncrementalVsScratch; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -94,6 +95,36 @@ if ! grep -q 'resil/injected/crash' "$obs_tmp/f1.json"; then
     exit 1
 fi
 echo "faulted runs recovered deterministically"
+
+echo "== dynamic mutation smoke (same seeded stream twice, byte-identical outputs) =="
+# The incremental-reordering contract (DESIGN.md §12): repairs and
+# rebuilds are pure functions of (reordering, stream, budget), so
+# replaying the identical stream must reproduce identical canonical obs
+# snapshots and identical canonical BENCH_dynamic rows.
+dyn_stream='add@0-100; add@1-200; del@0-100; add@2-300'
+go run ./cmd/sogre-reorder -gen er -n 512 -seed 7 -mutate "$dyn_stream" \
+    -metrics "$obs_tmp/d1.json" -metrics-canonical > /dev/null
+go run ./cmd/sogre-reorder -gen er -n 512 -seed 7 -mutate "$dyn_stream" \
+    -metrics "$obs_tmp/d2.json" -metrics-canonical > /dev/null
+if ! cmp -s "$obs_tmp/d1.json" "$obs_tmp/d2.json"; then
+    echo "FAIL: canonical obs snapshots differ between identical mutation runs:" >&2
+    diff "$obs_tmp/d1.json" "$obs_tmp/d2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q 'dyn/mutations' "$obs_tmp/d1.json"; then
+    echo "FAIL: mutation smoke ran but recorded no dyn counters" >&2
+    exit 1
+fi
+go run ./cmd/sogre-bench -suite dynamic -seed 11 -repeats 1 -canonical \
+    -out "$obs_tmp/bd1.json" > /dev/null
+go run ./cmd/sogre-bench -suite dynamic -seed 11 -repeats 1 -canonical \
+    -out "$obs_tmp/bd2.json" > /dev/null
+if ! cmp -s "$obs_tmp/bd1.json" "$obs_tmp/bd2.json"; then
+    echo "FAIL: canonical dynamic suites differ between identical runs:" >&2
+    diff "$obs_tmp/bd1.json" "$obs_tmp/bd2.json" >&2 || true
+    exit 1
+fi
+echo "dynamic mutation runs replay identically"
 
 echo "== planner replay smoke (pinned calibration, byte-identical canonical suites) =="
 # The planner contract (DESIGN.md §11): decisions are pure functions of

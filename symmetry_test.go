@@ -1,0 +1,150 @@
+package sogre
+
+import (
+	"testing"
+)
+
+// degenerateGraphs is the shared table for the symmetry- and
+// verification-facade edge cases: the empty graph, a single vertex, a
+// graph with self-loops, and a full clique.
+func degenerateGraphs(t *testing.T) []struct {
+	name  string
+	g     *Graph
+	comps int // connected components (loops and isolated vertices count)
+} {
+	t.Helper()
+	build := func(n int, edges [][2]int) *Graph {
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			t.Fatalf("building %d-vertex graph: %v", n, err)
+		}
+		return g
+	}
+	clique := func(n int) [][2]int {
+		var e [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				e = append(e, [2]int{u, v})
+			}
+		}
+		return e
+	}
+	return []struct {
+		name  string
+		g     *Graph
+		comps int
+	}{
+		{"empty", build(0, nil), 0},
+		{"single-node", build(1, nil), 1},
+		{"self-loops", build(4, [][2]int{{0, 0}, {1, 1}, {0, 1}, {2, 3}, {3, 3}}), 2},
+		{"full-clique", build(6, clique(6)), 1},
+	}
+}
+
+// TestSymmetryFacadeDegenerate drives every symmetry-dependent
+// algorithm of symmetry.go across the degenerate-graph table: minimum
+// spanning forests (self-loops never enter, forest size is n minus
+// components), spectral bisection (a total 2-coloring whose cut
+// CutSize agrees with a direct count), and the isomorphism
+// certificate and fingerprint under the identity relabeling.
+func TestSymmetryFacadeDegenerate(t *testing.T) {
+	for _, tc := range degenerateGraphs(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.g.N()
+
+			mst, total := Kruskal(tc.g, nil)
+			if want := n - tc.comps; len(mst) != want {
+				t.Fatalf("MSF has %d edges, want n-components = %d", len(mst), want)
+			}
+			if total != float64(len(mst)) { // unit weights
+				t.Fatalf("MSF weight %v, want %d", total, len(mst))
+			}
+			for _, e := range mst {
+				if e.U == e.V {
+					t.Fatalf("self-loop %d-%d in spanning forest", e.U, e.V)
+				}
+			}
+
+			side := SpectralBisection(tc.g, 20, 3)
+			if len(side) != n {
+				t.Fatalf("bisection labeled %d of %d vertices", len(side), n)
+			}
+			cut := 0
+			for u := 0; u < n; u++ {
+				if side[u] != 0 && side[u] != 1 {
+					t.Fatalf("vertex %d got side %d", u, side[u])
+				}
+				for _, v := range tc.g.Neighbors(u) {
+					if u < int(v) && side[u] != side[v] {
+						cut++
+					}
+				}
+			}
+			if got := CutSize(tc.g, side); got != cut {
+				t.Fatalf("CutSize = %d, direct count %d", got, cut)
+			}
+
+			id := make([]int, n)
+			for i := range id {
+				id[i] = i
+			}
+			if err := VerifyIsomorphism(tc.g, tc.g, id); err != nil {
+				t.Fatalf("identity not an isomorphism: %v", err)
+			}
+			if GraphFingerprint(tc.g) != GraphFingerprint(tc.g) {
+				t.Fatal("fingerprint not deterministic")
+			}
+		})
+	}
+}
+
+// TestSymmetryFacadeUnderReordering is the file's reason to exist:
+// every symmetry-dependent result must survive a SOGRE reordering
+// unchanged (isomorphism certified, fingerprint and MSF weight
+// invariant).
+func TestSymmetryFacadeUnderReordering(t *testing.T) {
+	for _, tc := range degenerateGraphs(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Reorder(tc.g, NM(2, 4), ReorderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg, err := ApplyReordering(tc.g, res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyIsomorphism(tc.g, rg, res.Perm); err != nil {
+				t.Fatalf("reordering broke the isomorphism: %v", err)
+			}
+			if GraphFingerprint(tc.g) != GraphFingerprint(rg) {
+				t.Fatal("fingerprint changed under reordering")
+			}
+			_, w1 := Kruskal(tc.g, nil)
+			_, w2 := Kruskal(rg, nil)
+			if w1 != w2 {
+				t.Fatalf("MSF weight changed under reordering: %v -> %v", w1, w2)
+			}
+		})
+	}
+}
+
+// TestVerifyIsomorphismRejects pins the negative side on the same
+// table: a wrong permutation must be rejected whenever the graph has
+// structure to contradict it.
+func TestVerifyIsomorphismRejects(t *testing.T) {
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyIsomorphism(g, g, []int{1, 0, 2, 3}); err == nil {
+		t.Fatal("swapping a degree-1 and degree-2 vertex passed as isomorphism")
+	}
+	if err := VerifyIsomorphism(g, g, []int{0, 0, 1, 2}); err == nil {
+		t.Fatal("non-bijective perm accepted")
+	}
+	if err := VerifyIsomorphism(g, g, []int{0, 1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package sogre
+
+import (
+	"testing"
+)
+
+// TestVerifyFacadeDegenerate drives the verification oracles of
+// verify.go across the shared degenerate-graph table (empty graph,
+// single node, self-loops, full clique): losslessness of a real
+// reordering, kernel equivalence on the graph's CSR form, and exact
+// compression reassembly — the shapes most likely to hit off-by-one
+// boundaries in segment and block arithmetic.
+func TestVerifyFacadeDegenerate(t *testing.T) {
+	patterns := []Pattern{NM(2, 4), VNM(4, 2, 8)}
+	for _, tc := range degenerateGraphs(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Reorder(tc.g, NM(2, 4), ReorderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyReordering(tc.g, res); err != nil {
+				t.Fatalf("reordering not lossless: %v", err)
+			}
+
+			a := CSRFromGraph(tc.g)
+			b := NewDense(tc.g.N(), 8)
+			b.Randomize(1, 5)
+			for _, p := range patterns {
+				if err := VerifyKernelEquivalence(a, b, p, DefaultTolerance()); err != nil {
+					t.Fatalf("kernels disagree under %v: %v", p, err)
+				}
+				if err := VerifyCompression(a, p); err != nil {
+					t.Fatalf("compression not exact under %v: %v", p, err)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyReorderingRejects pins the negative side: a tampered
+// permutation or a permutation from a different graph must fail the
+// losslessness certificate.
+func TestVerifyReorderingRejects(t *testing.T) {
+	g, err := NewGraph(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reorder(g, NM(2, 4), ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: duplicate one perm entry (no longer a bijection).
+	bad := *res
+	bad.Perm = append([]int(nil), res.Perm...)
+	bad.Perm[0] = bad.Perm[1]
+	if err := VerifyReordering(g, &bad); err == nil {
+		t.Fatal("non-bijective perm certified lossless")
+	}
+	// Wrong graph: the certificate is for g, not for a supergraph.
+	h, err := NewGraph(8, [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}, {6, 7}, {0, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReordering(h, res); err == nil {
+		t.Fatal("certificate for g accepted on a different graph")
+	}
+}
+
+// TestVerifyCostModelFacade covers the remaining verify.go entry
+// point on the default model.
+func TestVerifyCostModelFacade(t *testing.T) {
+	if err := VerifyCostModel(DefaultCostModel()); err != nil {
+		t.Fatal(err)
+	}
+}
