@@ -21,6 +21,15 @@
 // against a full from-scratch re-reorder of the mutated graph, plus
 // the repair/rebuild trajectory under the staleness budget.
 //
+// The serve suite drives the in-process inference server
+// (internal/serve) with seeded closed-loop clients at several client
+// counts, coalescing on and forced off, writing BENCH_serve.json with
+// p50/p99 request latency, saturation throughput, the realized
+// batch-size distribution, and a per-row response-set checksum that
+// must match between the batched and singleton rows (and across
+// runs) — the serving layer's bit-purity claim, re-checked at bench
+// time.
+//
 // Usage:
 //
 //	sogre-bench [-suite spmm] [-seed 20250806] [-out BENCH_spmm.json]
@@ -28,6 +37,8 @@
 //	sogre-bench -suite reorder [-seed 20250806] [-out BENCH_reorder.json]
 //	            [-repeats 2]
 //	sogre-bench -suite dynamic [-seed 20250806] [-out BENCH_dynamic.json]
+//	            [-repeats 3] [-canonical]
+//	sogre-bench -suite serve [-seed 20250806] [-out BENCH_serve.json]
 //	            [-repeats 3] [-canonical]
 //
 // The spmm suite also emits one planner row per (graph, width): the
@@ -61,7 +72,7 @@ import (
 )
 
 func main() {
-	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder or dynamic")
+	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder, dynamic or serve")
 	seed := flag.Int64("seed", 20250806, "operand generator seed")
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<suite>.json)")
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
@@ -98,8 +109,10 @@ func main() {
 		data, summary, err = runReorder(*seed, *repeats, reg)
 	case "dynamic":
 		data, summary, err = runDynamic(*seed, *repeats, *canonical, reg)
+	case "serve":
+		data, summary, err = runServe(*seed, *repeats, *canonical)
 	default:
-		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder or dynamic)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder, dynamic or serve)\n", *suiteName)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -225,6 +238,33 @@ func runReorder(seed int64, repeats int, reg *obs.Registry) ([]byte, string, err
 		fmt.Printf("%-14s %-6d %-8d %12.0f %10.1f %8.2f%% %9.2f %11.2f\n",
 			r.Graph, r.Partitions, r.Workers, r.ReorderNs, r.PartitionsPerSec,
 			r.ImprovementRate*100, r.SpeedupVsSerial, r.BreakEvenEpochs)
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		return nil, "", err
+	}
+	return data, fmt.Sprintf("%d results, seed %d", len(suite.Results), suite.Seed), nil
+}
+
+func runServe(seed int64, repeats int, canonical bool) ([]byte, string, error) {
+	cfg := bench.DefaultServeConfig()
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	suite, err := bench.RunServe(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	fmt.Printf("%-8s %-10s %-9s %12s %12s %10s %11s %9s  %s\n",
+		"clients", "coalesce", "requests", "p50 ns", "p99 ns", "req/s", "batch mean", "batch max", "checksum")
+	for _, r := range suite.Results {
+		fmt.Printf("%-8d %-10s %-9d %12.0f %12.0f %10.1f %11.2f %9d  %s\n",
+			r.Clients, r.Coalesce, r.Requests, r.P50Ns, r.P99Ns, r.ThroughputRPS,
+			r.BatchMean, r.BatchMax, r.Checksum)
+	}
+	if canonical {
+		suite = bench.CanonicalServe(suite)
 	}
 	data, err := suite.JSON()
 	if err != nil {

@@ -1,0 +1,177 @@
+// Command sogre-loadgen drives a sogre-serve instance with a seeded,
+// deterministic closed-loop workload and emits a replayable report.
+//
+// The request script is a pure function of (-seed, -clients,
+// -requests, -n, -max-nodes, -classify-every): each client goroutine
+// issues its stream in order, so the request MULTISET is identical
+// across runs even though the interleaving is not. The report's
+// checksum is the order-independent sum of per-response FNV
+// fingerprints — two runs against equivalent servers must agree, and
+// the serve smoke gate diffs exactly that.
+//
+// Usage:
+//
+//	sogre-loadgen -addr HOST:PORT [-seed 1] [-clients 4] [-requests 50]
+//	              [-n 0] [-max-nodes 8] [-classify-every 4]
+//	              [-out report.json] [-canonical]
+//
+// -n bounds the node ids the script draws and must not exceed the
+// server's vertex count. With -canonical the latency/throughput
+// fields are zeroed so two same-seed reports are byte-comparable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Report schema: the deterministic block (seed..checksum) is
+// byte-identical across runs; the timing block varies and is zeroed
+// by -canonical.
+type Report struct {
+	Schema   string `json:"schema"`
+	Seed     int64  `json:"seed"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"` // total issued
+	N        int    `json:"n"`
+	Rows     int    `json:"rows"`     // total node rows answered
+	Checksum string `json:"checksum"` // order-independent response fingerprint
+
+	P50Ns         float64 `json:"p50_ns"`
+	P99Ns         float64 `json:"p99_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+const reportSchema = "sogre-loadgen/v1"
+
+func main() {
+	addr := flag.String("addr", "", "server address HOST:PORT (required)")
+	seed := flag.Int64("seed", 1, "script seed")
+	clients := flag.Int("clients", 4, "concurrent closed-loop clients")
+	requests := flag.Int("requests", 50, "requests per client")
+	n := flag.Int("n", 0, "node id range (must be <= the server's vertex count)")
+	maxNodes := flag.Int("max-nodes", 8, "max nodes per request")
+	classifyEvery := flag.Int("classify-every", 4, "every k-th request classifies (0 = embed only)")
+	out := flag.String("out", "", "report JSON path (- or empty for stdout)")
+	canonical := flag.Bool("canonical", false, "zero the timing fields for byte-comparable reports")
+	flag.Parse()
+
+	if *addr == "" || *n <= 0 {
+		fmt.Fprintln(os.Stderr, "sogre-loadgen: -addr and -n are required")
+		os.Exit(2)
+	}
+	rep, err := run(*addr, *seed, *clients, *requests, *n, *maxNodes, *classifyEvery)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *canonical {
+		rep.P50Ns, rep.P99Ns, rep.ThroughputRPS = 0, 0, 0
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (checksum %s)\n", *out, rep.Checksum)
+}
+
+func run(addr string, seed int64, clients, requests, n, maxNodes, classifyEvery int) (*Report, error) {
+	script, err := serve.GenerateScript(serve.ScriptConfig{
+		Seed: seed, Clients: clients, Requests: requests,
+		N: n, MaxNodes: maxNodes, ClassifyEvery: classifyEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	url := "http://" + addr + "/v1/query"
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	sums := make([]uint64, clients)
+	rows := make([]int, clients)
+	lats := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := range script {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i, r := range script[c] {
+				t0 := time.Now()
+				resp, err := post(client, url, r)
+				if err != nil {
+					errs[c] = fmt.Errorf("client %d request %d: %w", c, i, err)
+					return
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Nanoseconds()))
+				sums[c] += resp.Checksum()
+				rows[c] += len(r.Nodes)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{Schema: reportSchema, Seed: seed, Clients: clients, N: n}
+	var all []float64
+	for c := range script {
+		if errs[c] != nil {
+			return nil, errs[c]
+		}
+		rep.Requests += len(script[c])
+		rep.Rows += rows[c]
+		all = append(all, lats[c]...)
+	}
+	var checksum uint64
+	for _, s := range sums {
+		checksum += s
+	}
+	rep.Checksum = fmt.Sprintf("%016x", checksum)
+	sort.Float64s(all)
+	if len(all) > 0 {
+		rep.P50Ns = all[len(all)/2]
+		i := (len(all) * 99) / 100
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		rep.P99Ns = all[i]
+		rep.ThroughputRPS = float64(rep.Requests) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+func post(client *http.Client, url string, r *serve.Request) (*serve.Response, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(r.Render()))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return serve.ParseResponse(body)
+}

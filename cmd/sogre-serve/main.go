@@ -1,0 +1,200 @@
+// Command sogre-serve boots the online GNN inference service
+// (internal/serve): it loads a graph, reorders it once for V:N:M
+// conformance, precomputes the propagated feature table, compresses
+// row-band shards for sparse-tensor-core dispatch, and then answers
+// node-set embedding/classification queries over HTTP with request
+// coalescing, bounded-queue admission control, and LRU caches of
+// aggregation rows and compressed shard handles.
+//
+// Endpoints:
+//
+//	POST /v1/query   {"op":"embed"|"classify","nodes":[...]} -> rows/classes
+//	GET  /healthz    liveness
+//	GET  /statz      obs snapshot (?canonical=1 zeroes volatile fields)
+//
+// Usage:
+//
+//	sogre-serve [-addr 127.0.0.1:0] [-ready-file PATH]
+//	            [-in graph.mtx | -gen er -n 4096] [-seed 20250806]
+//	            [-shard-rows 512] [-cache-rows 4096] [-shard-cap 0]
+//	            [-mode hybrid] [-calib FILE] [-workers 0]
+//	            [-window 0] [-max-batch-requests 0] [-queue-limit 256]
+//	            [-degrade-depth 0] [-max-request-nodes 1024]
+//	            [-faults PLAN] [-debug-addr ADDR] [-metrics PATH]
+//
+// -ready-file writes the bound address once listening (the smoke gate
+// polls it). -faults arms a deterministic resil fault plan (e.g.
+// "seed=7; transient@serve/shard:2") so degraded-path behavior is
+// scriptable. -degrade-depth N switches batches to the CSR gather
+// ladder rung when the queue backlog exceeds N. On SIGINT/SIGTERM the
+// server drains, and -metrics writes a final obs snapshot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/resil"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free one)")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
+	in := flag.String("in", "", "MatrixMarket graph file (overrides -gen)")
+	gen := flag.String("gen", "er", "generator family for a synthetic graph")
+	n := flag.Int("n", 4096, "synthetic graph size")
+	seed := flag.Int64("seed", 20250806, "feature/generator seed")
+	shardRows := flag.Int("shard-rows", 512, "rows per compressed shard (rounded up to the pattern's V)")
+	cacheRows := flag.Int("cache-rows", 4096, "aggregation-row LRU capacity (0 disables)")
+	shardCap := flag.Int("shard-cap", 0, "compressed-shard LRU capacity (0 = all resident)")
+	mode := flag.String("mode", "hybrid", "dispatch mode: csr, hybrid or auto (auto needs -calib)")
+	calibPath := flag.String("calib", "", "planner calibration table file (mode auto)")
+	workers := flag.Int("workers", 0, "kernel pool size (0 = GOMAXPROCS)")
+	window := flag.Duration("window", 0, "coalescing window (0 = batching by backpressure only)")
+	maxBatchReq := flag.Int("max-batch-requests", 0, "max requests per dispatched batch (0 = unlimited)")
+	maxBatchRows := flag.Int("max-batch-rows", 0, "max node rows per dispatched batch (0 = unlimited)")
+	queueLimit := flag.Int("queue-limit", 256, "admission queue bound; beyond it requests get 429 (0 = unlimited)")
+	degradeDepth := flag.Int("degrade-depth", 0, "queue depth beyond which batches take the degraded CSR gather path (0 = never)")
+	maxReqNodes := flag.Int("max-request-nodes", 1024, "max nodes per request; beyond it 413 (0 = unlimited)")
+	faults := flag.String("faults", "", "deterministic fault plan (resil grammar)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address")
+	metrics := flag.String("metrics", "", "write a final obs snapshot to this JSON path on shutdown (- for stdout)")
+	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields)")
+	flag.Parse()
+
+	if err := run(*addr, *readyFile, *in, *gen, *n, *seed, *shardRows, *cacheRows, *shardCap,
+		*mode, *calibPath, *workers, *window, *maxBatchReq, *maxBatchRows, *queueLimit,
+		*degradeDepth, *maxReqNodes, *faults, *debugAddr, *metrics, *metricsCanonical); err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadGraph(in, gen string, n int, seed int64) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadMatrixMarket(f)
+	}
+	return graph.GenerateByName(gen, n, seed)
+}
+
+func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRows, shardCap int,
+	mode, calibPath string, workers int, window time.Duration, maxBatchReq, maxBatchRows,
+	queueLimit, degradeDepth, maxReqNodes int, faults, debugAddr, metrics string, metricsCanonical bool) error {
+
+	reg := obs.NewRegistry()
+	var inj *resil.Injector
+	if faults != "" {
+		p, err := resil.ParsePlan(faults)
+		if err != nil {
+			return err
+		}
+		inj = resil.NewInjector(p, reg)
+	}
+	var cal *plan.Calibration
+	if calibPath != "" {
+		raw, err := os.ReadFile(calibPath)
+		if err != nil {
+			return err
+		}
+		cal, err = plan.ParseCalibration(string(raw))
+		if err != nil {
+			return fmt.Errorf("calibration file %s: %w", calibPath, err)
+		}
+	}
+	g, err := loadGraph(in, gen, n, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "reordering %d vertices...\n", g.N())
+	ecfg := serve.EngineConfig{
+		Seed:      seed,
+		ShardRows: shardRows,
+		CacheRows: cacheRows,
+		ShardCap:  shardCap,
+		Mode:      serve.Mode(mode),
+		Calib:     cal,
+		Obs:       reg,
+		Inj:       inj,
+	}
+	if workers > 0 {
+		ecfg.Workers = workers
+	}
+	eng, err := serve.NewEngine(g, ecfg)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(eng, serve.ServerConfig{
+		Window:           window,
+		MaxBatchRequests: maxBatchReq,
+		MaxBatchRows:     maxBatchRows,
+		QueueLimit:       queueLimit,
+		DegradeDepth:     degradeDepth,
+		MaxRequestNodes:  maxReqNodes,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if debugAddr != "" {
+		dbg, err := obs.StartDebug(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "serving %d vertices (mode %s) on http://%s\n", eng.N(), eng.Mode(), bound)
+	if readyFile != "" {
+		if err := os.WriteFile(readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if metrics != "" {
+		if err := obs.WriteFile(reg, metrics, metricsCanonical); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/plan"
 	"repro/internal/resil"
+	"repro/internal/serve"
 	"repro/internal/venom"
 )
 
@@ -171,6 +172,42 @@ func FuzzMatrixMarketRoundTrip(f *testing.F) {
 		}
 		if g3.NumEdges() != g.NumEdges() {
 			t.Fatalf("edge list round trip changed arcs: %d -> %d", g.NumEdges(), g3.NumEdges())
+		}
+	})
+}
+
+// FuzzServeRequestParse asserts the serving wire decoder is total
+// (no panic on any byte string) and that parse∘render is a fixed
+// point: any accepted request re-renders to bytes that parse back to
+// an equal request with identical rendered form — the property the
+// loadgen replay and the serve smoke gate rely on when request
+// scripts cross a process boundary.
+func FuzzServeRequestParse(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{"op":"embed","nodes":[0]}`))
+	f.Add([]byte(`{"op":"classify","nodes":[3,1,2]}`))
+	f.Add([]byte(`{"op":"embed","nodes":[1,1]}`))     // duplicate -> error
+	f.Add([]byte(`{"op":"embed","nodes":[-1]}`))      // negative -> error
+	f.Add([]byte(`{"op":"embed","nodes":[]}`))        // empty -> error
+	f.Add([]byte(`{"op":"destroy","nodes":[1]}`))     // unknown op -> error
+	f.Add([]byte(`{"op":"embed","nodes":[1],"x":1}`)) // unknown field -> error
+	f.Add([]byte(`{"op":"embed","nodes":[1]}trail`))  // trailing bytes -> error
+	f.Add([]byte(`{"op":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := serve.ParseRequest(data)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		canon := r.Render()
+		r2, err := serve.ParseRequest(canon)
+		if err != nil {
+			t.Fatalf("rendered form %q of accepted request %q rejected: %v", canon, data, err)
+		}
+		if !r2.Equal(r) {
+			t.Fatalf("round trip changed request: %+v -> %+v", r, r2)
+		}
+		if got := r2.Render(); !bytes.Equal(got, canon) {
+			t.Fatalf("rendered form not a fixed point: %q -> %q", canon, got)
 		}
 	})
 }

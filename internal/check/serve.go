@@ -1,0 +1,227 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/resil"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// This file is the service-level oracle for the online inference
+// engine (internal/serve). Its claims, at the exact strengths the
+// serving layer's determinism contract makes:
+//
+//   - For any interleaving of client streams, batched-coalesced
+//     responses are bit-identical to one-request-at-a-time serial
+//     evaluation through an identically configured engine, at every
+//     worker count. Coalescing, caching, eviction churn and admission
+//     timing may change WHICH dispatches run, never their bits.
+//   - For the fixed kernel modes (csr, hybrid), responses are
+//     additionally bit-identical ACROSS worker counts (DESIGN.md §7).
+//     ModeAuto is excluded from the cross-worker claim: the planner
+//     may legitimately choose different kernel classes at different
+//     pool sizes.
+//   - Under a seeded fault plan, the degraded SPTC→CSR paths change
+//     float32 summation order, so faulted responses are held to
+//     SampledTolerance against the fault-free reference (mirroring
+//     SampledEngineAgreement) — and replaying the identical plan on a
+//     fresh engine reproduces the faulted responses bit-identically.
+
+// serveResponses replays every client stream one request at a time,
+// in client-major order, directly through the engine — the serial
+// reference.
+func serveResponses(e *serve.Engine, script [][]*serve.Request) [][]*serve.Response {
+	out := make([][]*serve.Response, len(script))
+	for c, reqs := range script {
+		out[c] = make([]*serve.Response, len(reqs))
+		for i, r := range reqs {
+			out[c][i] = e.ServeBatch([]*serve.Request{r}, false)[0]
+		}
+	}
+	return out
+}
+
+// serveConcurrent replays the script through a coalescing server with
+// one goroutine per client stream (closed-loop, in-order per client,
+// arbitrary interleaving across clients).
+func serveConcurrent(e *serve.Engine, script [][]*serve.Request, scfg serve.ServerConfig) ([][]*serve.Response, error) {
+	srv, err := serve.NewServer(e, scfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	out := make([][]*serve.Response, len(script))
+	errs := make([]error, len(script))
+	var wg sync.WaitGroup
+	for c, reqs := range script {
+		out[c] = make([]*serve.Response, len(reqs))
+		wg.Add(1)
+		go func(c int, reqs []*serve.Request) {
+			defer wg.Done()
+			for i, r := range reqs {
+				resp, err := srv.Submit(r)
+				if err != nil {
+					errs[c] = fmt.Errorf("client %d request %d: %w", c, i, err)
+					return
+				}
+				out[c][i] = resp
+			}
+		}(c, reqs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// bitwiseResponses asserts two response sets are bit-identical.
+func bitwiseResponses(label string, got, ref [][]*serve.Response) error {
+	for c := range ref {
+		for i := range ref[c] {
+			g, r := got[c][i], ref[c][i]
+			if g.Op != r.Op || len(g.Rows) != len(r.Rows) || len(g.Classes) != len(r.Classes) {
+				return fmt.Errorf("check: serve %s: client %d request %d shape mismatch", label, c, i)
+			}
+			for j := range r.Classes {
+				if g.Classes[j] != r.Classes[j] {
+					return fmt.Errorf("check: serve %s: client %d request %d node %d class %d != %d",
+						label, c, i, j, g.Classes[j], r.Classes[j])
+				}
+			}
+			for j := range r.Rows {
+				for k := range r.Rows[j] {
+					if math.Float32bits(g.Rows[j][k]) != math.Float32bits(r.Rows[j][k]) {
+						return fmt.Errorf("check: serve %s: client %d request %d row %d col %d: %x != %x (determinism-contract violation)",
+							label, c, i, j, k, math.Float32bits(g.Rows[j][k]), math.Float32bits(r.Rows[j][k]))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// toleranceResponses holds two embed-only response sets to an
+// absolute element-wise bound.
+func toleranceResponses(label string, got, ref [][]*serve.Response, tol float64) error {
+	for c := range ref {
+		for i := range ref[c] {
+			g, r := got[c][i], ref[c][i]
+			for j := range r.Rows {
+				for k := range r.Rows[j] {
+					d := math.Abs(float64(g.Rows[j][k] - r.Rows[j][k]))
+					if d > tol {
+						return fmt.Errorf("check: serve %s: client %d request %d row %d col %d diverged by %v (> %v)",
+							label, c, i, j, k, d, tol)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ServeEquivalence is the batching/caching bit-purity oracle. For
+// every worker count it builds fresh engines from (g, ecfg) — one
+// replayed serially, one driven concurrently through the coalescing
+// server — and asserts the interleaved, batched responses are
+// bit-identical to the serial ones; for fixed modes it also asserts
+// bit-identity across worker counts. When faultPlan is non-empty it
+// additionally runs the seeded plan (re-parsed per run, so hit
+// counters start virgin) on an embed-only variant of the script:
+// degraded-path responses are tolerance-bounded against fault-free,
+// and a replay of the identical plan is bit-identical to the first
+// faulted run.
+func ServeEquivalence(g *graph.Graph, ecfg serve.EngineConfig, script serve.ScriptConfig, faultPlan string, workers []int) error {
+	if workers == nil {
+		workers = WorkerCounts()
+	}
+	reqs, err := serve.GenerateScript(script)
+	if err != nil {
+		return fmt.Errorf("check: serve script: %w", err)
+	}
+	mk := func(w int, inj *resil.Injector) (*serve.Engine, error) {
+		c := ecfg
+		c.Pool = sched.New(w)
+		c.Inj = inj
+		return serve.NewEngine(g, c)
+	}
+	eng, err := mk(1, nil)
+	if err != nil {
+		return fmt.Errorf("check: serve reference engine: %w", err)
+	}
+	// Reuse the reordering across every engine build: the permutation
+	// is itself bit-deterministic across worker counts (DESIGN.md §8),
+	// so this is a speedup, not a weakening.
+	ecfg.Perm = eng.Perm()
+	ref := serveResponses(eng, reqs)
+
+	for _, w := range workers {
+		serial, err := mk(w, nil)
+		if err != nil {
+			return fmt.Errorf("check: serve workers=%d: %w", w, err)
+		}
+		refW := serveResponses(serial, reqs)
+		if ecfg.Mode != serve.ModeAuto {
+			if err := bitwiseResponses(fmt.Sprintf("workers=%d vs serial", w), refW, ref); err != nil {
+				return err
+			}
+		}
+		batched, err := mk(w, nil)
+		if err != nil {
+			return fmt.Errorf("check: serve workers=%d: %w", w, err)
+		}
+		got, err := serveConcurrent(batched, reqs, serve.ServerConfig{})
+		if err != nil {
+			return fmt.Errorf("check: serve workers=%d concurrent: %w", w, err)
+		}
+		if err := bitwiseResponses(fmt.Sprintf("workers=%d batched", w), got, refW); err != nil {
+			return err
+		}
+	}
+
+	if faultPlan == "" {
+		return nil
+	}
+	embedScript := script
+	embedScript.ClassifyEvery = 0 // argmax can legitimately flip on a degraded near-tie
+	embedReqs, err := serve.GenerateScript(embedScript)
+	if err != nil {
+		return fmt.Errorf("check: serve fault script: %w", err)
+	}
+	cleanEng, err := mk(1, nil)
+	if err != nil {
+		return err
+	}
+	clean := serveResponses(cleanEng, embedReqs)
+	faulted := func() ([][]*serve.Response, error) {
+		p, err := resil.ParsePlan(faultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("check: serve fault plan %q: %w", faultPlan, err)
+		}
+		e, err := mk(1, resil.NewInjector(p, nil))
+		if err != nil {
+			return nil, err
+		}
+		return serveResponses(e, embedReqs), nil
+	}
+	a, err := faulted()
+	if err != nil {
+		return err
+	}
+	if err := toleranceResponses("faulted vs clean", a, clean, SampledTolerance); err != nil {
+		return err
+	}
+	b, err := faulted()
+	if err != nil {
+		return err
+	}
+	return bitwiseResponses("fault replay", b, a)
+}

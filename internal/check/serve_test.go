@@ -1,0 +1,135 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func serveTestGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	return graph.ErdosRenyi(n, 8/float64(n), 42)
+}
+
+// TestServeEquivalence is the full service-level oracle: hybrid-mode
+// engine, row cache small enough to churn, a one-deep shard cache, a
+// multi-client script, and a fault plan that degrades one shard build
+// (transient at serve/shard) — the SPTC→CSR ladder path.
+func TestServeEquivalence(t *testing.T) {
+	g := serveTestGraph(t, 256)
+	ecfg := serve.EngineConfig{
+		Seed: 7, ShardRows: 64, CacheRows: 16, ShardCap: 1,
+	}
+	script := serve.ScriptConfig{
+		Seed: 3, Clients: 4, Requests: 8, N: 256, MaxNodes: 5, ClassifyEvery: 3,
+	}
+	if err := ServeEquivalence(g, ecfg, script, "seed=5; transient@serve/shard:2", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeEquivalenceCSR exercises the pure-CSR mode, where even the
+// degraded gather path is bit-identical (no tolerance needed, but the
+// oracle's bound must hold trivially).
+func TestServeEquivalenceCSR(t *testing.T) {
+	g := serveTestGraph(t, 192)
+	ecfg := serve.EngineConfig{
+		Seed: 9, ShardRows: 64, Mode: serve.ModeCSR,
+	}
+	script := serve.ScriptConfig{
+		Seed: 4, Clients: 2, Requests: 6, N: 192, MaxNodes: 4, ClassifyEvery: 2,
+	}
+	if err := ServeEquivalence(g, ecfg, script, "seed=1; crash@serve/shard:1", []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeEquivalenceNoFaultPlan pins the clean-only path: an empty
+// plan skips the fault branch entirely and the oracle still passes.
+func TestServeEquivalenceNoFaultPlan(t *testing.T) {
+	g := serveTestGraph(t, 96)
+	ecfg := serve.EngineConfig{Seed: 2, ShardRows: 32}
+	script := serve.ScriptConfig{
+		Seed: 5, Clients: 2, Requests: 3, N: 96, MaxNodes: 3,
+	}
+	if err := ServeEquivalence(g, ecfg, script, "", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeEquivalenceErrors pins the oracle's own failure modes:
+// invalid inputs must surface as errors, not panics or silent passes.
+func TestServeEquivalenceErrors(t *testing.T) {
+	g := serveTestGraph(t, 96)
+	okEcfg := serve.EngineConfig{Seed: 2, ShardRows: 32}
+	okScript := serve.ScriptConfig{Seed: 5, Clients: 1, Requests: 2, N: 96, MaxNodes: 3}
+	cases := []struct {
+		name   string
+		ecfg   serve.EngineConfig
+		script serve.ScriptConfig
+		plan   string
+	}{
+		{"bad script", okEcfg, serve.ScriptConfig{Clients: 0, Requests: 2, N: 96}, ""},
+		{"bad engine config", serve.EngineConfig{CacheRows: -1}, okScript, ""},
+		{"bad fault plan", okEcfg, okScript, "seed=notanumber"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ServeEquivalence(g, tc.ecfg, tc.script, tc.plan, []int{1}); err == nil {
+				t.Fatalf("ServeEquivalence accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestServeConcurrentErrors covers the driver's failure paths: a
+// server config the frontend rejects, and a per-request admission
+// failure (oversized request) surfacing through a client goroutine.
+func TestServeConcurrentErrors(t *testing.T) {
+	g := serveTestGraph(t, 64)
+	eng, err := serve.NewEngine(g, serve.EngineConfig{Seed: 3, ShardRows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := [][]*serve.Request{{{Op: serve.OpEmbed, Nodes: []int{1, 2}}}}
+	if _, err := serveConcurrent(eng, script, serve.ServerConfig{QueueLimit: -1}); err == nil {
+		t.Fatal("serveConcurrent accepted a negative queue limit")
+	}
+	if _, err := serveConcurrent(eng, script, serve.ServerConfig{MaxRequestNodes: 1}); err == nil {
+		t.Fatal("serveConcurrent passed an oversized request through admission")
+	}
+}
+
+// TestServeResponseComparators pins the comparison helpers' failure
+// branches on fabricated response sets: shape, class and float-bit
+// mismatches for the bitwise claim, bound violations for the
+// tolerance claim.
+func TestServeResponseComparators(t *testing.T) {
+	embed := func(v float32) [][]*serve.Response {
+		return [][]*serve.Response{{{Op: serve.OpEmbed, Rows: [][]float32{{v}}}}}
+	}
+	ref := embed(1)
+	if err := bitwiseResponses("self", ref, ref); err != nil {
+		t.Fatalf("bitwise self-comparison failed: %v", err)
+	}
+	shape := [][]*serve.Response{{{Op: serve.OpEmbed}}}
+	if err := bitwiseResponses("shape", shape, ref); err == nil {
+		t.Fatal("bitwiseResponses missed a shape mismatch")
+	}
+	classes := func(c int) [][]*serve.Response {
+		return [][]*serve.Response{{{Op: serve.OpClassify, Classes: []int{c}}}}
+	}
+	if err := bitwiseResponses("class", classes(0), classes(1)); err == nil {
+		t.Fatal("bitwiseResponses missed a class mismatch")
+	}
+	if err := bitwiseResponses("bits", embed(2), ref); err == nil {
+		t.Fatal("bitwiseResponses missed a float-bit mismatch")
+	}
+	if err := toleranceResponses("near", embed(1.001), ref, 0.01); err != nil {
+		t.Fatalf("toleranceResponses rejected an in-bound delta: %v", err)
+	}
+	if err := toleranceResponses("far", embed(2), ref, 0.01); err == nil {
+		t.Fatal("toleranceResponses missed an out-of-bound delta")
+	}
+}

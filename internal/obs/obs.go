@@ -24,6 +24,17 @@
 // byte. encoding/json sorts map keys, so two snapshots with equal
 // contents marshal to identical bytes.
 //
+// Two volatile-by-construction shapes complete the taxonomy. A
+// VolatileHist records observations whose multiset depends on
+// scheduling (coalesced batch sizes, queue depths at arrival): its
+// whole snapshot is zeroed by Canonical. A VolatileSpan is a stage
+// timer whose *invocation count* is itself scheduling-dependent (how
+// many batches a serving window coalesced), unlike a regular Span whose
+// count is a pure function of the workload — Canonical zeroes a
+// volatile span's count too, where a regular span keeps it. Putting a
+// timing-dependent count in a regular Span or Hist is exactly the flake
+// class the serving layer's determinism gate guards against.
+//
 // A nil *Registry is the disabled-instrumentation path: every Registry
 // method is a no-op on a nil receiver and returns nil-safe handles, so
 // instrumented code never guards call sites and pays only a pointer
@@ -227,6 +238,8 @@ type Registry struct {
 	series   map[string]*Series
 	hists    map[string]*Hist
 	spans    map[string]*spanStats
+	vhists   map[string]*Hist
+	vspans   map[string]*spanStats
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -238,6 +251,8 @@ func NewRegistry() *Registry {
 		series:   make(map[string]*Series),
 		hists:    make(map[string]*Hist),
 		spans:    make(map[string]*spanStats),
+		vhists:   make(map[string]*Hist),
+		vspans:   make(map[string]*spanStats),
 	}
 }
 
@@ -344,6 +359,42 @@ func (r *Registry) Span(name string) Span {
 	return Span{stats: st, start: time.Now()}
 }
 
+// VolatileHist returns the named scheduling-dependent histogram
+// (coalesced batch sizes, queue depths at arrival) — reported under
+// the volatile_hists section and fully zeroed by Canonical. Returns
+// nil on a nil registry.
+func (r *Registry) VolatileHist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.vhists[name]
+	if !ok {
+		h = &Hist{}
+		r.vhists[name] = h
+	}
+	return h
+}
+
+// VolatileSpan starts a stage timer whose invocation count is itself
+// scheduling-dependent (per-coalesced-batch stages): both the count
+// and the durations are zeroed by Canonical, where a regular Span
+// keeps its count. Returns the no-op zero Span on a nil registry.
+func (r *Registry) VolatileSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	st, ok := r.vspans[name]
+	if !ok {
+		st = &spanStats{}
+		r.vspans[name] = st
+	}
+	r.mu.Unlock()
+	return Span{stats: st, start: time.Now()}
+}
+
 // HistSnapshot is one histogram's rendered state. Buckets is the log2
 // bucket array trimmed after the last nonzero bucket (deterministic for
 // deterministic observations).
@@ -367,13 +418,15 @@ type SpanSnapshot struct {
 // the deterministic sections (counters, gauges, series, hists, span
 // counts) and the volatile ones (volatile counters, span durations).
 type Snapshot struct {
-	Schema   string                  `json:"schema"`
-	Counters map[string]int64        `json:"counters"`
-	Gauges   map[string]float64      `json:"gauges"`
-	Series   map[string][]float64    `json:"series"`
-	Hists    map[string]HistSnapshot `json:"hists"`
-	Volatile map[string]int64        `json:"volatile"`
-	Spans    map[string]SpanSnapshot `json:"spans"`
+	Schema        string                  `json:"schema"`
+	Counters      map[string]int64        `json:"counters"`
+	Gauges        map[string]float64      `json:"gauges"`
+	Series        map[string][]float64    `json:"series"`
+	Hists         map[string]HistSnapshot `json:"hists"`
+	Volatile      map[string]int64        `json:"volatile"`
+	Spans         map[string]SpanSnapshot `json:"spans"`
+	VolatileHists map[string]HistSnapshot `json:"volatile_hists"`
+	VolatileSpans map[string]SpanSnapshot `json:"volatile_spans"`
 }
 
 func trimBuckets(b *[histBuckets]int64) []int64 {
@@ -394,13 +447,15 @@ func trimBuckets(b *[histBuckets]int64) []int64 {
 // does). A nil registry yields an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Schema:   Schema,
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Series:   map[string][]float64{},
-		Hists:    map[string]HistSnapshot{},
-		Volatile: map[string]int64{},
-		Spans:    map[string]SpanSnapshot{},
+		Schema:        Schema,
+		Counters:      map[string]int64{},
+		Gauges:        map[string]float64{},
+		Series:        map[string][]float64{},
+		Hists:         map[string]HistSnapshot{},
+		Volatile:      map[string]int64{},
+		Spans:         map[string]SpanSnapshot{},
+		VolatileHists: map[string]HistSnapshot{},
+		VolatileSpans: map[string]SpanSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -433,28 +488,52 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		st.mu.Unlock()
 	}
+	for name, h := range r.vhists {
+		h.mu.Lock()
+		s.VolatileHists[name] = HistSnapshot{Count: h.count, Sum: h.sum, Buckets: trimBuckets(&h.buckets)}
+		h.mu.Unlock()
+	}
+	for name, st := range r.vspans {
+		st.mu.Lock()
+		s.VolatileSpans[name] = SpanSnapshot{
+			Count: st.count, TotalNs: st.totalNs,
+			MinNs: st.minNs, MaxNs: st.maxNs,
+			BucketsNs: trimBuckets(&st.buckets),
+		}
+		st.mu.Unlock()
+	}
 	return s
 }
 
 // Canonical returns a copy with every volatile/wall-clock value zeroed
 // — volatile counter values (keys kept, so the worker structure is
-// still checked) and span duration fields — leaving exactly the
-// byte-comparable deterministic projection.
+// still checked), span duration fields, volatile histogram contents,
+// and volatile span contents *including their counts* (a volatile
+// span's invocation count is scheduling-dependent by declaration) —
+// leaving exactly the byte-comparable deterministic projection.
 func (s *Snapshot) Canonical() *Snapshot {
 	c := &Snapshot{
-		Schema:   s.Schema,
-		Counters: s.Counters,
-		Gauges:   s.Gauges,
-		Series:   s.Series,
-		Hists:    s.Hists,
-		Volatile: make(map[string]int64, len(s.Volatile)),
-		Spans:    make(map[string]SpanSnapshot, len(s.Spans)),
+		Schema:        s.Schema,
+		Counters:      s.Counters,
+		Gauges:        s.Gauges,
+		Series:        s.Series,
+		Hists:         s.Hists,
+		Volatile:      make(map[string]int64, len(s.Volatile)),
+		Spans:         make(map[string]SpanSnapshot, len(s.Spans)),
+		VolatileHists: make(map[string]HistSnapshot, len(s.VolatileHists)),
+		VolatileSpans: make(map[string]SpanSnapshot, len(s.VolatileSpans)),
 	}
 	for name := range s.Volatile {
 		c.Volatile[name] = 0
 	}
 	for name, sp := range s.Spans {
 		c.Spans[name] = SpanSnapshot{Count: sp.Count}
+	}
+	for name := range s.VolatileHists {
+		c.VolatileHists[name] = HistSnapshot{}
+	}
+	for name := range s.VolatileSpans {
+		c.VolatileSpans[name] = SpanSnapshot{}
 	}
 	return c
 }

@@ -219,3 +219,73 @@ func TestDebugServer(t *testing.T) {
 		t.Errorf("/debug/vars status = %d", respVars.StatusCode)
 	}
 }
+
+func TestVolatileHistAndSpanSegregation(t *testing.T) {
+	// The serving layer's flake-class guard: scheduling-dependent
+	// observation multisets (batch sizes, queue depths) and
+	// scheduling-dependent stage invocations (per-coalesced-batch
+	// timers) must leave NOTHING in the canonical projection — not even
+	// the count a regular Span keeps.
+	r := NewRegistry()
+	r.VolatileHist("serve/batch_rows").Observe(7)
+	r.VolatileHist("serve/batch_rows").Observe(3)
+	sp := r.VolatileSpan("serve/batch")
+	sp.End()
+
+	s := r.Snapshot()
+	if got := s.VolatileHists["serve/batch_rows"]; got.Count != 2 || got.Sum != 10 {
+		t.Errorf("live volatile hist = %+v", got)
+	}
+	if got := s.VolatileSpans["serve/batch"]; got.Count != 1 {
+		t.Errorf("live volatile span = %+v", got)
+	}
+
+	c := s.Canonical()
+	if got := c.VolatileHists["serve/batch_rows"]; got.Count != 0 || got.Sum != 0 || got.Buckets != nil {
+		t.Errorf("canonical volatile hist not zeroed: %+v", got)
+	}
+	if got := c.VolatileSpans["serve/batch"]; got.Count != 0 || got.TotalNs != 0 || got.MinNs != 0 || got.MaxNs != 0 || got.BucketsNs != nil {
+		t.Errorf("canonical volatile span not zeroed: %+v", got)
+	}
+	// Keys survive so the metric structure is still comparable.
+	if _, ok := c.VolatileHists["serve/batch_rows"]; !ok {
+		t.Error("canonical dropped volatile hist key")
+	}
+	if _, ok := c.VolatileSpans["serve/batch"]; !ok {
+		t.Error("canonical dropped volatile span key")
+	}
+}
+
+func TestVolatileShapesNilRegistry(t *testing.T) {
+	var r *Registry
+	r.VolatileHist("x").Observe(1) // no-op, no panic
+	r.VolatileSpan("y").End()      // no-op, no panic
+	s := r.Snapshot()
+	if len(s.VolatileHists) != 0 || len(s.VolatileSpans) != 0 {
+		t.Errorf("nil registry snapshot has volatile shapes: %+v", s)
+	}
+}
+
+func TestCanonicalVolatileShapesIdenticalAcrossContents(t *testing.T) {
+	// Two runs with different scheduling (different batch counts and
+	// sizes) must canonicalize to identical bytes.
+	mk := func(obsv []int64, spans int) []byte {
+		r := NewRegistry()
+		for _, v := range obsv {
+			r.VolatileHist("serve/batch_rows").Observe(v)
+		}
+		for i := 0; i < spans; i++ {
+			r.VolatileSpan("serve/batch").End()
+		}
+		data, err := r.Snapshot().Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := mk([]int64{1, 2, 3}, 5)
+	b := mk([]int64{9}, 1)
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical projections differ across scheduling:\n%s\nvs\n%s", a, b)
+	}
+}

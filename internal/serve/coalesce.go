@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/resil"
+)
+
+// pending is one admitted request waiting for its batch.
+type pending struct {
+	req  *Request
+	resp *Response
+	err  error
+	done chan struct{}
+}
+
+// coalescer is the batching-by-backpressure request scheduler: an
+// admission-bounded FIFO drained by one dispatcher goroutine that
+// takes everything queued (up to the batch caps) per iteration.
+// Under light load batches degenerate to singletons; under
+// concurrency the queue fills while a dispatch runs and the next
+// iteration coalesces it — no timer needed (Window adds an optional
+// fixed collection delay on top).
+type coalescer struct {
+	eng *Engine
+	cfg ServerConfig
+
+	mu     sync.Mutex
+	queue  []*pending
+	closed bool
+	kick   chan struct{}
+	wg     sync.WaitGroup
+
+	inj *resil.Injector
+}
+
+func newCoalescer(eng *Engine, cfg ServerConfig) *coalescer {
+	c := &coalescer{eng: eng, cfg: cfg, kick: make(chan struct{}, 1), inj: eng.Injector()}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// submit validates, admits and enqueues one request, then blocks for
+// its batched response. Validation failures never enqueue (the
+// deterministic error counters stay a pure function of the request
+// multiset); admission failures are scheduling-dependent and counted
+// volatile.
+func (c *coalescer) submit(req *Request) (*Response, error) {
+	r := c.eng.Obs()
+	if err := c.eng.ValidateRequest(req); err != nil {
+		r.Counter("serve/errors/invalid").Inc()
+		return nil, err
+	}
+	if c.cfg.MaxRequestNodes > 0 && len(req.Nodes) > c.cfg.MaxRequestNodes {
+		r.Counter("serve/errors/oversized").Inc()
+		return nil, fmt.Errorf("%w: %d nodes > limit %d", ErrOversized, len(req.Nodes), c.cfg.MaxRequestNodes)
+	}
+	p := &pending{req: req, done: make(chan struct{})}
+	c.mu.Lock()
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		return nil, ErrClosed
+	case c.cfg.QueueLimit > 0 && len(c.queue) >= c.cfg.QueueLimit:
+		c.mu.Unlock()
+		r.Volatile("serve/rejected").Inc()
+		return nil, ErrQueueFull
+	}
+	c.queue = append(c.queue, p)
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	<-p.done
+	return p.resp, p.err
+}
+
+// run is the dispatcher loop. A closed kick channel (server shutdown)
+// drains whatever already queued, then exits.
+func (c *coalescer) run() {
+	defer c.wg.Done()
+	for {
+		_, ok := <-c.kick
+		if c.cfg.Window > 0 {
+			time.Sleep(c.cfg.Window)
+		} else if c.cfg.MaxBatchRequests != 1 {
+			// Backpressure alone underfills batches on few cores: the
+			// kick arrives with the wave's first request, before the
+			// other runnable clients have enqueued theirs. Yielding
+			// lets the wave land; costs nothing when the run queue is
+			// empty.
+			for i := 0; i < 4; i++ {
+				runtime.Gosched()
+			}
+		}
+		for {
+			batch, depth := c.take()
+			if batch == nil {
+				break
+			}
+			c.exec(batch, depth)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// take removes the next batch from the queue head: up to
+// MaxBatchRequests requests and MaxBatchRows total nodes (0 =
+// unlimited; the first request is always taken). Returns the queue
+// depth observed before taking — the signal the load-degradation
+// rung keys on.
+func (c *coalescer) take() ([]*pending, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil, 0
+	}
+	depth := len(c.queue)
+	n, rows := 0, 0
+	for n < len(c.queue) {
+		if c.cfg.MaxBatchRequests > 0 && n >= c.cfg.MaxBatchRequests {
+			break
+		}
+		if n > 0 && c.cfg.MaxBatchRows > 0 && rows+len(c.queue[n].req.Nodes) > c.cfg.MaxBatchRows {
+			break
+		}
+		rows += len(c.queue[n].req.Nodes)
+		n++
+	}
+	batch := c.queue[:n:n]
+	c.queue = append([]*pending(nil), c.queue[n:]...)
+	return batch, depth
+}
+
+// exec dispatches one batch through the engine under fault
+// protection: an injected crash at "serve/batch" (or a genuine panic)
+// fails only this batch — every waiter gets ErrBatchFault and the
+// server stays serviceable.
+func (c *coalescer) exec(batch []*pending, depth int) {
+	r := c.eng.Obs()
+	r.VolatileHist("serve/queue_depth").Observe(int64(depth))
+	r.VolatileHist("serve/batch_requests").Observe(int64(len(batch)))
+	sp := r.VolatileSpan("serve/batch")
+	degraded := c.cfg.DegradeDepth > 0 && depth > c.cfg.DegradeDepth
+	reqs := make([]*Request, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	var resps []*Response
+	err := resil.Protect(func() error {
+		c.inj.Exec("serve/batch")
+		resps = c.eng.ServeBatch(reqs, degraded)
+		return nil
+	})
+	sp.End()
+	for i, p := range batch {
+		if err != nil {
+			p.err = fmt.Errorf("%w: %v", ErrBatchFault, err)
+		} else {
+			p.resp = resps[i]
+		}
+		close(p.done)
+	}
+	if err != nil {
+		r.Volatile("serve/batch_faults").Inc()
+	}
+}
+
+// close stops the dispatcher: queued requests not yet taken fail with
+// ErrClosed; an in-flight batch completes normally.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	waiting := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	for _, p := range waiting {
+		p.err = ErrClosed
+		close(p.done)
+	}
+	close(c.kick)
+	c.wg.Wait()
+}

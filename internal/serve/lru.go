@@ -1,0 +1,102 @@
+package serve
+
+// lru is a strict-recency least-recently-used cache with int keys —
+// the deterministic eviction structure behind both the per-node
+// aggregation-row cache and the compressed shard-handle cache. Get
+// and put both promote the entry to most-recently-used, so for a
+// fixed operation sequence the eviction order (and hence the cache's
+// content after any prefix) is fully determined. Not safe for
+// concurrent use; the engine's mutex serializes access.
+type lru[V any] struct {
+	cap     int
+	entries map[int]*lruEntry[V]
+	head    *lruEntry[V] // most recently used
+	tail    *lruEntry[V] // least recently used
+	// onEvict, when set, observes each evicted (key, value) — how the
+	// shard cache releases a handle's built state.
+	onEvict func(key int, v V)
+}
+
+type lruEntry[V any] struct {
+	key        int
+	val        V
+	prev, next *lruEntry[V]
+}
+
+// newLRU returns a cache bounded to capacity entries; capacity <= 0
+// disables the cache (every get misses, every put is dropped).
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{cap: capacity, entries: make(map[int]*lruEntry[V])}
+}
+
+// Len returns the number of cached entries.
+func (c *lru[V]) Len() int { return len(c.entries) }
+
+// get returns the cached value and promotes the entry.
+func (c *lru[V]) get(key int) (V, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.promote(e)
+	return e.val, true
+}
+
+// put inserts or refreshes an entry, evicting the LRU tail when the
+// cache is over capacity.
+func (c *lru[V]) put(key int, v V) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.entries[key]; ok {
+		e.val = v
+		c.promote(e)
+		return
+	}
+	e := &lruEntry[V]{key: key, val: v}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.cap {
+		t := c.tail
+		c.unlink(t)
+		delete(c.entries, t.key)
+		if c.onEvict != nil {
+			c.onEvict(t.key, t.val)
+		}
+	}
+}
+
+func (c *lru[V]) promote(e *lruEntry[V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *lru[V]) pushFront(e *lruEntry[V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lru[V]) unlink(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

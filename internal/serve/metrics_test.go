@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCanonicalSnapshotInvariantToBatching is the serve instance of
+// the volatile/deterministic segregation contract — the flake class
+// the serving layer must not reintroduce: replaying the same request
+// multiset under radically different batching/caching configurations
+// must produce byte-identical canonical obs snapshots, because every
+// scheduling-dependent serve metric (batch sizes, queue depths, cache
+// hits/misses/evictions, shard builds, dispatch counts, batch spans)
+// lives in a volatile section that Canonical zeroes.
+func TestCanonicalSnapshotInvariantToBatching(t *testing.T) {
+	g := testGraph(t, 256)
+	reqs := flatScript(t, ScriptConfig{Seed: 6, Clients: 3, Requests: 12, N: 256, ClassifyEvery: 4})
+
+	run := func(cacheRows, shardCap, batchSize int) []byte {
+		reg := obs.NewRegistry()
+		eng, err := NewEngine(g, EngineConfig{
+			Seed: 7, ShardRows: 64, CacheRows: cacheRows, ShardCap: shardCap, Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Vary the coalescing shape directly at the engine: one-at-a-
+		// time vs giant batches exercise completely different cache and
+		// dispatch sequences.
+		if batchSize <= 1 {
+			for _, r := range reqs {
+				eng.ServeBatch([]*Request{r}, false)
+			}
+		} else {
+			for i := 0; i < len(reqs); i += batchSize {
+				j := i + batchSize
+				if j > len(reqs) {
+					j = len(reqs)
+				}
+				eng.ServeBatch(reqs[i:j], false)
+			}
+		}
+		data, err := reg.Snapshot().Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	a := run(16, 1, 1)
+	b := run(0, 0, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical snapshots differ across batching/caching configs:\n%s\n----\n%s", a, b)
+	}
+}
+
+// TestServeMetricSegregation asserts each serve metric lands in the
+// section its determinism class requires.
+func TestServeMetricSegregation(t *testing.T) {
+	g := testGraph(t, 256)
+	reg := obs.NewRegistry()
+	eng, err := NewEngine(g, EngineConfig{Seed: 7, ShardRows: 64, CacheRows: 8, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(eng, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, r := range flatScript(t, ScriptConfig{Seed: 8, Clients: 1, Requests: 10, N: 256}) {
+		if _, err := srv.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	for _, name := range []string{"serve/requests", "serve/rows"} {
+		if s.Counters[name] == 0 {
+			t.Errorf("deterministic counter %s missing", name)
+		}
+	}
+	for _, name := range []string{"serve/cache/miss", "serve/shard/build"} {
+		if s.Volatile[name] == 0 {
+			t.Errorf("volatile counter %s missing", name)
+		}
+	}
+	for _, name := range []string{"serve/batch_rows", "serve/batch_requests", "serve/queue_depth"} {
+		if s.VolatileHists[name].Count == 0 {
+			t.Errorf("volatile hist %s missing", name)
+		}
+	}
+	for _, name := range []string{"serve/batch", "serve/dispatch"} {
+		if s.VolatileSpans[name].Count == 0 {
+			t.Errorf("volatile span %s missing", name)
+		}
+	}
+	// Nothing wall-clock-shaped may survive canonicalization.
+	c := s.Canonical()
+	for name, sp := range c.VolatileSpans {
+		if sp.Count != 0 || sp.TotalNs != 0 {
+			t.Errorf("canonical volatile span %s not zeroed: %+v", name, sp)
+		}
+	}
+	for name, h := range c.VolatileHists {
+		if h.Count != 0 || h.Sum != 0 {
+			t.Errorf("canonical volatile hist %s not zeroed: %+v", name, h)
+		}
+	}
+}

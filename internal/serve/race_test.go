@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/resil"
+)
+
+// TestRaceHammer drives 8 concurrent closed-loop clients against an
+// in-process server with a tiny row cache (constant eviction churn),
+// a one-shard handle cache, and one injected straggler — the
+// workload the ci.sh GOMAXPROCS=2 race matrix runs under -race. The
+// concurrent responses must be bit-identical to a serial replay of
+// the same script, which is what makes the hammer a correctness test
+// rather than just a crash test.
+func TestRaceHammer(t *testing.T) {
+	g := testGraph(t, 512)
+	plan, err := resil.ParsePlan("straggler@serve/batch:3:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mk := func(inj *resil.Injector) *Engine {
+		eng, err := NewEngine(g, EngineConfig{
+			Seed: 11, ShardRows: 64, CacheRows: 24, ShardCap: 2,
+			Obs: reg, Inj: inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	script, err := GenerateScript(ScriptConfig{
+		Seed: 99, Clients: 8, Requests: 25, N: 512, MaxNodes: 6, ClassifyEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: same script, no faults, one at a time.
+	ref := mk(nil)
+	want := make([][]uint64, len(script))
+	for c, reqs := range script {
+		want[c] = make([]uint64, len(reqs))
+		for i, r := range reqs {
+			want[c][i] = ref.ServeBatch([]*Request{r}, false)[0].Checksum()
+		}
+	}
+
+	srv, err := NewServer(mk(resil.NewInjector(plan, reg)), ServerConfig{
+		QueueLimit: 64, DegradeDepth: 0, // keep the bit-exact path
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	got := make([][]uint64, len(script))
+	var wg sync.WaitGroup
+	errs := make(chan error, len(script))
+	for c, reqs := range script {
+		got[c] = make([]uint64, len(reqs))
+		wg.Add(1)
+		go func(c int, reqs []*Request) {
+			defer wg.Done()
+			for i, r := range reqs {
+				resp, err := srv.Submit(r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got[c][i] = resp.Checksum()
+			}
+		}(c, reqs)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for c := range want {
+		for i := range want[c] {
+			if got[c][i] != want[c][i] {
+				t.Fatalf("client %d request %d: concurrent checksum %x != serial %x", c, i, got[c][i], want[c][i])
+			}
+		}
+	}
+	// The cache and batch machinery must actually have been exercised.
+	s := reg.Snapshot()
+	if s.Volatile["serve/cache/evict"] == 0 {
+		t.Error("no row-cache eviction churn under the hammer")
+	}
+	if s.Counters["serve/requests"] == 0 {
+		t.Error("serve/requests not counted")
+	}
+	if s.Counters["resil/injected/straggler"] == 0 {
+		t.Error("injected straggler never fired")
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ScriptConfig seeds a deterministic request script — the shared
+// workload description the load generator, the serve bench suite, the
+// equivalence oracle and the ci.sh smoke gate all replay, so "same
+// seed, same traffic" holds across every consumer.
+type ScriptConfig struct {
+	// Seed pins every draw.
+	Seed int64
+	// Clients is the number of closed-loop client streams.
+	Clients int
+	// Requests is the per-client request count.
+	Requests int
+	// N is the graph size node ids are drawn from.
+	N int
+	// MaxNodes bounds the node-set size per request (clamped to N;
+	// zero = 8).
+	MaxNodes int
+	// MinNodes floors the node-set size (clamped to MaxNodes; zero =
+	// 1). MinNodes == MaxNodes gives uniform-size requests, the shape
+	// latency-percentile comparisons want.
+	MinNodes int
+	// ClassifyEvery makes every k-th request per client a classify op
+	// (0 = all embed).
+	ClassifyEvery int
+}
+
+// GenerateScript produces per-client request streams: sizes uniform
+// in [MinNodes, MaxNodes], node ids drawn 80/20 from a hot sixteenth of the
+// graph versus the full range (the skew that makes row caching and
+// cross-request shard dedup pay), deduplicated within each request.
+// Pure function of the config.
+func GenerateScript(cfg ScriptConfig) ([][]*Request, error) {
+	if cfg.Clients < 1 || cfg.Requests < 1 || cfg.N < 1 {
+		return nil, fmt.Errorf("%w: script needs clients, requests and n >= 1", ErrConfig)
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 8
+	}
+	if maxNodes > cfg.N {
+		maxNodes = cfg.N
+	}
+	minNodes := cfg.MinNodes
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	if minNodes > maxNodes {
+		minNodes = maxNodes
+	}
+	hot := cfg.N / 16
+	if hot < 1 {
+		hot = 1
+	}
+	clients := make([][]*Request, cfg.Clients)
+	for c := range clients {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+		reqs := make([]*Request, cfg.Requests)
+		for i := range reqs {
+			size := minNodes + rng.Intn(maxNodes-minNodes+1)
+			seen := make(map[int]struct{}, size)
+			nodes := make([]int, 0, size)
+			for len(nodes) < size {
+				var v int
+				if rng.Intn(5) < 4 {
+					v = rng.Intn(hot)
+				} else {
+					v = rng.Intn(cfg.N)
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				nodes = append(nodes, v)
+			}
+			op := OpEmbed
+			if cfg.ClassifyEvery > 0 && (i+1)%cfg.ClassifyEvery == 0 {
+				op = OpClassify
+			}
+			reqs[i] = &Request{Op: op, Nodes: nodes}
+		}
+		clients[c] = reqs
+	}
+	return clients, nil
+}

@@ -1,0 +1,74 @@
+// Package serve is the online inference service layer: a long-running
+// engine that loads a reordered, V:N:M-compressed graph once and then
+// answers node-set embedding/classification queries by coalescing
+// concurrent requests into batched, shard-level SpMM dispatches — the
+// paper's reorder-once/compress-once, multiply-many amortization
+// argument turned into a serving system (ROADMAP item 1, the
+// "millions of users" leg).
+//
+// Architecture (DESIGN.md §13):
+//
+//   - Engine owns the immutable operands: the symmetric-normalized
+//     adjacency of the reordered graph, sliced into row-band shards,
+//     each with a lazily built V:N:M compressed handle; the shared
+//     dense right-hand side (the hop-propagated feature matrix); and a
+//     seeded linear classification head. Per-shard dispatch routes
+//     through a fixed kernel mode or the calibrated execution planner
+//     (internal/plan), exactly like gnn.EngineAuto.
+//   - Two LRU caches amortize repeated traffic: per-node aggregation
+//     rows (a shard dispatch fills every row of its band) and
+//     compressed shard handles (rebuilt bit-identically on re-entry).
+//     Eviction is deterministic given the operation sequence.
+//   - The coalescer batches concurrent requests behind a bounded
+//     queue: admission control rejects beyond QueueLimit (HTTP 429),
+//     and past DegradeDepth batches ride the degradation ladder's load
+//     rung — gathered-row CSR compute without cache fill. The resil
+//     rung mirrors gnn.ValidateOperator: a shard whose compressed
+//     metadata fails validation (or whose build the injector faults)
+//     falls back to CSR for its lifetime.
+//
+// Determinism contract: responses are pure functions of (graph, engine
+// config). Coalescing, caching and worker counts never change response
+// bits — a batch dispatches whole shards, so a row's value does not
+// depend on which other rows were requested alongside it
+// (check.ServeEquivalence). The degradation paths change float32
+// summation order and are tolerance-bounded instead, mirroring
+// check.SampledEngineAgreement. Metrics follow the obs segregation
+// rules: request/row/error counters are deterministic for a fixed
+// request multiset; batch counts, batch sizes, queue depths and cache
+// hit/miss/eviction counts are scheduling-dependent and live in the
+// volatile sections (volatile counters, VolatileHist, VolatileSpan).
+package serve
+
+// serveError is a typed constant error: the package keeps sentinel
+// errors as consts so the kernel-package purity lint (no package-level
+// vars) applies here too.
+type serveError string
+
+func (e serveError) Error() string { return string(e) }
+
+const (
+	// ErrBadOp is returned for a request op outside {embed, classify}.
+	ErrBadOp = serveError("serve: unknown op")
+	// ErrEmptyNodes is returned for a request with no node ids.
+	ErrEmptyNodes = serveError("serve: empty node set")
+	// ErrDuplicateNode is returned when a request names a node twice.
+	ErrDuplicateNode = serveError("serve: duplicate node id")
+	// ErrNodeRange is returned for a negative or >= n node id.
+	ErrNodeRange = serveError("serve: node id out of range")
+	// ErrOversized is returned when a request exceeds the server's
+	// MaxRequestNodes admission bound.
+	ErrOversized = serveError("serve: request exceeds node budget")
+	// ErrQueueFull is the admission-control rejection: the bounded
+	// request queue is at QueueLimit (HTTP 429).
+	ErrQueueFull = serveError("serve: request queue full")
+	// ErrClosed is returned once the server has shut down.
+	ErrClosed = serveError("serve: server closed")
+	// ErrConfig is returned for an invalid engine or server
+	// configuration.
+	ErrConfig = serveError("serve: invalid configuration")
+	// ErrBatchFault is returned to every request of a batch whose
+	// dispatch failed irrecoverably (an injected crash the dispatcher
+	// captured); the server stays serviceable for later requests.
+	ErrBatchFault = serveError("serve: batch dispatch fault")
+)

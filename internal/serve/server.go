@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ServerConfig sizes the serving frontend: coalescing, admission
+// control and degradation thresholds. The zero value is a valid
+// light-traffic configuration (no batching caps, unbounded queue,
+// no degradation, no per-request node budget).
+type ServerConfig struct {
+	// Window is an optional fixed collection delay before each batch
+	// is taken (0 = pure batching-by-backpressure, the default: the
+	// dispatcher takes whatever queued while the previous batch ran).
+	Window time.Duration
+	// MaxBatchRequests caps requests per coalesced batch; 1 disables
+	// coalescing (the singleton baseline the bench suite compares
+	// against), 0 = unlimited.
+	MaxBatchRequests int
+	// MaxBatchRows caps total nodes per batch (0 = unlimited; a
+	// single request larger than the cap still dispatches alone).
+	MaxBatchRows int
+	// QueueLimit bounds the admission queue; a request arriving at a
+	// full queue is rejected with ErrQueueFull / HTTP 429. 0 =
+	// unbounded.
+	QueueLimit int
+	// DegradeDepth is the load-degradation rung's trigger: a batch
+	// taken while more than DegradeDepth requests were queued runs
+	// the gathered-row CSR path instead of full shard dispatches.
+	// 0 disables degradation.
+	DegradeDepth int
+	// MaxRequestNodes rejects single requests above this node count
+	// with ErrOversized / HTTP 413. 0 = unbounded.
+	MaxRequestNodes int
+}
+
+func (c ServerConfig) validate() error {
+	if c.Window < 0 || c.MaxBatchRequests < 0 || c.MaxBatchRows < 0 ||
+		c.QueueLimit < 0 || c.DegradeDepth < 0 || c.MaxRequestNodes < 0 {
+		return ErrConfig
+	}
+	return nil
+}
+
+// Server is the serving frontend: the engine plus the coalescing
+// dispatcher, exposed both in-process (Submit) and over HTTP
+// (Handler). Safe for concurrent use.
+type Server struct {
+	eng *Engine
+	co  *coalescer
+}
+
+// NewServer starts the dispatcher over an engine.
+func NewServer(eng *Engine, cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng, co: newCoalescer(eng, cfg)}, nil
+}
+
+// Engine returns the underlying engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Submit runs one request through the batching dispatcher — the
+// in-process path the load generator, bench suite and oracles use
+// (identical semantics to POST /v1/query minus the wire codec).
+func (s *Server) Submit(req *Request) (*Response, error) {
+	return s.co.submit(req)
+}
+
+// Close stops the dispatcher; queued requests fail with ErrClosed.
+func (s *Server) Close() { s.co.close() }
+
+// StatusOf maps a Submit error to its HTTP status.
+func StatusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadOp), errors.Is(err, ErrEmptyNodes),
+		errors.Is(err, ErrDuplicateNode), errors.Is(err, ErrNodeRange):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOversized):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// maxBodyBytes bounds /v1/query request bodies.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP surface:
+//
+//	POST /v1/query   one Request in, one Response out
+//	GET  /healthz    liveness
+//	GET  /statz      obs snapshot (?canonical=1 for the deterministic
+//	                 projection)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/statz", s.handleStatz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "serve: POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "serve: body too large")
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		s.eng.Obs().Counter("serve/errors/parse").Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.Submit(req)
+	if err != nil {
+		writeError(w, StatusOf(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(resp.Render(), '\n'))
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Obs().Snapshot()
+	if r.URL.Query().Get("canonical") == "1" {
+		snap = snap.Canonical()
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(&wireError{Error: msg}) // a string field cannot fail
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resil"
+)
+
+func newTestServer(t *testing.T, ecfg EngineConfig, scfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	g := testGraph(t, 256)
+	if ecfg.ShardRows == 0 {
+		ecfg.ShardRows = 64
+	}
+	eng, err := NewEngine(g, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(eng, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs
+}
+
+func postQuery(t *testing.T, hs *httptest.Server, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(hs.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// goodRequest asserts the server still answers a valid query — the
+// no-state-corruption check every degenerate case is followed by.
+func goodRequest(t *testing.T, hs *httptest.Server) {
+	t.Helper()
+	status, data := postQuery(t, hs, `{"op":"classify","nodes":[1,2,3]}`)
+	if status != http.StatusOK {
+		t.Fatalf("follow-up good request: status %d body %s", status, data)
+	}
+	var r Response
+	if err := json.Unmarshal(data, &r); err != nil || len(r.Classes) != 3 {
+		t.Fatalf("follow-up good request: bad body %s (err %v)", data, err)
+	}
+}
+
+func TestHTTPDegenerateRequests(t *testing.T) {
+	_, hs := newTestServer(t,
+		EngineConfig{Seed: 7, CacheRows: 16},
+		ServerConfig{MaxRequestNodes: 10})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed json", `{"op":`, http.StatusBadRequest},
+		{"trailing garbage", `{"op":"embed","nodes":[1]}x`, http.StatusBadRequest},
+		{"unknown op", `{"op":"destroy","nodes":[1]}`, http.StatusBadRequest},
+		{"empty node set", `{"op":"embed","nodes":[]}`, http.StatusBadRequest},
+		{"negative id", `{"op":"embed","nodes":[-4]}`, http.StatusBadRequest},
+		{"out of range id", `{"op":"embed","nodes":[99999]}`, http.StatusBadRequest},
+		{"duplicate ids", `{"op":"embed","nodes":[7,7]}`, http.StatusBadRequest},
+		{"oversized batch", `{"op":"embed","nodes":[0,1,2,3,4,5,6,7,8,9,10]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, data := postQuery(t, hs, tc.body)
+			if status != tc.status {
+				t.Fatalf("status = %d (body %s), want %d", status, data, tc.status)
+			}
+			var we wireError
+			if err := json.Unmarshal(bytes.TrimSpace(data), &we); err != nil || we.Error == "" {
+				t.Fatalf("error body not typed JSON: %s (err %v)", data, err)
+			}
+			goodRequest(t, hs)
+		})
+	}
+}
+
+func TestHTTPMethodAndEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, EngineConfig{Seed: 7, Obs: obs.NewRegistry()}, ServerConfig{})
+	resp, err := http.Get(hs.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	goodRequest(t, hs)
+	for _, q := range []string{"", "?canonical=1"} {
+		resp, err = http.Get(hs.URL + "/statz" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var snap obs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("/statz%s not a snapshot: %v", q, err)
+		}
+		if snap.Counters["serve/requests"] == 0 {
+			t.Fatalf("/statz%s missing serve/requests: %s", q, body)
+		}
+	}
+}
+
+func TestQueueFull429AndRecovery(t *testing.T) {
+	plan, err := resil.ParsePlan("straggler@serve/batch:1:300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, hs := newTestServer(t,
+		EngineConfig{Seed: 7, Obs: reg, Inj: resil.NewInjector(plan, reg)},
+		ServerConfig{QueueLimit: 1, MaxBatchRequests: 1})
+
+	// First request: taken by the dispatcher, which then stalls in the
+	// injected straggler. Wait until it has left the queue.
+	first := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(&Request{Op: OpEmbed, Nodes: []int{0}})
+		first <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if reg.Snapshot().VolatileHists["serve/queue_depth"].Count >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never took the first request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second request occupies the queue's single slot; third must be
+	// rejected with 429 while the dispatcher is still stalled.
+	second := make(chan error, 1)
+	go func() {
+		_, err := srv.Submit(&Request{Op: OpEmbed, Nodes: []int{1}})
+		second <- err
+	}()
+	for {
+		reg.Snapshot()
+		if func() bool {
+			srv.co.mu.Lock()
+			defer srv.co.mu.Unlock()
+			return len(srv.co.queue) >= 1
+		}() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status, data := postQuery(t, hs, `{"op":"embed","nodes":[2]}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d (body %s), want 429", status, data)
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("second request failed: %v", err)
+	}
+	goodRequest(t, hs)
+	if reg.Snapshot().Volatile["serve/rejected"] == 0 {
+		t.Fatal("serve/rejected not counted")
+	}
+}
+
+func TestCacheSizeZeroConfigServes(t *testing.T) {
+	_, hs := newTestServer(t, EngineConfig{Seed: 7, CacheRows: 0}, ServerConfig{})
+	goodRequest(t, hs)
+	goodRequest(t, hs)
+}
+
+func TestClosedServerRejects(t *testing.T) {
+	g := testGraph(t, 64)
+	eng, err := NewEngine(g, EngineConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(eng, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Submit(&Request{Op: OpEmbed, Nodes: []int{0}}); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	srv.Close() // idempotent
+	if StatusOf(ErrClosed) != http.StatusServiceUnavailable {
+		t.Fatal("ErrClosed status mapping")
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	g := testGraph(t, 64)
+	eng, err := NewEngine(g, EngineConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(eng, ServerConfig{QueueLimit: -1}); err == nil {
+		t.Fatal("negative QueueLimit accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Op names a query operation.
+const (
+	// OpEmbed returns the aggregated embedding row of each node.
+	OpEmbed = "embed"
+	// OpClassify returns the argmax class of each node under the
+	// engine's linear head.
+	OpClassify = "classify"
+)
+
+// Request is one node-set query: the wire format POST /v1/query
+// accepts and the unit the coalescer batches.
+type Request struct {
+	Op    string `json:"op"`
+	Nodes []int  `json:"nodes"`
+}
+
+// ParseRequest decodes a request from its canonical JSON wire form.
+// The decoder is total (any byte slice yields a request or a typed
+// error, never a panic) and strict: unknown fields, trailing data,
+// an unknown op, an empty node set, duplicate node ids and negative
+// node ids are all rejected. Upper-bound node validation needs the
+// graph size and happens at submission (Engine.ValidateRequest).
+//
+// Fixed point: for any request ParseRequest accepts,
+// ParseRequest(req.Render()) returns an identical request
+// (check.FuzzServeRequestParse).
+func ParseRequest(data []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("serve: malformed request: %w", err)
+	}
+	// Reject trailing content after the JSON value ("{}garbage").
+	if err := trailingContent(dec); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// trailingContent errors when the decoder's input has tokens left.
+func trailingContent(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("serve: malformed request: trailing data after JSON value")
+	}
+	return nil
+}
+
+// validate applies the wire-level request invariants (everything
+// checkable without the graph size).
+func (r *Request) validate() error {
+	if r.Op != OpEmbed && r.Op != OpClassify {
+		return fmt.Errorf("%w: %q", ErrBadOp, r.Op)
+	}
+	if len(r.Nodes) == 0 {
+		return ErrEmptyNodes
+	}
+	seen := make(map[int]struct{}, len(r.Nodes))
+	for _, v := range r.Nodes {
+		if v < 0 {
+			return fmt.Errorf("%w: %d", ErrNodeRange, v)
+		}
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicateNode, v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// Render returns the canonical wire form of the request. Only valid
+// on a request that passes validate (field order and formatting are
+// fixed by encoding/json, so Render is deterministic).
+func (r *Request) Render() []byte {
+	data, err := json.Marshal(r)
+	if err != nil {
+		// A Request of plain ints cannot fail to marshal.
+		panic(fmt.Sprintf("serve: render: %v", err))
+	}
+	return data
+}
+
+// Equal reports structural equality of two requests.
+func (r *Request) Equal(o *Request) bool {
+	if r.Op != o.Op || len(r.Nodes) != len(o.Nodes) {
+		return false
+	}
+	for i, v := range r.Nodes {
+		if o.Nodes[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Response is the answer to one request: embedding rows for OpEmbed
+// (Rows[i] is the aggregation row of Nodes[i]), class indices for
+// OpClassify.
+type Response struct {
+	Op      string      `json:"op"`
+	Rows    [][]float32 `json:"rows,omitempty"`
+	Classes []int       `json:"classes,omitempty"`
+}
+
+// Render returns the response's JSON wire form.
+func (r *Response) Render() []byte {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("serve: render response: %v", err))
+	}
+	return data
+}
+
+// ParseResponse decodes a response from its wire form (the HTTP
+// loadgen path; checksums computed from the parsed form match the
+// in-process ones because float32 JSON round-trips exactly).
+func ParseResponse(data []byte) (*Response, error) {
+	var r Response
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("serve: malformed response: %w", err)
+	}
+	return &r, nil
+}
+
+// Checksum digests the response content — FNV-1a over the op, the
+// float32 bit patterns of every row, and the class indices. Two
+// responses with identical bits have identical checksums, which is
+// how the load generator's order-independent run digest detects any
+// batching- or caching-induced divergence.
+func (r *Response) Checksum() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.Op))
+	var buf [4]byte
+	for _, row := range r.Rows {
+		for _, v := range row {
+			bits := math.Float32bits(v)
+			buf[0] = byte(bits)
+			buf[1] = byte(bits >> 8)
+			buf[2] = byte(bits >> 16)
+			buf[3] = byte(bits >> 24)
+			h.Write(buf[:])
+		}
+	}
+	for _, c := range r.Classes {
+		bits := uint32(int32(c))
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// wireError is the JSON error body the HTTP surface returns.
+type wireError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestParseRequestNegatives(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error // nil means "any error" (malformed JSON)
+	}{
+		{"empty body", ``, nil},
+		{"not json", `hello`, nil},
+		{"trailing data", `{"op":"embed","nodes":[1]}garbage`, nil},
+		{"unknown field", `{"op":"embed","nodes":[1],"x":2}`, nil},
+		{"wrong type", `{"op":"embed","nodes":"abc"}`, nil},
+		{"bad op", `{"op":"train","nodes":[1]}`, ErrBadOp},
+		{"missing op", `{"nodes":[1]}`, ErrBadOp},
+		{"empty nodes", `{"op":"embed","nodes":[]}`, ErrEmptyNodes},
+		{"missing nodes", `{"op":"embed"}`, ErrEmptyNodes},
+		{"negative node", `{"op":"embed","nodes":[0,-1]}`, ErrNodeRange},
+		{"duplicate node", `{"op":"classify","nodes":[3,1,3]}`, ErrDuplicateNode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRequest([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("ParseRequest(%q) accepted", tc.in)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("ParseRequest(%q) error = %v, want %v", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRenderFixedPoint(t *testing.T) {
+	for _, in := range []string{
+		`{"op":"embed","nodes":[0]}`,
+		`{"op":"classify","nodes":[5,1,9]}`,
+		`{"nodes":[2,3],"op":"embed"}`, // field order normalizes
+	} {
+		req, err := ParseRequest([]byte(in))
+		if err != nil {
+			t.Fatalf("ParseRequest(%q): %v", in, err)
+		}
+		out := req.Render()
+		req2, err := ParseRequest(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", out, err)
+		}
+		if !req.Equal(req2) {
+			t.Fatalf("fixed point broken: %+v vs %+v", req, req2)
+		}
+		if !bytes.Equal(out, req2.Render()) {
+			t.Fatalf("render not canonical: %q vs %q", out, req2.Render())
+		}
+	}
+}
+
+func TestResponseChecksumSensitivity(t *testing.T) {
+	a := &Response{Op: OpEmbed, Rows: [][]float32{{1, 2}, {3}}}
+	b := &Response{Op: OpEmbed, Rows: [][]float32{{1, 2}, {3}}}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical responses disagree in checksum")
+	}
+	b.Rows[1][0] = 3.0000002
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("one-ulp row change not detected")
+	}
+	c := &Response{Op: OpClassify, Classes: []int{1, 2}}
+	d := &Response{Op: OpClassify, Classes: []int{2, 1}}
+	if c.Checksum() == d.Checksum() {
+		t.Fatal("class order change not detected")
+	}
+}
+
+func TestResponseWireRoundTrip(t *testing.T) {
+	r := &Response{Op: OpEmbed, Rows: [][]float32{{0.1, -2.5e-8, 3}}}
+	got, err := ParseResponse(r.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum() != r.Checksum() {
+		t.Fatalf("response checksum changed across the wire: %x vs %x", got.Checksum(), r.Checksum())
+	}
+}
+
+func TestLRUDeterministicEviction(t *testing.T) {
+	var evicted []int
+	c := newLRU[int](2)
+	c.onEvict = func(k int, _ int) { evicted = append(evicted, k) }
+	c.put(1, 10)
+	c.put(2, 20)
+	if _, ok := c.get(1); !ok { // promotes 1 over 2
+		t.Fatal("missing key 1")
+	}
+	c.put(3, 30) // evicts 2
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("key 2 survived eviction")
+	}
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Fatalf("key 1 = %d,%v", v, ok)
+	}
+	// Capacity 0 disables.
+	z := newLRU[int](0)
+	z.put(1, 1)
+	if z.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}

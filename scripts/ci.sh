@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn serve; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -41,7 +41,7 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
     ./internal/check/ ./internal/gnn/ ./internal/core/ \
     ./internal/distributed/ ./internal/obs/ ./internal/resil/ \
-    ./internal/plan/ ./internal/dyn/
+    ./internal/plan/ ./internal/dyn/ ./internal/serve/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
@@ -49,7 +49,8 @@ if [ "$FUZZTIME" != "0" ]; then
                   FuzzSpMMEquivalence FuzzParallelSerialEquivalence \
                   FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
                   FuzzFaultPlanParse FuzzCalibrationParse \
-                  FuzzMutationStreamParse FuzzIncrementalVsScratch; do
+                  FuzzMutationStreamParse FuzzIncrementalVsScratch \
+                  FuzzServeRequestParse; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -145,6 +146,55 @@ if ! grep -q '"kernel": "planner"' "$obs_tmp/p1.json"; then
     exit 1
 fi
 echo "planned suites replay identically from the pinned table"
+
+echo "== serve smoke (boot server, replay seeded load twice, byte-identical artifacts) =="
+# The serving contract (DESIGN.md §13): responses are pure functions of
+# (graph, config, request), the deterministic serve counters are pure
+# functions of the accepted request multiset, and the loadgen script is
+# a pure function of its seed — so booting two fresh servers and
+# replaying the same seeded load must produce byte-identical canonical
+# loadgen reports (order-independent response checksum included) and
+# byte-identical canonical obs snapshots. Also: two canonical serve
+# bench runs must agree byte-for-byte.
+go build -o "$obs_tmp/sogre-serve" ./cmd/sogre-serve
+go build -o "$obs_tmp/sogre-loadgen" ./cmd/sogre-loadgen
+for i in 1 2; do
+    rm -f "$obs_tmp/addr"
+    "$obs_tmp/sogre-serve" -gen er -n 1024 -shard-rows 128 -queue-limit 0 \
+        -ready-file "$obs_tmp/addr" -metrics "$obs_tmp/sm$i.json" \
+        -metrics-canonical 2> /dev/null &
+    serve_pid=$!
+    for _ in $(seq 1 100); do [ -s "$obs_tmp/addr" ] && break; sleep 0.1; done
+    [ -s "$obs_tmp/addr" ] || { echo "FAIL: sogre-serve never became ready" >&2; exit 1; }
+    "$obs_tmp/sogre-loadgen" -addr "$(cat "$obs_tmp/addr")" -n 1024 \
+        -clients 4 -requests 15 -canonical -out "$obs_tmp/lg$i.json" 2> /dev/null
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+done
+if ! cmp -s "$obs_tmp/lg1.json" "$obs_tmp/lg2.json"; then
+    echo "FAIL: canonical loadgen reports differ between identical replays:" >&2
+    diff "$obs_tmp/lg1.json" "$obs_tmp/lg2.json" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$obs_tmp/sm1.json" "$obs_tmp/sm2.json"; then
+    echo "FAIL: canonical serve obs snapshots differ between identical replays:" >&2
+    diff "$obs_tmp/sm1.json" "$obs_tmp/sm2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q 'serve/requests' "$obs_tmp/sm1.json"; then
+    echo "FAIL: serve smoke ran but recorded no serve counters" >&2
+    exit 1
+fi
+go run ./cmd/sogre-bench -suite serve -repeats 1 -canonical \
+    -out "$obs_tmp/bs1.json" > /dev/null
+go run ./cmd/sogre-bench -suite serve -repeats 1 -canonical \
+    -out "$obs_tmp/bs2.json" > /dev/null
+if ! cmp -s "$obs_tmp/bs1.json" "$obs_tmp/bs2.json"; then
+    echo "FAIL: canonical serve suites differ between identical runs:" >&2
+    diff "$obs_tmp/bs1.json" "$obs_tmp/bs2.json" >&2 || true
+    exit 1
+fi
+echo "serve replays byte-identical (reports, snapshots, bench rows)"
 
 echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
 cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
