@@ -30,6 +30,15 @@
 // runs) — the serving layer's bit-purity claim, re-checked at bench
 // time.
 //
+// The dist suite measures the multi-process distribution layer
+// (internal/distributed + internal/shard), writing BENCH_dist.json
+// with (a) a serialization row racing graph generation against loading
+// the same graph from its sogre-shard/v1 binary encoding (the speedup
+// column is the "is binary load worth it" answer), and (b) one
+// execution row per loopback worker count, each embedding the
+// in-process and distributed result checksums — equal by construction,
+// re-verified at bench time.
+//
 // Usage:
 //
 //	sogre-bench [-suite spmm] [-seed 20250806] [-out BENCH_spmm.json]
@@ -40,6 +49,8 @@
 //	            [-repeats 3] [-canonical]
 //	sogre-bench -suite serve [-seed 20250806] [-out BENCH_serve.json]
 //	            [-repeats 3] [-canonical]
+//	sogre-bench -suite dist [-seed 20250806] [-out BENCH_dist.json]
+//	            [-repeats 3] [-canonical] [-fixture-dir DIR]
 //
 // The spmm suite also emits one planner row per (graph, width): the
 // calibrated execution planner (internal/plan) choosing among the four
@@ -72,7 +83,7 @@ import (
 )
 
 func main() {
-	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder, dynamic or serve")
+	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder, dynamic, serve or dist")
 	seed := flag.Int64("seed", 20250806, "operand generator seed")
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<suite>.json)")
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
@@ -80,6 +91,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel pool size for the spmm suite (0 = GOMAXPROCS)")
 	calibPath := flag.String("calib", "", "planner calibration table file for the spmm suite: loaded if present, else measured and written (empty = measure fresh, unpinned)")
 	canonical := flag.Bool("canonical", false, "emit the canonical suite projection (timing fields zeroed) for byte-comparable output (spmm and dynamic suites)")
+	fixtureDir := flag.String("fixture-dir", "", "graph fixture cache directory for the dist suite (empty = fresh temp dir)")
 	metrics := flag.String("metrics", "", "write an obs metrics snapshot to this JSON path (- for stdout)")
 	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields) for byte-comparable output")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address while the suite runs")
@@ -111,8 +123,10 @@ func main() {
 		data, summary, err = runDynamic(*seed, *repeats, *canonical, reg)
 	case "serve":
 		data, summary, err = runServe(*seed, *repeats, *canonical)
+	case "dist":
+		data, summary, err = runDist(*seed, *repeats, *canonical, *fixtureDir)
 	default:
-		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder, dynamic or serve)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder, dynamic, serve or dist)\n", *suiteName)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -271,6 +285,36 @@ func runServe(seed int64, repeats int, canonical bool) ([]byte, string, error) {
 		return nil, "", err
 	}
 	return data, fmt.Sprintf("%d results, seed %d", len(suite.Results), suite.Seed), nil
+}
+
+func runDist(seed int64, repeats int, canonical bool, fixtureDir string) ([]byte, string, error) {
+	cfg := bench.DefaultDistConfig()
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	cfg.FixtureDir = fixtureDir
+	suite, err := bench.RunDist(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, r := range suite.Serialization {
+		fmt.Printf("serialize %-8s n=%-8d arcs=%-8d bytes=%-9d gen=%.1fms load=%.1fms speedup=%.1fx\n",
+			r.Family, r.N, r.Arcs, r.Bytes, r.GenNs/1e6, r.LoadNs/1e6, r.Speedup)
+	}
+	fmt.Printf("%-8s %-11s %14s %14s  %s\n", "workers", "partitions", "inproc ns", "dist ns", "checksums")
+	for _, r := range suite.Exec {
+		fmt.Printf("%-8d %-11d %14.0f %14.0f  %s == %s\n",
+			r.Workers, r.Partitions, r.InProcNs, r.DistNs, r.InProcChecksum, r.DistChecksum)
+	}
+	if canonical {
+		suite = bench.CanonicalDist(suite)
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		return nil, "", err
+	}
+	return data, fmt.Sprintf("%d exec rows, seed %d", len(suite.Exec), suite.Seed), nil
 }
 
 func runDynamic(seed int64, repeats int, canonical bool, reg *obs.Registry) ([]byte, string, error) {

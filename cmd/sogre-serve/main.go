@@ -15,25 +15,32 @@
 // Usage:
 //
 //	sogre-serve [-addr 127.0.0.1:0] [-ready-file PATH]
-//	            [-in graph.mtx | -gen er -n 4096] [-seed 20250806]
+//	            [-in graph.{mtx,edges,shard} | -gen er -n 4096] [-seed 20250806]
 //	            [-shard-rows 512] [-cache-rows 4096] [-shard-cap 0]
 //	            [-mode hybrid] [-calib FILE] [-workers 0]
 //	            [-window 0] [-max-batch-requests 0] [-queue-limit 256]
 //	            [-degrade-depth 0] [-max-request-nodes 1024]
-//	            [-faults PLAN] [-debug-addr ADDR] [-metrics PATH]
+//	            [-snapshot PATH] [-faults PLAN] [-debug-addr ADDR]
+//	            [-metrics PATH]
 //
-// -ready-file writes the bound address once listening (the smoke gate
-// polls it). -faults arms a deterministic resil fault plan (e.g.
-// "seed=7; transient@serve/shard:2") so degraded-path behavior is
-// scriptable. -degrade-depth N switches batches to the CSR gather
-// ladder rung when the queue backlog exceeds N. On SIGINT/SIGTERM the
-// server drains, and -metrics writes a final obs snapshot.
+// -in sniffs the file's leading bytes and accepts MatrixMarket, plain
+// edge lists, or the sogre-shard/v1 binary container. -snapshot PATH
+// restores a warmed engine from PATH when it exists (skipping the
+// reordering run) and writes PATH after warmup when it does not, so a
+// restart serves identical bits without re-reordering. -ready-file
+// writes the bound address once listening (the smoke gate polls it).
+// -faults arms a deterministic resil fault plan (e.g. "seed=7;
+// transient@serve/shard:2") so degraded-path behavior is scriptable.
+// -degrade-depth N switches batches to the CSR gather ladder rung
+// when the queue backlog exceeds N. On SIGINT/SIGTERM the server
+// drains, and -metrics writes a final obs snapshot.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +53,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/resil"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -67,6 +75,7 @@ func main() {
 	queueLimit := flag.Int("queue-limit", 256, "admission queue bound; beyond it requests get 429 (0 = unlimited)")
 	degradeDepth := flag.Int("degrade-depth", 0, "queue depth beyond which batches take the degraded CSR gather path (0 = never)")
 	maxReqNodes := flag.Int("max-request-nodes", 1024, "max nodes per request; beyond it 413 (0 = unlimited)")
+	snapshot := flag.String("snapshot", "", "engine snapshot path: restore from it if present, else write it after warmup")
 	faults := flag.String("faults", "", "deterministic fault plan (resil grammar)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address")
 	metrics := flag.String("metrics", "", "write a final obs snapshot to this JSON path on shutdown (- for stdout)")
@@ -75,27 +84,49 @@ func main() {
 
 	if err := run(*addr, *readyFile, *in, *gen, *n, *seed, *shardRows, *cacheRows, *shardCap,
 		*mode, *calibPath, *workers, *window, *maxBatchReq, *maxBatchRows, *queueLimit,
-		*degradeDepth, *maxReqNodes, *faults, *debugAddr, *metrics, *metricsCanonical); err != nil {
+		*degradeDepth, *maxReqNodes, *snapshot, *faults, *debugAddr, *metrics, *metricsCanonical); err != nil {
 		fmt.Fprintf(os.Stderr, "sogre-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// loadGraph reads -in by sniffing its leading bytes: a sogre-shard/v1
+// binary container, a MatrixMarket header, or (failing both) a plain
+// edge list. Without -in, a synthetic graph is generated.
 func loadGraph(in, gen string, n int, seed int64) (*graph.Graph, error) {
-	if in != "" {
+	if in == "" {
+		return graph.GenerateByName(gen, n, seed)
+	}
+	head := make([]byte, 16)
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	k, _ := io.ReadFull(f, head)
+	f.Close()
+	switch {
+	case k >= 8 && string(head[:8]) == "sogresh1":
+		return shard.ReadGraphFile(in)
+	case k >= 2 && string(head[:2]) == "%%":
 		f, err := os.Open(in)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return graph.ReadMatrixMarket(f)
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
 	}
-	return graph.GenerateByName(gen, n, seed)
 }
 
 func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRows, shardCap int,
 	mode, calibPath string, workers int, window time.Duration, maxBatchReq, maxBatchRows,
-	queueLimit, degradeDepth, maxReqNodes int, faults, debugAddr, metrics string, metricsCanonical bool) error {
+	queueLimit, degradeDepth, maxReqNodes int, snapshot, faults, debugAddr, metrics string, metricsCanonical bool) error {
 
 	reg := obs.NewRegistry()
 	var inj *resil.Injector
@@ -117,12 +148,6 @@ func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRow
 			return fmt.Errorf("calibration file %s: %w", calibPath, err)
 		}
 	}
-	g, err := loadGraph(in, gen, n, seed)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(os.Stderr, "reordering %d vertices...\n", g.N())
 	ecfg := serve.EngineConfig{
 		Seed:      seed,
 		ShardRows: shardRows,
@@ -136,9 +161,33 @@ func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRow
 	if workers > 0 {
 		ecfg.Workers = workers
 	}
-	eng, err := serve.NewEngine(g, ecfg)
-	if err != nil {
-		return err
+
+	var eng *serve.Engine
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			fmt.Fprintf(os.Stderr, "restoring engine from snapshot %s...\n", snapshot)
+			eng, err = serve.RestoreEngine(snapshot, ecfg)
+			if err != nil {
+				return fmt.Errorf("restore snapshot: %w", err)
+			}
+		}
+	}
+	if eng == nil {
+		g, err := loadGraph(in, gen, n, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "reordering %d vertices...\n", g.N())
+		eng, err = serve.NewEngine(g, ecfg)
+		if err != nil {
+			return err
+		}
+		if snapshot != "" {
+			if err := eng.Snapshot(snapshot); err != nil {
+				return fmt.Errorf("write snapshot: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "snapshot written to %s\n", snapshot)
+		}
 	}
 	srv, err := serve.NewServer(eng, serve.ServerConfig{
 		Window:           window,

@@ -1,0 +1,70 @@
+// Command sogre-worker runs one distribution worker process: a
+// net/rpc service (internal/distributed.Worker) that accepts a
+// checksummed sogre-shard/v1 graph plus dense operand, then computes
+// partitions on demand via the same pure per-partition pipeline the
+// in-process path uses — so WHERE a partition runs never changes its
+// result bits.
+//
+// Usage:
+//
+//	sogre-worker [-addr 127.0.0.1:0] [-ready-file PATH]
+//	             [-workers 0] [-crash-after-jobs 0]
+//
+// -ready-file writes the bound address atomically once listening (the
+// coordinator and the smoke gate poll it). -crash-after-jobs N makes
+// the process SIGKILL itself at the start of its N-th Compute job — a
+// deterministic `kill -9` mid-job, used by the fault-recovery gate to
+// prove the coordinator reconstructs bit-identical results around a
+// dead worker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+
+	"repro/internal/distributed"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free one)")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 0, "local kernel pool size (0 = GOMAXPROCS)")
+	crashAfter := flag.Int("crash-after-jobs", 0, "SIGKILL self at the start of the Nth Compute job (0 = never)")
+	flag.Parse()
+
+	if err := run(*addr, *readyFile, *workers, *crashAfter); err != nil {
+		fmt.Fprintf(os.Stderr, "sogre-worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, readyFile string, workers, crashAfter int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "worker listening on %s\n", bound)
+	if readyFile != "" {
+		if err := announce(readyFile, bound); err != nil {
+			return err
+		}
+	}
+	return distributed.ServeWorker(ln, distributed.WorkerConfig{
+		Workers:        workers,
+		CrashAfterJobs: crashAfter,
+	})
+}
+
+// announce writes the bound address via tmp+rename so a polling reader
+// never observes a partial write.
+func announce(path, bound string) error {
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

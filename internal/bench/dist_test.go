@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunDistSmall runs a miniature dist suite end to end and checks
+// the embedded correctness claims and the canonical projection.
+func TestRunDistSmall(t *testing.T) {
+	cfg := DistBenchConfig{
+		Seed:       7,
+		SerFamily:  "ba",
+		SerN:       4000,
+		ExecFamily: "banded",
+		ExecN:      400,
+		MaxN:       128,
+		Width:      8,
+		Pattern:    DefaultDistConfig().Pattern,
+		Workers:    []int{1, 2},
+		Repeats:    1,
+		FixtureDir: t.TempDir(),
+	}
+	suite, err := RunDist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Schema != DistSchema {
+		t.Fatalf("schema %q", suite.Schema)
+	}
+	if len(suite.Serialization) != 1 || len(suite.Exec) != 2 {
+		t.Fatalf("rows: %d ser, %d exec", len(suite.Serialization), len(suite.Exec))
+	}
+	ser := suite.Serialization[0]
+	if ser.N != 4000 || ser.Bytes <= 0 || ser.LoadNs <= 0 || ser.GenNs <= 0 {
+		t.Fatalf("serialization row: %+v", ser)
+	}
+	for _, e := range suite.Exec {
+		if e.InProcChecksum != e.DistChecksum {
+			t.Fatalf("workers=%d: checksums differ: %s vs %s", e.Workers, e.InProcChecksum, e.DistChecksum)
+		}
+		if e.Partitions < 2 {
+			t.Fatalf("workers=%d: only %d partitions, sweep is degenerate", e.Workers, e.Partitions)
+		}
+	}
+	// Canonical projection zeroes every timing field and round-trips
+	// through JSON.
+	canon := CanonicalDist(suite)
+	if canon.Serialization[0].GenNs != 0 || canon.Serialization[0].Speedup != 0 || canon.Exec[0].DistNs != 0 {
+		t.Fatal("canonical projection left timing fields set")
+	}
+	if suite.Serialization[0].GenNs == 0 {
+		t.Fatal("canonical projection mutated the original suite")
+	}
+	raw, err := canon.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DistSuite
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != DistSchema {
+		t.Fatal("JSON round trip lost schema")
+	}
+}
+
+// TestDistConfigValidate pins the config contract.
+func TestDistConfigValidate(t *testing.T) {
+	if err := DefaultDistConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultDistConfig()
+	bad.Workers = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty Workers accepted")
+	}
+	bad = DefaultDistConfig()
+	bad.Repeats = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero Repeats accepted")
+	}
+}
+
+// TestFixtureCache: the second load hits the cache and returns the
+// identical graph.
+func TestFixtureCache(t *testing.T) {
+	dir := t.TempDir()
+	g1, hit1, err := LoadOrGenerate(dir, "ba", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 {
+		t.Fatal("first load claimed a cache hit")
+	}
+	g2, hit2, err := LoadOrGenerate(dir, "ba", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Fatal("second load missed the cache")
+	}
+	if g1.N() != g2.N() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("cache returned a different graph: %d/%d vs %d/%d", g1.N(), g1.NumEdges(), g2.N(), g2.NumEdges())
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+// Graph fixture cache over the sogre-shard/v1 binary format: bench
+// suites (and anything else that repeatedly needs the same generated
+// graph) load the cached encoding instead of re-running the
+// generator. The cache key is the full generation recipe
+// (family, n, seed), so a hit is exactly the graph the generator
+// would have produced — verified on first write by checksum.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// FixturePath is the canonical cache location for a generated graph.
+func FixturePath(dir, family string, n int, seed int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-n%d-s%d.shard", family, n, seed))
+}
+
+// LoadOrGenerate returns the (family, n, seed) graph, serving it from
+// the fixture cache when possible. The second return reports whether
+// the cache was hit. A corrupt or unreadable cache entry falls back
+// to generation and is rewritten.
+func LoadOrGenerate(dir, family string, n int, seed int64) (*graph.Graph, bool, error) {
+	path := FixturePath(dir, family, n, seed)
+	if g, err := shard.ReadGraphFile(path); err == nil {
+		return g, true, nil
+	}
+	g, err := graph.GenerateByName(family, n, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, false, err
+	}
+	if err := shard.WriteGraphFile(path, g); err != nil {
+		return nil, false, err
+	}
+	return g, false, nil
+}

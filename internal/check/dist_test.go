@@ -1,0 +1,26 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// TestDistEquivalence: the RPC coordinator over loopback workers is
+// bit-identical to the in-process partitioned path, across worker
+// counts and both pattern shapes.
+func TestDistEquivalence(t *testing.T) {
+	g := graph.Banded(500, 2, 0.9, 5)
+	b := dense.NewMatrix(g.N(), 6)
+	b.Randomize(1, 13)
+	for _, p := range []pattern.VNM{pattern.NM(2, 4), pattern.New(4, 2, 8)} {
+		for _, nw := range []int{1, 3} {
+			if err := DistEquivalence(g, b, 128, p, core.Options{}, nw); err != nil {
+				t.Fatalf("pattern %v workers=%d: %v", p, nw, err)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/resil"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/venom"
 )
 
@@ -165,13 +166,10 @@ func FuzzMatrixMarketRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("cannot re-read edge list: %v", err)
 		}
-		// The edge list carries no vertex count, so trailing isolated
-		// vertices are lost; compare structure on the common prefix.
-		if g3.N() > g.N() {
-			t.Fatalf("edge list grew the graph: %d -> %d vertices", g.N(), g3.N())
-		}
-		if g3.NumEdges() != g.NumEdges() {
-			t.Fatalf("edge list round trip changed arcs: %d -> %d", g.NumEdges(), g3.NumEdges())
+		// The "# n=<N>" header makes the edge-list round trip exact,
+		// isolated trailing vertices included.
+		if err := graphsEqual(g, g3); err != nil {
+			t.Fatalf("edge list round trip: %v", err)
 		}
 	})
 }
@@ -304,6 +302,87 @@ func FuzzFaultPlanParse(f *testing.F) {
 		if p != nil {
 			if p2.Seed != p.Seed || len(p2.Events) != len(p.Events) {
 				t.Fatalf("round trip changed plan: %+v -> %+v", p, p2)
+			}
+		}
+	})
+}
+
+// FuzzShardFormat drives arbitrary bytes — seeded with valid
+// encodings and systematic corruptions of them — through the
+// sogre-shard/v1 decoder. The decoder must be total: every input
+// either yields typed loaders that round-trip or a typed error;
+// nothing panics and nothing allocates from an unvalidated count. A
+// successfully decoded graph must survive re-encoding bit-identically
+// (decode is a right inverse of encode on the decoder's image).
+func FuzzShardFormat(f *testing.F) {
+	g := graph.RMAT(6, 4, 0.57, 0.19, 0.19, 11)
+	w := shard.NewWriter()
+	if err := w.AddGraph(g); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.AddPerm([]int{1, 0, 2}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.AddRaw(shard.TagMeta, []byte("seed")); err != nil {
+		f.Fatal(err)
+	}
+	valid := w.Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("sogresh1"))
+	for _, cut := range []int{1, 8, 15, 16, 40, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	for _, flip := range []int{0, 8, 12, 20, 40, len(valid) - 3} {
+		c := append([]byte(nil), valid...)
+		c[flip] ^= 0x40
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := shard.Decode(data)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		for _, s := range sf.Sections() {
+			var serr error
+			switch s.Tag {
+			case shard.TagGraph:
+				var dg *graph.Graph
+				dg, serr = sf.Graph(0)
+				if serr == nil {
+					re, eerr := shard.EncodeGraph(dg)
+					if eerr != nil {
+						t.Fatalf("re-encode of decoded graph failed: %v", eerr)
+					}
+					rg, derr := shard.DecodeGraph(re)
+					if derr != nil {
+						t.Fatalf("re-decode failed: %v", derr)
+					}
+					if err := graphsEqual(dg, rg); err != nil {
+						t.Fatalf("decode/encode not idempotent: %v", err)
+					}
+				}
+			case shard.TagPerm:
+				_, serr = sf.Perm(0)
+			case shard.TagVNM:
+				var m *venom.Matrix
+				m, serr = sf.VNM(0)
+				if serr == nil {
+					if verr := m.ValidateMeta(); verr != nil {
+						t.Fatalf("decoded VNM fails ValidateMeta: %v", verr)
+					}
+				}
+			case shard.TagCSR:
+				_, serr = sf.CSR(0)
+			default:
+				_, serr = sf.Raw(s.Tag, 0)
+			}
+			if serr != nil {
+				// Typed failure is fine; the contract is no panic and
+				// no accepted-but-inconsistent object.
+				continue
 			}
 		}
 	})

@@ -8,6 +8,43 @@ import (
 	"strings"
 )
 
+// ioError is a typed constant error for the text readers, so callers
+// can distinguish hostile or malformed input classes with errors.Is
+// without the package holding mutable sentinel state.
+type ioError string
+
+func (e ioError) Error() string { return string(e) }
+
+const (
+	// ErrBadVertex reports a vertex token that is not a non-negative
+	// integer (negative ids included — they are rejected before any
+	// allocation is sized from them).
+	ErrBadVertex = ioError("graph: bad vertex id")
+	// ErrVertexLimit reports a vertex id that would size the graph
+	// beyond the reader's vertex bound, or an inferred vertex count
+	// wildly out of proportion to the number of edges supplied — the
+	// "0 999999999999" single-line allocation attack.
+	ErrVertexLimit = ioError("graph: vertex id exceeds limit")
+	// ErrBadHeader reports a malformed or inconsistent "# n=<N>"
+	// edge-list size header.
+	ErrBadHeader = ioError("graph: bad edge-list size header")
+)
+
+// DefaultMaxVertices bounds the vertex count either reader will
+// allocate for (ids must also fit int32, the CSR index width). Use
+// ReadEdgeListLimit for a different bound.
+const DefaultMaxVertices = 1 << 27
+
+// edge-list inference guard: without an explicit "# n=<N>" header the
+// vertex count is inferred as maxID+1, so a single hostile line can
+// demand an arbitrarily large allocation. Inference is therefore only
+// trusted while maxID+1 <= max(inferFloor, inferRatio*edges); larger
+// sparse id spaces must declare themselves with a header.
+const (
+	edgeListInferFloor = 1 << 16
+	edgeListInferRatio = 1024
+)
+
 // WriteMatrixMarket writes the graph's adjacency structure in
 // MatrixMarket coordinate pattern symmetric format (1-based indices,
 // lower triangle), the interchange format of the SuiteSparse
@@ -41,10 +78,17 @@ func WriteMatrixMarket(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// WriteEdgeList writes one "u v" line per undirected edge (0-based),
-// the plain format most GNN dataset dumps use.
+// WriteEdgeList writes a "# n=<N>" size header followed by one "u v"
+// line per undirected edge (0-based), the plain format most GNN
+// dataset dumps use. The header rides in a comment line, so readers
+// that skip '#' comments still parse the body; ReadEdgeList honors it
+// so graphs whose highest-id vertices are isolated round-trip without
+// silently shrinking.
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n=%d\n", g.N()); err != nil {
+		return err
+	}
 	for u := 0; u < g.N(); u++ {
 		for _, v := range g.Neighbors(u) {
 			if int(v) <= u {
@@ -58,15 +102,62 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 }
 
 // ReadEdgeList parses whitespace-separated "u v" pairs (comments
-// starting with '#' or '%' are skipped) into an undirected graph with
-// n = max vertex id + 1.
+// starting with '#' or '%' are skipped) into an undirected graph.
+// The vertex count is taken from an optional "# n=<N>" header
+// (emitted by WriteEdgeList, so isolated trailing vertices survive a
+// round trip); without one it is inferred as max vertex id + 1, with
+// the inference ratio-checked against the number of edges so a single
+// hostile line like "0 999999999999" cannot demand a terabyte-scale
+// allocation. Vertex ids are validated (ErrBadVertex, ErrVertexLimit)
+// before any allocation is sized from them; the overall bound is
+// DefaultMaxVertices (see ReadEdgeListLimit).
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimit(r, DefaultMaxVertices)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with an explicit upper bound on
+// the vertex count the reader will allocate for. maxN <= 0 means
+// DefaultMaxVertices; the bound is additionally clamped so ids fit the
+// graph's int32 CSR index width.
+func ReadEdgeListLimit(r io.Reader, maxN int) (*Graph, error) {
+	if maxN <= 0 {
+		maxN = DefaultMaxVertices
+	}
+	const int32Cap = int(^uint32(0)>>1) - 1 // ids must fit int32
+	if maxN > int32Cap {
+		maxN = int32Cap
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 	var edges [][2]int
 	maxID := -1
+	headerN := -1
+	parseID := func(tok string) (int, error) {
+		id, err := strconv.Atoi(tok)
+		if err != nil || id < 0 {
+			return 0, fmt.Errorf("%w: %q", ErrBadVertex, tok)
+		}
+		if id >= maxN {
+			return 0, fmt.Errorf("%w: %d (max %d vertices)", ErrVertexLimit, id, maxN)
+		}
+		return id, nil
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "# n="); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("%w: %q", ErrBadHeader, line)
+			}
+			if headerN >= 0 && headerN != n {
+				return nil, fmt.Errorf("%w: conflicting headers %d and %d", ErrBadHeader, headerN, n)
+			}
+			if n > maxN {
+				return nil, fmt.Errorf("%w: header n=%d (max %d vertices)", ErrVertexLimit, n, maxN)
+			}
+			headerN = n
+			continue
+		}
 		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
 			continue
 		}
@@ -74,16 +165,13 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("graph: malformed edge line %q", line)
 		}
-		u, err := strconv.Atoi(fields[0])
+		u, err := parseID(fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad vertex %q", fields[0])
+			return nil, err
 		}
-		v, err := strconv.Atoi(fields[1])
+		v, err := parseID(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad vertex %q", fields[1])
-		}
-		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: negative vertex in %q", line)
+			return nil, err
 		}
 		if u > maxID {
 			maxID = u
@@ -96,7 +184,22 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return NewFromEdges(maxID+1, edges)
+	n := maxID + 1
+	if headerN >= 0 {
+		if headerN < maxID+1 {
+			return nil, fmt.Errorf("%w: header n=%d but vertex %d present", ErrBadHeader, headerN, maxID)
+		}
+		n = headerN
+	} else if bound := edgeListInferFloor; n > bound {
+		if byRatio := edgeListInferRatio * len(edges); byRatio > bound {
+			bound = byRatio
+		}
+		if n > bound {
+			return nil, fmt.Errorf("%w: inferred %d vertices from %d edges (max %d without a \"# n=\" header)",
+				ErrVertexLimit, n, len(edges), bound)
+		}
+	}
+	return NewFromEdges(n, edges)
 }
 
 // ReadMatrixMarket parses a MatrixMarket coordinate file into an

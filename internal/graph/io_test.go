@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadEdgeListHostileMaxID: a single hostile line used to size the
+// whole adjacency allocation from the largest id it named — "0 N" for
+// astronomical N demanded gigabytes before any validation ran. The
+// reader must reject the inference (typed ErrVertexLimit) instead of
+// allocating. This test fails before the fix by returning a 50M-vertex
+// graph (after a ~0.5 GB allocation) with no error.
+func TestReadEdgeListHostileMaxID(t *testing.T) {
+	for _, hostile := range []string{
+		"0 50000000\n",              // way past floor and ratio for one edge
+		"0 1\n1 2\n70000 0\n",       // past the floor, 3 edges
+		"0 999999999999\n",          // the issue's literal attack line
+		"0 999999999999999999999\n", // beyond int64: bad token, not an alloc
+	} {
+		g, err := ReadEdgeList(strings.NewReader(hostile))
+		if err == nil {
+			t.Fatalf("input %q accepted: n=%d", hostile, g.N())
+		}
+		if !errors.Is(err, ErrVertexLimit) && !errors.Is(err, ErrBadVertex) {
+			t.Fatalf("input %q: error %v is not typed", hostile, err)
+		}
+	}
+}
+
+// TestReadEdgeListTypedVertexErrors: negatives and garbage tokens are
+// rejected with ErrBadVertex before any id is used.
+func TestReadEdgeListTypedVertexErrors(t *testing.T) {
+	for _, bad := range []string{"-1 2\n", "2 -7\n", "x 2\n", "1 y\n"} {
+		_, err := ReadEdgeList(strings.NewReader(bad))
+		if !errors.Is(err, ErrBadVertex) {
+			t.Fatalf("input %q: got %v, want ErrBadVertex", bad, err)
+		}
+	}
+}
+
+// TestReadEdgeListLimit: an explicit bound rejects ids at or past it.
+func TestReadEdgeListLimit(t *testing.T) {
+	if _, err := ReadEdgeListLimit(strings.NewReader("0 10\n"), 5); !errors.Is(err, ErrVertexLimit) {
+		t.Fatalf("got %v, want ErrVertexLimit", err)
+	}
+	g, err := ReadEdgeListLimit(strings.NewReader("0 4\n"), 5)
+	if err != nil || g.N() != 5 {
+		t.Fatalf("g=%v err=%v", g, err)
+	}
+	// A header past the bound is rejected too.
+	if _, err := ReadEdgeListLimit(strings.NewReader("# n=9\n0 1\n"), 5); !errors.Is(err, ErrVertexLimit) {
+		t.Fatalf("header past limit: got %v, want ErrVertexLimit", err)
+	}
+}
+
+// TestReadEdgeListInferenceFloor: inference up to the floor still
+// works without a header (sparse id spaces below 2^16 are common in
+// real dumps and must keep parsing).
+func TestReadEdgeListInferenceFloor(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 65535\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 65536 {
+		t.Fatalf("n=%d, want 65536", g.N())
+	}
+}
+
+// TestEdgeListRoundTripIsolatedTail: the write->read round trip used
+// to silently shrink graphs whose highest-id vertices are isolated
+// (the writer emitted only edges, the reader inferred n from maxID).
+// With the "# n=<N>" header, WriteEdgeList∘ReadEdgeList is identity
+// for all graphs. This test fails before the fix with N 7 -> 2.
+func TestEdgeListRoundTripIsolatedTail(t *testing.T) {
+	g, err := NewFromEdges(7, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# n=7\n") {
+		t.Fatalf("missing size header: %q", buf.String())
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 7 {
+		t.Fatalf("round trip shrank the graph: n=%d, want 7", g2.N())
+	}
+	if !g2.HasEdge(0, 1) || g2.NumUndirectedEdges() != 1 {
+		t.Fatalf("round trip changed edges: %d", g2.NumUndirectedEdges())
+	}
+	// The empty graph round-trips too (header only, no edges).
+	empty, err := NewFromEdges(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteEdgeList(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.N() != 3 || e2.NumEdges() != 0 {
+		t.Fatalf("empty graph round trip: n=%d arcs=%d", e2.N(), e2.NumEdges())
+	}
+}
+
+// TestEdgeListHeaderValidation: malformed, conflicting, or lying
+// headers are typed errors; a valid header legitimizes sparse id
+// spaces the ratio check would otherwise reject.
+func TestEdgeListHeaderValidation(t *testing.T) {
+	for _, bad := range []string{
+		"# n=x\n0 1\n",        // not a number
+		"# n=-4\n0 1\n",       // negative
+		"# n=3\n# n=5\n0 1\n", // conflicting duplicates
+		"# n=1\n0 1\n",        // smaller than an id actually present
+	} {
+		_, err := ReadEdgeList(strings.NewReader(bad))
+		if !errors.Is(err, ErrBadHeader) {
+			t.Fatalf("input %q: got %v, want ErrBadHeader", bad, err)
+		}
+	}
+	// Repeating the same header is harmless.
+	g, err := ReadEdgeList(strings.NewReader("# n=4\n# n=4\n0 1\n"))
+	if err != nil || g.N() != 4 {
+		t.Fatalf("g=%v err=%v", g, err)
+	}
+	// A declared sparse id space passes where inference would refuse.
+	sparse := "0 70000\n"
+	if _, err := ReadEdgeList(strings.NewReader(sparse)); !errors.Is(err, ErrVertexLimit) {
+		t.Fatalf("undeclared sparse ids: got %v, want ErrVertexLimit", err)
+	}
+	g, err = ReadEdgeList(strings.NewReader("# n=70001\n" + sparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 70001 || !g.HasEdge(0, 70000) {
+		t.Fatalf("declared sparse ids: n=%d", g.N())
+	}
+}

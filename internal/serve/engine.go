@@ -166,6 +166,7 @@ type Engine struct {
 	mu  sync.Mutex
 	cfg EngineConfig
 	n   int
+	src *graph.Graph // the graph the engine was built from (snapshots)
 
 	a    *csr.Matrix   // Â of the reordered graph
 	rhs  *dense.Matrix // Â^(Hops-1) · X, the shared dense operand
@@ -268,7 +269,7 @@ func NewEngine(g *graph.Graph, cfg EngineConfig) (*Engine, error) {
 		shardCap = nShards
 	}
 	e := &Engine{
-		cfg: cfg, n: n, a: a, rhs: rhs, head: head,
+		cfg: cfg, n: n, src: g, a: a, rhs: rhs, head: head,
 		perm: append([]int(nil), perm...), inv: inv,
 		nShards:  nShards,
 		csrOnly:  make([]bool, nShards),
@@ -576,18 +577,35 @@ func (e *Engine) resolveRows(positions []int) map[int][]float32 {
 			}
 			if e.cfg.CacheRows > 0 {
 				lo, hi := e.shardBounds(s)
-				for r := lo; r < hi; r++ {
-					if _, ok := e.rowCache.get(r); ok {
-						continue // keep the hit's recency position honest
+				if hi-lo > e.cfg.CacheRows {
+					// The band is larger than the whole cache: filling it
+					// would churn every previously hot row out and retain
+					// only the band's tail — rows nobody asked for. Fill
+					// just the rows this batch proved hot instead.
+					for k := i; k < j; k++ {
+						e.fillRow(positions[k], y)
 					}
-					e.rowCache.put(r, append([]float32(nil), y.Row(r)...))
-					e.obs.Volatile("serve/cache/fill").Inc()
+				} else {
+					for r := lo; r < hi; r++ {
+						e.fillRow(r, y)
+					}
 				}
 			}
 		}
 		i = j
 	}
 	return rows
+}
+
+// fillRow inserts row r from dispatch output y into the row cache
+// unless it is already cached (a fresh get keeps the hit's recency
+// position honest).
+func (e *Engine) fillRow(r int, y *dense.Matrix) {
+	if _, ok := e.rowCache.get(r); ok {
+		return
+	}
+	e.rowCache.put(r, append([]float32(nil), y.Row(r)...))
+	e.obs.Volatile("serve/cache/fill").Inc()
 }
 
 // classify returns the argmax class of one aggregation row under the

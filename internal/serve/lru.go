@@ -23,9 +23,16 @@ type lruEntry[V any] struct {
 	prev, next *lruEntry[V]
 }
 
-// newLRU returns a cache bounded to capacity entries; capacity <= 0
-// disables the cache (every get misses, every put is dropped).
+// newLRU returns a cache bounded to capacity entries. The degenerate
+// capacities are pinned contract, not accident: capacity <= 0 means
+// the cache is DISABLED — every get misses, every put is dropped
+// without touching onEvict, Len stays 0 — never unbounded growth and
+// never a panic. Negative capacities are clamped to 0 so the eviction
+// loop's `len > cap` bound can never be satisfied vacuously forever.
 func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
 	return &lru[V]{cap: capacity, entries: make(map[int]*lruEntry[V])}
 }
 

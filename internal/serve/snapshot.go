@@ -1,0 +1,149 @@
+package serve
+
+// Engine snapshot/restore over the sogre-shard/v1 container. The
+// expensive part of engine construction is the reordering run; the
+// graph and the permutation it produced determine everything else
+// (features, right-hand side, shards are all derived deterministically
+// from (graph, perm, config)). A snapshot therefore stores exactly
+// the graph, the permutation, and a config fingerprint; restore
+// rebuilds the engine with the permutation adopted — skipping the
+// reorder — and, because construction is deterministic, the restored
+// engine answers every query with bits identical to the original.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// snapshotMeta is the config fingerprint stored beside the graph and
+// permutation. Restore refuses a snapshot whose fingerprint
+// contradicts the requested config — a snapshot warmed for one
+// response space must not silently answer for another.
+type snapshotMeta struct {
+	Format     string `json:"format"`
+	V          int    `json:"v"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Hops       int    `json:"hops"`
+	FeatureDim int    `json:"feature_dim"`
+	Classes    int    `json:"classes"`
+	Seed       int64  `json:"seed"`
+	ShardRows  int    `json:"shard_rows"`
+}
+
+// snapshotFormat names the meta payload schema.
+const snapshotFormat = "sogre-serve-snapshot/v1"
+
+// ErrSnapshot reports a snapshot whose fingerprint does not match the
+// restoring config.
+const ErrSnapshot = serveError("serve: snapshot/config mismatch")
+
+// Snapshot writes the engine's warm state to path: the source graph,
+// the reordering permutation, and the response-space fingerprint.
+func (e *Engine) Snapshot(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w := shard.NewWriter()
+	if err := w.AddGraph(e.src); err != nil {
+		return err
+	}
+	if err := w.AddPerm(e.perm); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(snapshotMeta{
+		Format:     snapshotFormat,
+		V:          e.cfg.Pattern.V,
+		N:          e.cfg.Pattern.N,
+		M:          e.cfg.Pattern.M,
+		Hops:       e.cfg.Hops,
+		FeatureDim: e.cfg.FeatureDim,
+		Classes:    e.cfg.Classes,
+		Seed:       e.cfg.Seed,
+		ShardRows:  e.cfg.ShardRows,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.AddRaw(shard.TagMeta, meta); err != nil {
+		return err
+	}
+	return shard.WriteFile(path, w)
+}
+
+// RestoreEngine rebuilds an engine from a snapshot, adopting the
+// stored permutation (no reordering run). cfg plays the same role as
+// in NewEngine; its response-space fields must agree with the
+// snapshot's fingerprint (zero values adopt the snapshot's), and any
+// Perm it carries is rejected — the snapshot owns the permutation.
+func RestoreEngine(path string, cfg EngineConfig) (*Engine, error) {
+	if cfg.Perm != nil {
+		return nil, fmt.Errorf("%w: RestoreEngine derives Perm from the snapshot", ErrConfig)
+	}
+	f, closeFn, err := shard.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeFn()
+	rawMeta, err := f.Raw(shard.TagMeta, 0)
+	if err != nil {
+		return nil, err
+	}
+	var meta snapshotMeta
+	if err := json.Unmarshal(rawMeta, &meta); err != nil {
+		return nil, fmt.Errorf("%w: meta section: %v", ErrSnapshot, err)
+	}
+	if meta.Format != snapshotFormat {
+		return nil, fmt.Errorf("%w: meta format %q, want %q", ErrSnapshot, meta.Format, snapshotFormat)
+	}
+	// Zero config fields adopt the snapshot's values; non-zero fields
+	// must match it exactly.
+	if err := adoptInt(&cfg.Pattern.V, meta.V, "pattern V"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.Pattern.N, meta.N, "pattern N"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.Pattern.M, meta.M, "pattern M"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.Hops, meta.Hops, "hops"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.FeatureDim, meta.FeatureDim, "feature dim"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.Classes, meta.Classes, "classes"); err != nil {
+		return nil, err
+	}
+	if err := adoptInt(&cfg.ShardRows, meta.ShardRows, "shard rows"); err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = meta.Seed
+	} else if cfg.Seed != meta.Seed {
+		return nil, fmt.Errorf("%w: seed %d, snapshot has %d", ErrSnapshot, cfg.Seed, meta.Seed)
+	}
+	g, err := f.Graph(0)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := f.Perm(0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Perm = perm
+	return NewEngine(g, cfg)
+}
+
+func adoptInt(field *int, snap int, name string) error {
+	if *field == 0 {
+		*field = snap
+		return nil
+	}
+	if *field != snap {
+		return fmt.Errorf("%w: %s %d, snapshot has %d", ErrSnapshot, name, *field, snap)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSnapshotRestoreBitIdentical: an engine restored from a snapshot
+// answers queries with bits identical to the original warmed engine —
+// and skips the reordering run, which is the point of snapshotting.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	g := graph.Banded(400, 2, 0.9, 9)
+	cfg := EngineConfig{Seed: 21, ShardRows: 64, CacheRows: 16}
+	orig, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.snapshot")
+	if err := orig.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEngine(path, EngineConfig{CacheRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []*Request{
+		{Op: OpEmbed, Nodes: []int{0, 7, 399}},
+		{Op: OpClassify, Nodes: []int{5, 6}},
+		{Op: OpEmbed, Nodes: []int{100, 200, 300}},
+	}
+	for _, r := range reqs {
+		if err := orig.ValidateRequest(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := orig.ServeBatch(reqs, false)
+	got := restored.ServeBatch(reqs, false)
+	for qi := range want {
+		if string(want[qi].Render()) != string(got[qi].Render()) {
+			t.Fatalf("request %d: restored engine's response differs:\n%s\nvs\n%s",
+				qi, want[qi].Render(), got[qi].Render())
+		}
+	}
+}
+
+// TestSnapshotConfigMismatch: a snapshot refuses to restore into a
+// contradicting response space, adopts zero fields, and rejects a
+// caller-supplied Perm.
+func TestSnapshotConfigMismatch(t *testing.T) {
+	g := graph.Banded(200, 2, 0.9, 3)
+	e, err := NewEngine(g, EngineConfig{Seed: 5, ShardRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.snapshot")
+	if err := e.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RestoreEngine(path, EngineConfig{Seed: 999}); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("wrong seed: %v", err)
+	}
+	if _, err := RestoreEngine(path, EngineConfig{Hops: 7}); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("wrong hops: %v", err)
+	}
+	if _, err := RestoreEngine(path, EngineConfig{Perm: make([]int, 200)}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("caller perm: %v", err)
+	}
+	// Matching non-zero fields are accepted.
+	if _, err := RestoreEngine(path, EngineConfig{Seed: 5, ShardRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage path is a clean error.
+	if _, err := RestoreEngine(filepath.Join(t.TempDir(), "nope"), EngineConfig{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

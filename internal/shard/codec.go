@@ -1,0 +1,349 @@
+package shard
+
+// Typed section codecs over the raw container: graphs (CSR
+// adjacency), permutations, V:N:M compressed matrices, and plain CSR
+// matrices. Every decoder is total — payload lengths are validated
+// against the counts a section claims BEFORE any count sizes an
+// allocation, and structural invariants (monotonic row pointers,
+// in-range column ids, bijective permutations, consistent V:N:M
+// metadata) are re-checked on load, so a decoded object is safe to
+// hand to kernels without further vetting.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/csr"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/venom"
+)
+
+// graphFlagWeighted marks a graph/CSR section carrying a weights
+// array.
+const graphFlagWeighted = 1
+
+// -- payload builders --
+
+// AddGraph appends the graph's CSR arrays as a "graph" section.
+func (w *Writer) AddGraph(g *graph.Graph) error {
+	rowPtr, colIdx, weights := g.CSR()
+	return w.AddRaw(TagGraph, encodeCSRPayload(g.N(), rowPtr, colIdx, weights))
+}
+
+// AddCSR appends a csr.Matrix as a "csrm" section.
+func (w *Writer) AddCSR(m *csr.Matrix) error {
+	return w.AddRaw(TagCSR, encodeCSRPayload(m.N, m.RowPtr, m.ColIdx, m.Val))
+}
+
+func encodeCSRPayload(n int, rowPtr, colIdx []int32, val []float32) []byte {
+	nnz := len(colIdx)
+	flags := uint64(0)
+	size := 24 + 4*(n+1) + 4*nnz
+	if val != nil {
+		flags |= graphFlagWeighted
+		size += 4 * nnz
+	}
+	buf := make([]byte, size)
+	putU64(buf, uint64(n))
+	putU64(buf[8:], uint64(nnz))
+	putU64(buf[16:], flags)
+	off := 24
+	off = putI32s(buf, off, rowPtr)
+	off = putI32s(buf, off, colIdx)
+	if val != nil {
+		putF32s(buf, off, val)
+	}
+	return buf
+}
+
+// AddPerm appends a vertex permutation as a "perm" section.
+func (w *Writer) AddPerm(perm []int) error {
+	buf := make([]byte, 8+8*len(perm))
+	putU64(buf, uint64(len(perm)))
+	for i, p := range perm {
+		putU64(buf[8+8*i:], uint64(int64(p)))
+	}
+	return w.AddRaw(TagPerm, buf)
+}
+
+// AddVNM appends a V:N:M compressed matrix as a "vnm" section.
+func (w *Writer) AddVNM(m *venom.Matrix) error {
+	nb := m.NumBlocks()
+	vpb := m.ValuesPerBlock()
+	size := 64 + 4*len(m.BlockRowPtr) + 4*len(m.BlockSeg) +
+		4*len(m.BlockCols) + 4*len(m.Values) + len(m.Meta)
+	buf := make([]byte, size)
+	putU64(buf, uint64(m.N))
+	putU64(buf[8:], uint64(m.P.V))
+	putU64(buf[16:], uint64(m.P.N))
+	putU64(buf[24:], uint64(m.P.M))
+	putU64(buf[32:], uint64(m.K))
+	putU64(buf[40:], uint64(nb))
+	putU64(buf[48:], uint64(len(m.BlockRowPtr)))
+	putU64(buf[56:], uint64(vpb))
+	off := 64
+	off = putI32s(buf, off, m.BlockRowPtr)
+	off = putI32s(buf, off, m.BlockSeg)
+	off = putI32s(buf, off, m.BlockCols)
+	off = putF32s(buf, off, m.Values)
+	copy(buf[off:], m.Meta)
+	return w.AddRaw(TagVNM, buf)
+}
+
+// -- typed loaders --
+
+// Graph decodes the idx-th "graph" section and re-validates its CSR
+// structure (monotonic row pointers, in-range sorted columns).
+func (f *File) Graph(idx int) (*graph.Graph, error) {
+	buf, err := f.Raw(TagGraph, idx)
+	if err != nil {
+		return nil, err
+	}
+	n, rowPtr, colIdx, val, err := decodeCSRPayload(buf, TagGraph)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.NewFromCSR(n, rowPtr, colIdx, val)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, nil
+}
+
+// CSR decodes the idx-th "csrm" section. An unweighted payload gets
+// unit values, matching csr.FromGraph semantics.
+func (f *File) CSR(idx int) (*csr.Matrix, error) {
+	buf, err := f.Raw(TagCSR, idx)
+	if err != nil {
+		return nil, err
+	}
+	n, rowPtr, colIdx, val, err := decodeCSRPayload(buf, TagCSR)
+	if err != nil {
+		return nil, err
+	}
+	if val == nil {
+		val = make([]float32, len(colIdx))
+		for i := range val {
+			val[i] = 1
+		}
+	}
+	return &csr.Matrix{N: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+func decodeCSRPayload(buf []byte, tag string) (n int, rowPtr, colIdx []int32, val []float32, err error) {
+	if len(buf) < 24 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %q payload %d bytes", ErrCorrupt, tag, len(buf))
+	}
+	n64 := getU64(buf)
+	nnz64 := getU64(buf[8:])
+	flags := getU64(buf[16:])
+	if n64 > math.MaxInt32 || nnz64 > math.MaxInt32 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %q claims n=%d nnz=%d past int32", ErrCorrupt, tag, n64, nnz64)
+	}
+	n = int(n64)
+	nnz := int(nnz64)
+	want := 24 + 4*(n+1) + 4*nnz
+	if flags&graphFlagWeighted != 0 {
+		want += 4 * nnz
+	}
+	if len(buf) != want {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %q payload %d bytes, want %d for n=%d nnz=%d",
+			ErrCorrupt, tag, len(buf), want, n, nnz)
+	}
+	off := 24
+	rowPtr, off = getI32s(buf, off, n+1)
+	colIdx, off = getI32s(buf, off, nnz)
+	if flags&graphFlagWeighted != 0 {
+		val, _ = getF32s(buf, off, nnz)
+	}
+	if rowPtr[0] != 0 || int(rowPtr[n]) != nnz {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %q rowPtr ends [%d..%d], want [0..%d]",
+			ErrCorrupt, tag, rowPtr[0], rowPtr[n], nnz)
+	}
+	for i := 0; i < n; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return 0, nil, nil, nil, fmt.Errorf("%w: %q rowPtr not monotonic at %d", ErrCorrupt, tag, i)
+		}
+	}
+	for i, c := range colIdx {
+		if c < 0 || int(c) >= n {
+			return 0, nil, nil, nil, fmt.Errorf("%w: %q column %d out of range at %d", ErrCorrupt, tag, c, i)
+		}
+	}
+	return n, rowPtr, colIdx, val, nil
+}
+
+// Perm decodes the idx-th "perm" section and verifies bijectivity.
+func (f *File) Perm(idx int) ([]int, error) {
+	buf, err := f.Raw(TagPerm, idx)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: perm payload %d bytes", ErrCorrupt, len(buf))
+	}
+	n64 := getU64(buf)
+	if n64 > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: perm claims %d entries", ErrCorrupt, n64)
+	}
+	n := int(n64)
+	if len(buf) != 8+8*n {
+		return nil, fmt.Errorf("%w: perm payload %d bytes, want %d", ErrCorrupt, len(buf), 8+8*n)
+	}
+	perm := make([]int, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := int64(getU64(buf[8+8*i:]))
+		if p < 0 || p >= int64(n) || seen[p] {
+			return nil, fmt.Errorf("%w: perm entry %d = %d not a bijection on [0,%d)", ErrCorrupt, i, p, n)
+		}
+		seen[p] = true
+		perm[i] = int(p)
+	}
+	return perm, nil
+}
+
+// VNM decodes the idx-th "vnm" section, re-checks structural
+// consistency, and runs venom.ValidateMeta so the result is kernel-safe.
+func (f *File) VNM(idx int) (*venom.Matrix, error) {
+	buf, err := f.Raw(TagVNM, idx)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 64 {
+		return nil, fmt.Errorf("%w: vnm payload %d bytes", ErrCorrupt, len(buf))
+	}
+	n64, v64, nn64, m64 := getU64(buf), getU64(buf[8:]), getU64(buf[16:]), getU64(buf[24:])
+	k64, nb64, brp64, vpb64 := getU64(buf[32:]), getU64(buf[40:]), getU64(buf[48:]), getU64(buf[56:])
+	const lim = math.MaxInt32
+	if n64 > lim || v64 > lim || nn64 > lim || m64 > lim || k64 > lim || nb64 > lim || brp64 > lim || vpb64 > lim {
+		return nil, fmt.Errorf("%w: vnm header fields past int32", ErrCorrupt)
+	}
+	n, v, nn, mm := int(n64), int(v64), int(nn64), int(m64)
+	k, nb, brp, vpb := int(k64), int(nb64), int(brp64), int(vpb64)
+	if v <= 0 || nn <= 0 || mm <= 0 || k <= 0 || n < 0 {
+		return nil, fmt.Errorf("%w: vnm pattern %d:%d:%d K=%d n=%d", ErrCorrupt, v, nn, mm, k, n)
+	}
+	if vpb != v*nn {
+		return nil, fmt.Errorf("%w: vnm values-per-block %d, want V*N=%d", ErrCorrupt, vpb, v*nn)
+	}
+	nBlockRows := (n + v - 1) / v
+	if brp != nBlockRows+1 {
+		return nil, fmt.Errorf("%w: vnm BlockRowPtr length %d, want %d", ErrCorrupt, brp, nBlockRows+1)
+	}
+	// Bound the claimed counts by the payload actually present before
+	// allocating any array from them.
+	want := 64 + 4*brp + 4*nb + 4*nb*k + 4*nb*vpb + nb*vpb
+	if len(buf) != want {
+		return nil, fmt.Errorf("%w: vnm payload %d bytes, want %d for %d blocks", ErrCorrupt, len(buf), want, nb)
+	}
+	off := 64
+	m := &venom.Matrix{N: n, P: pattern.VNM{V: v, N: nn, M: mm}, K: k}
+	m.BlockRowPtr, off = getI32s(buf, off, brp)
+	m.BlockSeg, off = getI32s(buf, off, nb)
+	m.BlockCols, off = getI32s(buf, off, nb*k)
+	m.Values, off = getF32s(buf, off, nb*vpb)
+	m.Meta = append([]uint8(nil), buf[off:]...)
+	if m.BlockRowPtr[0] != 0 || int(m.BlockRowPtr[nBlockRows]) != nb {
+		return nil, fmt.Errorf("%w: vnm BlockRowPtr ends [%d..%d], want [0..%d]",
+			ErrCorrupt, m.BlockRowPtr[0], m.BlockRowPtr[nBlockRows], nb)
+	}
+	nSegs := (n + mm - 1) / mm
+	for i := 0; i < nBlockRows; i++ {
+		if m.BlockRowPtr[i] > m.BlockRowPtr[i+1] {
+			return nil, fmt.Errorf("%w: vnm BlockRowPtr not monotonic at %d", ErrCorrupt, i)
+		}
+	}
+	for i, s := range m.BlockSeg {
+		if s < 0 || int(s) >= nSegs {
+			return nil, fmt.Errorf("%w: vnm block %d segment %d out of [0,%d)", ErrCorrupt, i, s, nSegs)
+		}
+	}
+	for i, c := range m.BlockCols {
+		if int(c) >= n || c < -1 {
+			return nil, fmt.Errorf("%w: vnm BlockCols[%d]=%d out of range", ErrCorrupt, i, c)
+		}
+	}
+	if err := m.ValidateMeta(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// -- single-object file conveniences --
+
+// WriteGraphFile serializes one graph to path.
+func WriteGraphFile(path string, g *graph.Graph) error {
+	w := NewWriter()
+	if err := w.AddGraph(g); err != nil {
+		return err
+	}
+	return WriteFile(path, w)
+}
+
+// ReadGraphFile loads the first graph section of the shard file at
+// path.
+func ReadGraphFile(path string) (*graph.Graph, error) {
+	f, closeFn, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeFn()
+	return f.Graph(0)
+}
+
+// EncodeGraph serializes one graph to an in-memory sogre-shard/v1
+// encoding — the wire form the distributed layer ships to workers.
+func EncodeGraph(g *graph.Graph) ([]byte, error) {
+	w := NewWriter()
+	if err := w.AddGraph(g); err != nil {
+		return nil, err
+	}
+	return w.Encode(), nil
+}
+
+// DecodeGraph loads the first graph from an in-memory encoding.
+func DecodeGraph(data []byte) (*graph.Graph, error) {
+	f, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Graph(0)
+}
+
+// -- primitive array packing --
+
+func putI32s(buf []byte, off int, vals []int32) int {
+	for _, v := range vals {
+		putU32(buf[off:], uint32(v))
+		off += 4
+	}
+	return off
+}
+
+func putF32s(buf []byte, off int, vals []float32) int {
+	for _, v := range vals {
+		putU32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return off
+}
+
+func getI32s(buf []byte, off, n int) ([]int32, int) {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(getU32(buf[off:]))
+		off += 4
+	}
+	return out, off
+}
+
+func getF32s(buf []byte, off, n int) ([]float32, int) {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(getU32(buf[off:]))
+		off += 4
+	}
+	return out, off
+}

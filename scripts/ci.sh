@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn serve; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn serve shard; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -50,7 +50,7 @@ if [ "$FUZZTIME" != "0" ]; then
                   FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
                   FuzzFaultPlanParse FuzzCalibrationParse \
                   FuzzMutationStreamParse FuzzIncrementalVsScratch \
-                  FuzzServeRequestParse; do
+                  FuzzServeRequestParse FuzzShardFormat; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -195,6 +195,51 @@ if ! cmp -s "$obs_tmp/bs1.json" "$obs_tmp/bs2.json"; then
     exit 1
 fi
 echo "serve replays byte-identical (reports, snapshots, bench rows)"
+
+echo "== multi-process distribution smoke (kill -9 a worker, bit-identical recovery) =="
+# The distribution contract (DESIGN.md §14): partition placement and
+# fault recovery are invisible in the result bits, because the
+# per-partition pipeline is pure. Run the coordinator against two real
+# worker processes twice — once clean, once with a worker armed to
+# SIGKILL itself mid-job — and require (a) both runs bit-identical to
+# the in-process PartitionedSpMM (-check) and (b) the two result
+# digests byte-identical to each other.
+go build -o "$obs_tmp/sogre-worker" ./cmd/sogre-worker
+go build -o "$obs_tmp/sogre-dist" ./cmd/sogre-dist
+dist_worker() { # $1=ready-file $2=crash-after-jobs; echoes pid
+    rm -f "$obs_tmp/$1"
+    # stdout must be redirected too: dist_worker runs inside command
+    # substitution, and a background child holding the substitution's
+    # stdout pipe open would block the caller forever.
+    "$obs_tmp/sogre-worker" -ready-file "$obs_tmp/$1" -workers 1 \
+        -crash-after-jobs "$2" > /dev/null 2>&1 &
+    echo $!
+}
+dist_wait_ready() { # $1=ready-file
+    for _ in $(seq 1 100); do [ -s "$obs_tmp/$1" ] && return 0; sleep 0.1; done
+    echo "FAIL: sogre-worker never wrote $1" >&2; exit 1
+}
+w1=$(dist_worker dw1.addr 0); w2=$(dist_worker dw2.addr 0)
+dist_wait_ready dw1.addr; dist_wait_ready dw2.addr
+"$obs_tmp/sogre-dist" -workers "$obs_tmp/dw1.addr,$obs_tmp/dw2.addr" \
+    -gen banded -n 1500 -maxn 64 -width 8 -retries 4 -check \
+    -digest "$obs_tmp/dist-clean.digest" > /dev/null
+kill "$w1" "$w2" 2> /dev/null || true
+# Faulted run: a fresh pair, the first armed to SIGKILL itself at the
+# start of its first Compute job — dead mid-job, after accepting work.
+w3=$(dist_worker dw3.addr 1); w4=$(dist_worker dw4.addr 0)
+dist_wait_ready dw3.addr; dist_wait_ready dw4.addr
+"$obs_tmp/sogre-dist" -workers "$obs_tmp/dw3.addr,$obs_tmp/dw4.addr" \
+    -gen banded -n 1500 -maxn 64 -width 8 -retries 4 -check \
+    -digest "$obs_tmp/dist-faulted.digest" > /dev/null
+kill "$w3" "$w4" 2> /dev/null || true
+wait "$w1" "$w2" "$w3" "$w4" 2> /dev/null || true
+if ! cmp -s "$obs_tmp/dist-clean.digest" "$obs_tmp/dist-faulted.digest"; then
+    echo "FAIL: recovered distributed digest differs from the unfaulted run:" >&2
+    diff "$obs_tmp/dist-clean.digest" "$obs_tmp/dist-faulted.digest" >&2 || true
+    exit 1
+fi
+echo "kill -9 recovery digest byte-identical to the unfaulted run"
 
 echo "== coverage floor (internal/check >= ${COVER_FLOOR}%) =="
 cov=$(go test -cover ./internal/check/ | awk '{for(i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%/) {sub("%","",$i); print $i}}')
