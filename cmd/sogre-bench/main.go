@@ -30,6 +30,14 @@
 // runs) — the serving layer's bit-purity claim, re-checked at bench
 // time.
 //
+// The mutate suite prices the durable online-mutation path
+// (internal/wal + serve.Mutate, DESIGN.md §15), writing
+// BENCH_mutate.json with WAL commit latency (group commit vs fsync per
+// record), boot-time WAL replay wall-clock as a function of log
+// length, and read p50/p99 under a concurrent mutation burst against
+// the same reads on a quiescent engine — the recorded form of the
+// "reads stay live while mutations land" claim.
+//
 // The dist suite measures the multi-process distribution layer
 // (internal/distributed + internal/shard), writing BENCH_dist.json
 // with (a) a serialization row racing graph generation against loading
@@ -51,6 +59,8 @@
 //	            [-repeats 3] [-canonical]
 //	sogre-bench -suite dist [-seed 20250806] [-out BENCH_dist.json]
 //	            [-repeats 3] [-canonical] [-fixture-dir DIR]
+//	sogre-bench -suite mutate [-seed 20250806] [-out BENCH_mutate.json]
+//	            [-repeats 3] [-canonical]
 //
 // The spmm suite also emits one planner row per (graph, width): the
 // calibrated execution planner (internal/plan) choosing among the four
@@ -83,7 +93,7 @@ import (
 )
 
 func main() {
-	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder, dynamic, serve or dist")
+	suiteName := flag.String("suite", "spmm", "benchmark suite: spmm, reorder, dynamic, serve, dist or mutate")
 	seed := flag.Int64("seed", 20250806, "operand generator seed")
 	out := flag.String("out", "", "output JSON path (- for stdout; default BENCH_<suite>.json)")
 	widths := flag.String("widths", "64,128", "comma-separated dense widths (spmm suite)")
@@ -125,8 +135,10 @@ func main() {
 		data, summary, err = runServe(*seed, *repeats, *canonical)
 	case "dist":
 		data, summary, err = runDist(*seed, *repeats, *canonical, *fixtureDir)
+	case "mutate":
+		data, summary, err = runMutate(*seed, *repeats, *canonical)
 	default:
-		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder, dynamic, serve or dist)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "sogre-bench: unknown suite %q (want spmm, reorder, dynamic, serve, dist or mutate)\n", *suiteName)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -344,4 +356,41 @@ func runDynamic(seed int64, repeats int, canonical bool, reg *obs.Registry) ([]b
 		return nil, "", err
 	}
 	return data, fmt.Sprintf("%d results, seed %d", len(suite.Results), suite.Seed), nil
+}
+
+func runMutate(seed int64, repeats int, canonical bool) ([]byte, string, error) {
+	cfg := bench.DefaultMutateConfig()
+	cfg.Seed = seed
+	if repeats > 0 {
+		cfg.Repeats = repeats
+	}
+	suite, err := bench.RunMutate(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, r := range suite.Commit {
+		fmt.Printf("commit   %-11s records=%-5d group=%-4d bytes=%-8d ns/record=%.0f\n",
+			r.Mode, r.Records, r.Group, r.Bytes, r.NsPerRecord)
+	}
+	for _, r := range suite.Recovery {
+		fmt.Printf("recovery batches=%-5d bytes=%-8d replay=%.2fms ns/batch=%.0f\n",
+			r.Batches, r.WALBytes, r.ReplayNs/1e6, r.NsPerBatch)
+	}
+	for _, r := range suite.Reads {
+		extra := ""
+		if r.BurstSlowdown > 0 {
+			extra = fmt.Sprintf(" slowdown=%.2fx", r.BurstSlowdown)
+		}
+		fmt.Printf("reads    %-15s readers=%-3d requests=%-5d epoch=%-4d p50=%.0fns p99=%.0fns%s\n",
+			r.Scenario, r.Readers, r.Requests, r.FinalEpoch, r.P50Ns, r.P99Ns, extra)
+	}
+	if canonical {
+		suite = bench.CanonicalMutate(suite)
+	}
+	data, err := suite.JSON()
+	if err != nil {
+		return nil, "", err
+	}
+	return data, fmt.Sprintf("%d commit, %d recovery, %d read rows, seed %d",
+		len(suite.Commit), len(suite.Recovery), len(suite.Reads), suite.Seed), nil
 }

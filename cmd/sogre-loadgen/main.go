@@ -9,10 +9,20 @@
 // fingerprints — two runs against equivalent servers must agree, and
 // the serve smoke gate diffs exactly that.
 //
+// With -write-ratio > 0 the script mixes mutation batches (POST
+// /v1/mutate, the dyn grammar) into the streams at that probability
+// per slot — the generator keeps the prefix property (same seed,
+// smaller -requests = exact prefix), which is how the crash-recovery
+// drill replays the prefix of a killed run's mutation stream into an
+// unfaulted twin. Read checksums stay run-comparable at -write-ratio 0
+// or with a single client; concurrent mixed clients interleave
+// nondeterministically by design.
+//
 // Usage:
 //
 //	sogre-loadgen -addr HOST:PORT [-seed 1] [-clients 4] [-requests 50]
 //	              [-n 0] [-max-nodes 8] [-classify-every 4]
+//	              [-write-ratio 0] [-mut-ops 4]
 //	              [-out report.json] [-canonical]
 //
 // -n bounds the node ids the script draws and must not exceed the
@@ -32,20 +42,27 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dyn"
 	"repro/internal/serve"
 )
 
 // Report schema: the deterministic block (seed..checksum) is
 // byte-identical across runs; the timing block varies and is zeroed
-// by -canonical.
+// by -canonical. The mutation block appears only for -write-ratio > 0.
 type Report struct {
 	Schema   string `json:"schema"`
 	Seed     int64  `json:"seed"`
 	Clients  int    `json:"clients"`
-	Requests int    `json:"requests"` // total issued
+	Requests int    `json:"requests"` // total query slots issued
 	N        int    `json:"n"`
 	Rows     int    `json:"rows"`     // total node rows answered
 	Checksum string `json:"checksum"` // order-independent response fingerprint
+
+	WriteRatio  float64 `json:"write_ratio,omitempty"`
+	Mutations   int     `json:"mutations,omitempty"`    // mutation batches issued
+	MutApplied  int     `json:"mut_applied,omitempty"`  // ops applied across batches
+	MutRejected int     `json:"mut_rejected,omitempty"` // ops skipped across batches
+	MaxEpoch    uint64  `json:"max_epoch,omitempty"`    // highest epoch acknowledged
 
 	P50Ns         float64 `json:"p50_ns"`
 	P99Ns         float64 `json:"p99_ns"`
@@ -62,6 +79,8 @@ func main() {
 	n := flag.Int("n", 0, "node id range (must be <= the server's vertex count)")
 	maxNodes := flag.Int("max-nodes", 8, "max nodes per request")
 	classifyEvery := flag.Int("classify-every", 4, "every k-th request classifies (0 = embed only)")
+	writeRatio := flag.Float64("write-ratio", 0, "probability a slot is a mutation batch (needs a -mutable server)")
+	mutOps := flag.Int("mut-ops", 4, "ops per mutation batch")
 	out := flag.String("out", "", "report JSON path (- or empty for stdout)")
 	canonical := flag.Bool("canonical", false, "zero the timing fields for byte-comparable reports")
 	flag.Parse()
@@ -70,7 +89,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sogre-loadgen: -addr and -n are required")
 		os.Exit(2)
 	}
-	rep, err := run(*addr, *seed, *clients, *requests, *n, *maxNodes, *classifyEvery)
+	rep, err := run(*addr, *seed, *clients, *requests, *n, *maxNodes, *classifyEvery, *writeRatio, *mutOps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sogre-loadgen: %v\n", err)
 		os.Exit(1)
@@ -95,56 +114,111 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (checksum %s)\n", *out, rep.Checksum)
 }
 
-func run(addr string, seed int64, clients, requests, n, maxNodes, classifyEvery int) (*Report, error) {
-	script, err := serve.GenerateScript(serve.ScriptConfig{
-		Seed: seed, Clients: clients, Requests: requests,
-		N: n, MaxNodes: maxNodes, ClassifyEvery: classifyEvery,
-	})
-	if err != nil {
-		return nil, err
+// clientTally is one client goroutine's accumulation.
+type clientTally struct {
+	sum         uint64
+	rows        int
+	reqs        int
+	muts        int
+	mutApplied  int
+	mutRejected int
+	maxEpoch    uint64
+	lats        []float64
+	err         error
+}
+
+func run(addr string, seed int64, clients, requests, n, maxNodes, classifyEvery int,
+	writeRatio float64, mutOps int) (*Report, error) {
+	// Read-only runs go through GenerateScript — its draw sequence is
+	// the one the bench digests and smoke gates pin.
+	var script [][]serve.MixedOp
+	if writeRatio == 0 {
+		ro, err := serve.GenerateScript(serve.ScriptConfig{
+			Seed: seed, Clients: clients, Requests: requests,
+			N: n, MaxNodes: maxNodes, ClassifyEvery: classifyEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		script = make([][]serve.MixedOp, len(ro))
+		for c, reqs := range ro {
+			script[c] = make([]serve.MixedOp, len(reqs))
+			for i, r := range reqs {
+				script[c][i] = serve.MixedOp{Req: r}
+			}
+		}
+	} else {
+		var err error
+		script, err = serve.GenerateMixedScript(serve.MixedScriptConfig{
+			Seed: seed, Clients: clients, Requests: requests,
+			N: n, MaxNodes: maxNodes, ClassifyEvery: classifyEvery,
+			WriteRatio: writeRatio, MutOps: mutOps,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	url := "http://" + addr + "/v1/query"
+	queryURL := "http://" + addr + "/v1/query"
+	mutateURL := "http://" + addr + "/v1/mutate"
 	client := &http.Client{Timeout: 60 * time.Second}
 
-	sums := make([]uint64, clients)
-	rows := make([]int, clients)
-	lats := make([][]float64, clients)
-	errs := make([]error, clients)
+	tallies := make([]clientTally, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := range script {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			for i, r := range script[c] {
+			ct := &tallies[c]
+			for i, slot := range script[c] {
 				t0 := time.Now()
-				resp, err := post(client, url, r)
-				if err != nil {
-					errs[c] = fmt.Errorf("client %d request %d: %w", c, i, err)
-					return
+				if slot.Req != nil {
+					resp, err := post(client, queryURL, slot.Req)
+					if err != nil {
+						ct.err = fmt.Errorf("client %d request %d: %w", c, i, err)
+						return
+					}
+					ct.sum += resp.Checksum()
+					ct.rows += len(slot.Req.Nodes)
+					ct.reqs++
+				} else {
+					mr, err := postMutate(client, mutateURL, slot.Muts)
+					if err != nil {
+						ct.err = fmt.Errorf("client %d mutation %d: %w", c, i, err)
+						return
+					}
+					ct.muts++
+					ct.mutApplied += mr.Applied
+					ct.mutRejected += mr.Rejected
+					if mr.Epoch > ct.maxEpoch {
+						ct.maxEpoch = mr.Epoch
+					}
 				}
-				lats[c] = append(lats[c], float64(time.Since(t0).Nanoseconds()))
-				sums[c] += resp.Checksum()
-				rows[c] += len(r.Nodes)
+				ct.lats = append(ct.lats, float64(time.Since(t0).Nanoseconds()))
 			}
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	rep := &Report{Schema: reportSchema, Seed: seed, Clients: clients, N: n}
+	rep := &Report{Schema: reportSchema, Seed: seed, Clients: clients, N: n, WriteRatio: writeRatio}
 	var all []float64
-	for c := range script {
-		if errs[c] != nil {
-			return nil, errs[c]
-		}
-		rep.Requests += len(script[c])
-		rep.Rows += rows[c]
-		all = append(all, lats[c]...)
-	}
 	var checksum uint64
-	for _, s := range sums {
-		checksum += s
+	for c := range tallies {
+		ct := &tallies[c]
+		if ct.err != nil {
+			return nil, ct.err
+		}
+		rep.Requests += ct.reqs
+		rep.Rows += ct.rows
+		rep.Mutations += ct.muts
+		rep.MutApplied += ct.mutApplied
+		rep.MutRejected += ct.mutRejected
+		if ct.maxEpoch > rep.MaxEpoch {
+			rep.MaxEpoch = ct.maxEpoch
+		}
+		checksum += ct.sum
+		all = append(all, ct.lats...)
 	}
 	rep.Checksum = fmt.Sprintf("%016x", checksum)
 	sort.Float64s(all)
@@ -155,7 +229,7 @@ func run(addr string, seed int64, clients, requests, n, maxNodes, classifyEvery 
 			i = len(all) - 1
 		}
 		rep.P99Ns = all[i]
-		rep.ThroughputRPS = float64(rep.Requests) / wall.Seconds()
+		rep.ThroughputRPS = float64(rep.Requests+rep.Mutations) / wall.Seconds()
 	}
 	return rep, nil
 }
@@ -174,4 +248,25 @@ func post(client *http.Client, url string, r *serve.Request) (*serve.Response, e
 		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
 	return serve.ParseResponse(body)
+}
+
+func postMutate(client *http.Client, url string, muts []dyn.Mutation) (*serve.MutateResponse, error) {
+	req := serve.MutateRequest{Ops: (&dyn.Stream{Ops: muts}).String()}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return serve.ParseMutateResponse(body)
 }

@@ -9,6 +9,8 @@
 // Endpoints:
 //
 //	POST /v1/query   {"op":"embed"|"classify","nodes":[...]} -> rows/classes
+//	POST /v1/mutate  {"ops":"add@u-v; del@u-v"} -> epoch/applied/rejected
+//	                 (requires -mutable or -wal; 501 otherwise)
 //	GET  /healthz    liveness
 //	GET  /statz      obs snapshot (?canonical=1 zeroes volatile fields)
 //
@@ -20,6 +22,8 @@
 //	            [-mode hybrid] [-calib FILE] [-workers 0]
 //	            [-window 0] [-max-batch-requests 0] [-queue-limit 256]
 //	            [-degrade-depth 0] [-max-request-nodes 1024]
+//	            [-mutable] [-wal PATH] [-staleness-budget 0]
+//	            [-mutate-queue-limit 64]
 //	            [-snapshot PATH] [-faults PLAN] [-debug-addr ADDR]
 //	            [-metrics PATH]
 //
@@ -32,8 +36,17 @@
 // -faults arms a deterministic resil fault plan (e.g. "seed=7;
 // transient@serve/shard:2") so degraded-path behavior is scriptable.
 // -degrade-depth N switches batches to the CSR gather ladder rung
-// when the queue backlog exceeds N. On SIGINT/SIGTERM the server
-// drains, and -metrics writes a final obs snapshot.
+// when the queue backlog exceeds N.
+//
+// -mutable accepts online edge mutations through POST /v1/mutate;
+// -wal PATH additionally makes them durable: every acknowledged batch
+// is fsynced to the write-ahead log before its response, and at boot
+// the log is replayed on top of the engine (or on top of the
+// -snapshot, which records its mutation epoch) — so a SIGKILL loses
+// no acknowledged mutation and the recovered process serves bits
+// identical to one that never crashed (scripts/ci.sh drills exactly
+// this). On SIGINT/SIGTERM the server drains, and -metrics writes a
+// final obs snapshot.
 package main
 
 import (
@@ -56,35 +69,67 @@ import (
 	"repro/internal/shard"
 )
 
+// options carries every flag into run.
+type options struct {
+	addr, readyFile  string
+	in, gen          string
+	n                int
+	seed             int64
+	shardRows        int
+	cacheRows        int
+	shardCap         int
+	mode             string
+	calibPath        string
+	workers          int
+	window           time.Duration
+	maxBatchReq      int
+	maxBatchRows     int
+	queueLimit       int
+	degradeDepth     int
+	maxReqNodes      int
+	mutable          bool
+	walPath          string
+	stalenessBudget  float64
+	mutateQueueLimit int
+	snapshot         string
+	faults           string
+	debugAddr        string
+	metrics          string
+	metricsCanonical bool
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free one)")
-	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening")
-	in := flag.String("in", "", "MatrixMarket graph file (overrides -gen)")
-	gen := flag.String("gen", "er", "generator family for a synthetic graph")
-	n := flag.Int("n", 4096, "synthetic graph size")
-	seed := flag.Int64("seed", 20250806, "feature/generator seed")
-	shardRows := flag.Int("shard-rows", 512, "rows per compressed shard (rounded up to the pattern's V)")
-	cacheRows := flag.Int("cache-rows", 4096, "aggregation-row LRU capacity (0 disables)")
-	shardCap := flag.Int("shard-cap", 0, "compressed-shard LRU capacity (0 = all resident)")
-	mode := flag.String("mode", "hybrid", "dispatch mode: csr, hybrid or auto (auto needs -calib)")
-	calibPath := flag.String("calib", "", "planner calibration table file (mode auto)")
-	workers := flag.Int("workers", 0, "kernel pool size (0 = GOMAXPROCS)")
-	window := flag.Duration("window", 0, "coalescing window (0 = batching by backpressure only)")
-	maxBatchReq := flag.Int("max-batch-requests", 0, "max requests per dispatched batch (0 = unlimited)")
-	maxBatchRows := flag.Int("max-batch-rows", 0, "max node rows per dispatched batch (0 = unlimited)")
-	queueLimit := flag.Int("queue-limit", 256, "admission queue bound; beyond it requests get 429 (0 = unlimited)")
-	degradeDepth := flag.Int("degrade-depth", 0, "queue depth beyond which batches take the degraded CSR gather path (0 = never)")
-	maxReqNodes := flag.Int("max-request-nodes", 1024, "max nodes per request; beyond it 413 (0 = unlimited)")
-	snapshot := flag.String("snapshot", "", "engine snapshot path: restore from it if present, else write it after warmup")
-	faults := flag.String("faults", "", "deterministic fault plan (resil grammar)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address")
-	metrics := flag.String("metrics", "", "write a final obs snapshot to this JSON path on shutdown (- for stdout)")
-	metricsCanonical := flag.Bool("metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:0", "listen address (port 0 picks a free one)")
+	flag.StringVar(&o.readyFile, "ready-file", "", "write the bound address to this file once listening")
+	flag.StringVar(&o.in, "in", "", "MatrixMarket graph file (overrides -gen)")
+	flag.StringVar(&o.gen, "gen", "er", "generator family for a synthetic graph")
+	flag.IntVar(&o.n, "n", 4096, "synthetic graph size")
+	flag.Int64Var(&o.seed, "seed", 20250806, "feature/generator seed")
+	flag.IntVar(&o.shardRows, "shard-rows", 512, "rows per compressed shard (rounded up to the pattern's V)")
+	flag.IntVar(&o.cacheRows, "cache-rows", 4096, "aggregation-row LRU capacity (0 disables)")
+	flag.IntVar(&o.shardCap, "shard-cap", 0, "compressed-shard LRU capacity (0 = all resident)")
+	flag.StringVar(&o.mode, "mode", "hybrid", "dispatch mode: csr, hybrid or auto (auto needs -calib)")
+	flag.StringVar(&o.calibPath, "calib", "", "planner calibration table file (mode auto)")
+	flag.IntVar(&o.workers, "workers", 0, "kernel pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.window, "window", 0, "coalescing window (0 = batching by backpressure only)")
+	flag.IntVar(&o.maxBatchReq, "max-batch-requests", 0, "max requests per dispatched batch (0 = unlimited)")
+	flag.IntVar(&o.maxBatchRows, "max-batch-rows", 0, "max node rows per dispatched batch (0 = unlimited)")
+	flag.IntVar(&o.queueLimit, "queue-limit", 256, "admission queue bound; beyond it requests get 429 (0 = unlimited)")
+	flag.IntVar(&o.degradeDepth, "degrade-depth", 0, "queue depth beyond which batches take the degraded CSR gather path (0 = never)")
+	flag.IntVar(&o.maxReqNodes, "max-request-nodes", 1024, "max nodes per request; beyond it 413 (0 = unlimited)")
+	flag.BoolVar(&o.mutable, "mutable", false, "accept online edge mutations via POST /v1/mutate")
+	flag.StringVar(&o.walPath, "wal", "", "write-ahead log path: fsync mutations before acking, replay at boot (implies -mutable)")
+	flag.Float64Var(&o.stalenessBudget, "staleness-budget", 0, "dyn rebuild trigger for mutable engines (0 = package default)")
+	flag.IntVar(&o.mutateQueueLimit, "mutate-queue-limit", 64, "mutation admission queue bound; beyond it batches get 429 (0 = unlimited)")
+	flag.StringVar(&o.snapshot, "snapshot", "", "engine snapshot path: restore from it if present, else write it after warmup")
+	flag.StringVar(&o.faults, "faults", "", "deterministic fault plan (resil grammar)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address")
+	flag.StringVar(&o.metrics, "metrics", "", "write a final obs snapshot to this JSON path on shutdown (- for stdout)")
+	flag.BoolVar(&o.metricsCanonical, "metrics-canonical", false, "canonicalize the -metrics snapshot (zero volatile fields)")
 	flag.Parse()
 
-	if err := run(*addr, *readyFile, *in, *gen, *n, *seed, *shardRows, *cacheRows, *shardCap,
-		*mode, *calibPath, *workers, *window, *maxBatchReq, *maxBatchRows, *queueLimit,
-		*degradeDepth, *maxReqNodes, *snapshot, *faults, *debugAddr, *metrics, *metricsCanonical); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "sogre-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -124,56 +169,58 @@ func loadGraph(in, gen string, n int, seed int64) (*graph.Graph, error) {
 	}
 }
 
-func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRows, shardCap int,
-	mode, calibPath string, workers int, window time.Duration, maxBatchReq, maxBatchRows,
-	queueLimit, degradeDepth, maxReqNodes int, snapshot, faults, debugAddr, metrics string, metricsCanonical bool) error {
-
+func run(o options) error {
 	reg := obs.NewRegistry()
 	var inj *resil.Injector
-	if faults != "" {
-		p, err := resil.ParsePlan(faults)
+	if o.faults != "" {
+		p, err := resil.ParsePlan(o.faults)
 		if err != nil {
 			return err
 		}
 		inj = resil.NewInjector(p, reg)
 	}
 	var cal *plan.Calibration
-	if calibPath != "" {
-		raw, err := os.ReadFile(calibPath)
+	if o.calibPath != "" {
+		raw, err := os.ReadFile(o.calibPath)
 		if err != nil {
 			return err
 		}
 		cal, err = plan.ParseCalibration(string(raw))
 		if err != nil {
-			return fmt.Errorf("calibration file %s: %w", calibPath, err)
+			return fmt.Errorf("calibration file %s: %w", o.calibPath, err)
 		}
 	}
-	ecfg := serve.EngineConfig{
-		Seed:      seed,
-		ShardRows: shardRows,
-		CacheRows: cacheRows,
-		ShardCap:  shardCap,
-		Mode:      serve.Mode(mode),
-		Calib:     cal,
-		Obs:       reg,
-		Inj:       inj,
+	if o.walPath != "" {
+		o.mutable = true
 	}
-	if workers > 0 {
-		ecfg.Workers = workers
+	ecfg := serve.EngineConfig{
+		Seed:            o.seed,
+		ShardRows:       o.shardRows,
+		CacheRows:       o.cacheRows,
+		ShardCap:        o.shardCap,
+		Mode:            serve.Mode(o.mode),
+		Calib:           cal,
+		Obs:             reg,
+		Inj:             inj,
+		Mutable:         o.mutable,
+		StalenessBudget: o.stalenessBudget,
+	}
+	if o.workers > 0 {
+		ecfg.Workers = o.workers
 	}
 
 	var eng *serve.Engine
-	if snapshot != "" {
-		if _, err := os.Stat(snapshot); err == nil {
-			fmt.Fprintf(os.Stderr, "restoring engine from snapshot %s...\n", snapshot)
-			eng, err = serve.RestoreEngine(snapshot, ecfg)
+	if o.snapshot != "" {
+		if _, err := os.Stat(o.snapshot); err == nil {
+			fmt.Fprintf(os.Stderr, "restoring engine from snapshot %s...\n", o.snapshot)
+			eng, err = serve.RestoreEngine(o.snapshot, ecfg)
 			if err != nil {
 				return fmt.Errorf("restore snapshot: %w", err)
 			}
 		}
 	}
 	if eng == nil {
-		g, err := loadGraph(in, gen, n, seed)
+		g, err := loadGraph(o.in, o.gen, o.n, o.seed)
 		if err != nil {
 			return err
 		}
@@ -182,28 +229,44 @@ func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRow
 		if err != nil {
 			return err
 		}
-		if snapshot != "" {
-			if err := eng.Snapshot(snapshot); err != nil {
+		if o.snapshot != "" {
+			if err := eng.Snapshot(o.snapshot); err != nil {
 				return fmt.Errorf("write snapshot: %w", err)
 			}
-			fmt.Fprintf(os.Stderr, "snapshot written to %s\n", snapshot)
+			fmt.Fprintf(os.Stderr, "snapshot written to %s\n", o.snapshot)
 		}
 	}
-	srv, err := serve.NewServer(eng, serve.ServerConfig{
-		Window:           window,
-		MaxBatchRequests: maxBatchReq,
-		MaxBatchRows:     maxBatchRows,
-		QueueLimit:       queueLimit,
-		DegradeDepth:     degradeDepth,
-		MaxRequestNodes:  maxReqNodes,
-	})
+
+	scfg := serve.ServerConfig{
+		Window:           o.window,
+		MaxBatchRequests: o.maxBatchReq,
+		MaxBatchRows:     o.maxBatchRows,
+		QueueLimit:       o.queueLimit,
+		DegradeDepth:     o.degradeDepth,
+		MaxRequestNodes:  o.maxReqNodes,
+		MutateQueueLimit: o.mutateQueueLimit,
+	}
+	if o.walPath != "" {
+		// Boot-time recovery: replay everything the log holds beyond
+		// the engine's epoch (0 for a fresh engine, the snapshot's
+		// recorded epoch after a restore), then keep appending to it.
+		log, replayed, err := serve.OpenWAL(eng, o.walPath)
+		if err != nil {
+			return fmt.Errorf("open WAL: %w", err)
+		}
+		defer log.Close()
+		fmt.Fprintf(os.Stderr, "wal: replayed %d batches from %s (epoch %d)\n",
+			replayed, o.walPath, eng.Epoch())
+		scfg.WAL = log
+	}
+	srv, err := serve.NewServer(eng, scfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	if debugAddr != "" {
-		dbg, err := obs.StartDebug(debugAddr, reg)
+	if o.debugAddr != "" {
+		dbg, err := obs.StartDebug(o.debugAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -211,14 +274,14 @@ func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRow
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", dbg.Addr())
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "serving %d vertices (mode %s) on http://%s\n", eng.N(), eng.Mode(), bound)
-	if readyFile != "" {
-		if err := os.WriteFile(readyFile, []byte(bound+"\n"), 0o644); err != nil {
+	if o.readyFile != "" {
+		if err := os.WriteFile(o.readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			return err
 		}
 	}
@@ -240,8 +303,8 @@ func run(addr, readyFile, in, gen string, n int, seed int64, shardRows, cacheRow
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
-	if metrics != "" {
-		if err := obs.WriteFile(reg, metrics, metricsCanonical); err != nil {
+	if o.metrics != "" {
+		if err := obs.WriteFile(reg, o.metrics, o.metricsCanonical); err != nil {
 			return err
 		}
 	}

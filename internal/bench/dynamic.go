@@ -36,6 +36,11 @@ type DynamicConfig struct {
 	// the timed repair pass runs with an effectively infinite budget so
 	// rebuilds never pollute the per-mutation repair timing.
 	StalenessBudget float64
+	// BatchSize sizes the ApplyBatch amortization pass: the same
+	// mutation stream applied in BatchSize-op batches (one rescore per
+	// touched region) against the sequential per-mutation pass. Zero =
+	// 16.
+	BatchSize int
 	// Obs, when set, instruments the deterministic pass (dyn/* counters
 	// and spans) through the same registry.
 	Obs *obs.Registry
@@ -57,6 +62,7 @@ func DefaultDynamicConfig() DynamicConfig {
 		Mutations:       64,
 		Repeats:         3,
 		StalenessBudget: dyn.DefaultStalenessBudget,
+		BatchSize:       16,
 	}
 }
 
@@ -74,6 +80,8 @@ func (c DynamicConfig) Validate() error {
 		return fmt.Errorf("bench: H %d must be >= 1", c.H)
 	case !(c.StalenessBudget > 0):
 		return fmt.Errorf("bench: StalenessBudget %v must be > 0", c.StalenessBudget)
+	case c.BatchSize < 0:
+		return fmt.Errorf("bench: BatchSize %d must be >= 0", c.BatchSize)
 	}
 	for _, g := range c.Graphs {
 		if g.N < 1 {
@@ -119,6 +127,15 @@ type DynamicResult struct {
 	RepairNsPerMutation float64 `json:"repair_ns_per_mutation"`
 	ScratchReorderNs    float64 `json:"scratch_reorder_ns"`
 	RepairSpeedup       float64 `json:"repair_speedup"`
+
+	// Batch amortization (additive in schema v1): the same stream
+	// applied through ApplyBatch in BatchSize-op batches, rescoring
+	// each touched region once. BatchNsPerMutation is the amortized
+	// per-mutation cost; BatchSpeedup is the sequential pass's
+	// repair_ns_per_mutation over it.
+	BatchSize          int     `json:"batch_size,omitempty"`
+	BatchNsPerMutation float64 `json:"batch_ns_per_mutation,omitempty"`
+	BatchSpeedup       float64 `json:"batch_speedup,omitempty"`
 }
 
 // DynamicSuite is the full dynamic-benchmark output.
@@ -214,6 +231,44 @@ func RunDynamic(cfg DynamicConfig) (*DynamicSuite, error) {
 		}
 		r.RepairNsPerMutation = repairNs
 
+		// Timed batch pass: the same stream through ApplyBatch in
+		// BatchSize-op batches — one rescore per touched region instead
+		// of one per mutation (internal/dyn batch.go). Same infinite
+		// budget, fresh Mutable per repetition, first untimed.
+		batchSize := cfg.BatchSize
+		if batchSize == 0 {
+			batchSize = 16
+		}
+		batchNs := 0.0
+		for rep := 0; rep < cfg.Repeats+1; rep++ {
+			d, err := dyn.New(res, dyn.Options{StalenessBudget: 1e18, H: cfg.H})
+			if err != nil {
+				return nil, fmt.Errorf("bench: graph %q: %w", spec.Name, err)
+			}
+			start := time.Now()
+			for lo := 0; lo < len(st.Ops); lo += batchSize {
+				hi := lo + batchSize
+				if hi > len(st.Ops) {
+					hi = len(st.Ops)
+				}
+				if _, err := d.ApplyBatch(st.Ops[lo:hi]); err != nil {
+					return nil, fmt.Errorf("bench: graph %q: batch pass: %w", spec.Name, err)
+				}
+			}
+			per := float64(time.Since(start).Nanoseconds()) / float64(cfg.Mutations)
+			if rep == 0 {
+				continue
+			}
+			if batchNs == 0 || per < batchNs {
+				batchNs = per
+			}
+		}
+		r.BatchSize = batchSize
+		r.BatchNsPerMutation = batchNs
+		if batchNs > 0 {
+			r.BatchSpeedup = repairNs / batchNs
+		}
+
 		// From-scratch baseline: a full reorder of the mutated graph —
 		// the cost a single-edge mutation would incur without the
 		// incremental path.
@@ -252,6 +307,8 @@ func CanonicalDynamic(s *DynamicSuite) *DynamicSuite {
 		c.Results[i].RepairNsPerMutation = 0
 		c.Results[i].ScratchReorderNs = 0
 		c.Results[i].RepairSpeedup = 0
+		c.Results[i].BatchNsPerMutation = 0
+		c.Results[i].BatchSpeedup = 0
 	}
 	return &c
 }

@@ -1,0 +1,508 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/dyn"
+	"repro/internal/pattern"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// This file is the durability benchmark behind `sogre-bench -suite
+// mutate` (BENCH_mutate.json): the cost sheet of the WAL-backed online
+// mutation path (internal/wal + serve.Mutate, DESIGN.md §15). Three
+// row groups:
+//
+//   - commit: WAL append+fsync latency per record, group commit (one
+//     fsync per Group records — the mutator's coalesced shape) against
+//     per-record commit (fsync every record). The gap is what group
+//     commit buys under a mutation burst.
+//   - recovery: boot-time WAL replay wall-clock as a function of log
+//     length — fresh engine, serve.OpenWAL over a K-batch log — the
+//     "how long is restart after a crash" row.
+//   - reads: read p50/p99 through the server with NO mutations against
+//     the same reads concurrent with a mutation burst. The epoch fence
+//     keeps reads live while batches land; burst_slowdown records the
+//     price. Both rows use in-process submission, so the ratio (the
+//     acceptance claim: within ~2x) is apples to apples even though the
+//     absolute latencies sit below what loopback HTTP would show.
+//
+// Reproducibility contract: for a fixed MutateBenchConfig the
+// deterministic fields (records, bytes, batches, epochs, request
+// counts) are byte-identical across runs; CanonicalMutate zeroes the
+// timing-derived fields.
+
+// MutateSchema identifies the mutation-suite JSON layout.
+const MutateSchema = "sogre-bench-mutate/v1"
+
+// MutateBenchConfig sizes a mutation benchmark run.
+type MutateBenchConfig struct {
+	Seed      int64
+	Family    string
+	N         int
+	Degree    float64
+	ShardRows int
+	Mode      serve.Mode
+	Pattern   pattern.VNM
+
+	// CommitRecords is the record count per commit row; Group is the
+	// records-per-fsync of the group-commit row.
+	CommitRecords int
+	Group         int
+	// WALLengths are the replayed-batch counts of the recovery rows.
+	WALLengths []int
+	// OpsPerBatch sizes every mutation batch in the suite.
+	OpsPerBatch int
+	// BurstBatches is the mutation-burst length of the reads rows;
+	// Readers/ReadRequests shape the concurrent read load.
+	BurstBatches int
+	Readers      int
+	ReadRequests int // per reader
+
+	Repeats int
+	// Dir holds the WAL scratch files (empty = fresh temp dir).
+	Dir string
+}
+
+// DefaultMutateConfig returns the checked-in durability workload:
+// large enough that fsync and replay costs dominate, small enough for
+// seconds on a laptop core.
+func DefaultMutateConfig() MutateBenchConfig {
+	return MutateBenchConfig{
+		Seed:          20250806,
+		Family:        "er",
+		N:             1024,
+		Degree:        8,
+		ShardRows:     128,
+		Mode:          serve.ModeCSR,
+		Pattern:       pattern.New(4, 2, 8),
+		CommitRecords: 256,
+		Group:         16,
+		WALLengths:    []int{16, 64, 256},
+		OpsPerBatch:   4,
+		BurstBatches:  48,
+		Readers:       4,
+		ReadRequests:  40,
+		Repeats:       3,
+	}
+}
+
+// Validate rejects configurations that cannot produce a suite.
+func (c MutateBenchConfig) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("bench: mutate N %d must be >= 2", c.N)
+	case c.CommitRecords < 1:
+		return fmt.Errorf("bench: mutate CommitRecords %d must be >= 1", c.CommitRecords)
+	case c.Group < 1:
+		return fmt.Errorf("bench: mutate Group %d must be >= 1", c.Group)
+	case len(c.WALLengths) == 0:
+		return fmt.Errorf("bench: mutate WALLengths must be nonempty")
+	case c.OpsPerBatch < 1:
+		return fmt.Errorf("bench: mutate OpsPerBatch %d must be >= 1", c.OpsPerBatch)
+	case c.BurstBatches < 1:
+		return fmt.Errorf("bench: mutate BurstBatches %d must be >= 1", c.BurstBatches)
+	case c.Readers < 1:
+		return fmt.Errorf("bench: mutate Readers %d must be >= 1", c.Readers)
+	case c.ReadRequests < 1:
+		return fmt.Errorf("bench: mutate ReadRequests %d must be >= 1", c.ReadRequests)
+	case c.Repeats < 1:
+		return fmt.Errorf("bench: mutate Repeats %d must be >= 1", c.Repeats)
+	}
+	for _, k := range c.WALLengths {
+		if k < 1 {
+			return fmt.Errorf("bench: mutate WAL length %d must be >= 1", k)
+		}
+	}
+	return nil
+}
+
+// WALCommitResult is one commit-latency row.
+type WALCommitResult struct {
+	Mode    string `json:"mode"` // "group" | "per-record"
+	Records int    `json:"records"`
+	Group   int    `json:"group"` // records per fsync
+	// Bytes is the resulting log file size — identical across the two
+	// modes (same records), deterministic across runs.
+	Bytes int64 `json:"bytes"`
+
+	NsPerRecord float64 `json:"ns_per_record"`
+}
+
+// RecoveryResult is one boot-replay row.
+type RecoveryResult struct {
+	Batches     int    `json:"batches"` // WAL length
+	OpsPerBatch int    `json:"ops_per_batch"`
+	Epoch       uint64 `json:"epoch"` // engine epoch after replay == Batches
+	WALBytes    int64  `json:"wal_bytes"`
+
+	ReplayNs   float64 `json:"replay_ns"`
+	NsPerBatch float64 `json:"ns_per_batch"`
+}
+
+// MutateReadResult is one read-latency row: the same read workload
+// with and without a concurrent mutation burst.
+type MutateReadResult struct {
+	Scenario   string `json:"scenario"` // "read-only" | "mutation-burst"
+	Readers    int    `json:"readers"`
+	Requests   int    `json:"requests"` // total reads issued
+	MutBatches int    `json:"mut_batches,omitempty"`
+	FinalEpoch uint64 `json:"final_epoch"`
+
+	P50Ns float64 `json:"p50_ns"`
+	P99Ns float64 `json:"p99_ns"`
+	// BurstSlowdown, on the burst row, is burst p50 over read-only p50
+	// — the recorded (not hard-failed) form of the "reads stay live"
+	// acceptance claim.
+	BurstSlowdown float64 `json:"burst_slowdown,omitempty"`
+}
+
+// MutateSuite is the full durability benchmark output.
+type MutateSuite struct {
+	Schema      string `json:"schema"`
+	Seed        int64  `json:"seed"`
+	Family      string `json:"family"`
+	N           int    `json:"n"`
+	ShardRows   int    `json:"shard_rows"`
+	Mode        string `json:"mode"`
+	Pattern     string `json:"pattern"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	OpsPerBatch int    `json:"ops_per_batch"`
+
+	Commit   []WALCommitResult  `json:"commit"`
+	Recovery []RecoveryResult   `json:"recovery"`
+	Reads    []MutateReadResult `json:"reads"`
+}
+
+// JSON renders the suite as indented JSON with a trailing newline.
+func (s *MutateSuite) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// mutateBatches generates the suite's shared deterministic mutation
+// stream, cut into OpsPerBatch batches (the mixed generator at
+// WriteRatio 1, single client — the crash drill's shape).
+func mutateBatches(cfg MutateBenchConfig, count int) ([][]dyn.Mutation, error) {
+	script, err := serve.GenerateMixedScript(serve.MixedScriptConfig{
+		Seed: cfg.Seed, Clients: 1, Requests: count, N: cfg.N,
+		WriteRatio: 1, MutOps: cfg.OpsPerBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bs := make([][]dyn.Mutation, count)
+	for i, slot := range script[0] {
+		bs[i] = slot.Muts
+	}
+	return bs, nil
+}
+
+// RunMutate executes the durability suite.
+func RunMutate(cfg MutateBenchConfig) (*MutateSuite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "sogre-bench-mutate-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	g, err := datasets.Family(cfg.Family, cfg.N, cfg.Degree, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mutate graph: %w", err)
+	}
+	ecfg := serve.EngineConfig{
+		Pattern: cfg.Pattern, Seed: cfg.Seed, ShardRows: cfg.ShardRows,
+		Mode: cfg.Mode, Mutable: true,
+	}
+	// Reorder once; every engine below adopts the same permutation.
+	seed, err := serve.NewEngine(g, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mutate engine: %w", err)
+	}
+	ecfg.Perm = seed.Perm()
+	fp := seed.Fingerprint()
+	mk := func() (*serve.Engine, error) { return serve.NewEngine(g, ecfg) }
+
+	maxBatches := cfg.BurstBatches
+	for _, k := range cfg.WALLengths {
+		if k > maxBatches {
+			maxBatches = k
+		}
+	}
+	if cfg.CommitRecords > maxBatches {
+		maxBatches = cfg.CommitRecords
+	}
+	batches, err := mutateBatches(cfg, maxBatches)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &MutateSuite{
+		Schema:      MutateSchema,
+		Seed:        cfg.Seed,
+		Family:      cfg.Family,
+		N:           cfg.N,
+		ShardRows:   cfg.ShardRows,
+		Mode:        string(seed.Mode()),
+		Pattern:     cfg.Pattern.String(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		OpsPerBatch: cfg.OpsPerBatch,
+	}
+
+	// Commit rows: identical records through the real Log, one fsync
+	// per Group records versus one per record. No engine involved —
+	// this prices the log alone.
+	payloads := make([][]byte, cfg.CommitRecords)
+	for i := range payloads {
+		payloads[i] = wal.EncodeBatch(batches[i])
+	}
+	for _, mode := range []struct {
+		name  string
+		group int
+	}{{"group", cfg.Group}, {"per-record", 1}} {
+		var bytes int64
+		best := 0.0
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			path := filepath.Join(dir, fmt.Sprintf("commit-%s-%d.wal", mode.name, rep))
+			log, recs, err := wal.Open(path, fp)
+			if err != nil {
+				return nil, fmt.Errorf("bench: mutate commit %s: %w", mode.name, err)
+			}
+			if len(recs) != 0 {
+				return nil, fmt.Errorf("bench: mutate commit %s: fresh log replayed %d", mode.name, len(recs))
+			}
+			start := time.Now()
+			for i, p := range payloads {
+				if _, err := log.Append(p); err != nil {
+					return nil, err
+				}
+				if (i+1)%mode.group == 0 {
+					if err := log.Commit(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := log.Commit(); err != nil {
+				return nil, err
+			}
+			per := float64(time.Since(start).Nanoseconds()) / float64(cfg.CommitRecords)
+			if err := log.Close(); err != nil {
+				return nil, err
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				return nil, err
+			}
+			bytes = fi.Size()
+			os.Remove(path)
+			if best == 0 || per < best {
+				best = per
+			}
+		}
+		s.Commit = append(s.Commit, WALCommitResult{
+			Mode: mode.name, Records: cfg.CommitRecords, Group: mode.group,
+			Bytes: bytes, NsPerRecord: best,
+		})
+	}
+
+	// Recovery rows: write a K-batch log once, then time a fresh
+	// engine's boot replay (engine construction untimed — only the
+	// OpenWAL scan+apply is the restart cost being priced).
+	for _, k := range cfg.WALLengths {
+		path := filepath.Join(dir, fmt.Sprintf("recovery-%d.wal", k))
+		os.Remove(path) // a reused Dir must not leave a previous run's log
+		log, _, err := wal.Open(path, fp)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			if _, err := log.Append(wal.EncodeBatch(batches[i])); err != nil {
+				return nil, err
+			}
+		}
+		if err := log.Commit(); err != nil {
+			return nil, err
+		}
+		if err := log.Close(); err != nil {
+			return nil, err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		row := RecoveryResult{Batches: k, OpsPerBatch: cfg.OpsPerBatch, WALBytes: fi.Size()}
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			e, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			l, replayed, err := serve.OpenWAL(e, path)
+			ns := float64(time.Since(start).Nanoseconds())
+			if err != nil {
+				return nil, fmt.Errorf("bench: mutate recovery k=%d: %w", k, err)
+			}
+			l.Close()
+			if replayed != k {
+				return nil, fmt.Errorf("bench: mutate recovery k=%d: replayed %d", k, replayed)
+			}
+			if rep == 0 {
+				row.Epoch = e.Epoch()
+			} else if e.Epoch() != row.Epoch {
+				return nil, fmt.Errorf("bench: mutate recovery k=%d: epoch drifted across repeats (%d vs %d)", k, e.Epoch(), row.Epoch)
+			}
+			if row.ReplayNs == 0 || ns < row.ReplayNs {
+				row.ReplayNs = ns
+			}
+		}
+		row.NsPerBatch = row.ReplayNs / float64(k)
+		s.Recovery = append(s.Recovery, row)
+	}
+
+	// Reads rows: the same fixed read workload, first with the engine
+	// quiescent and then with a mutator applying BurstBatches batches
+	// concurrently. Best-of-Repeats by p50 per row.
+	script, err := serve.GenerateScript(serve.ScriptConfig{
+		Seed: cfg.Seed, Clients: cfg.Readers, Requests: cfg.ReadRequests,
+		N: cfg.N, MaxNodes: 8, ClassifyEvery: 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	drive := func(burst bool) (*MutateReadResult, error) {
+		e, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		srv, err := serve.NewServer(e, serve.ServerConfig{})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		lats := make([][]float64, cfg.Readers)
+		errs := make([]error, cfg.Readers+1)
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.Readers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for _, r := range script[c] {
+					t0 := time.Now()
+					if _, err := srv.Submit(r); err != nil {
+						errs[c] = err
+						return
+					}
+					lats[c] = append(lats[c], float64(time.Since(t0).Nanoseconds()))
+				}
+			}(c)
+		}
+		if burst {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < cfg.BurstBatches; i++ {
+					if _, err := srv.SubmitMutate(batches[i]); err != nil {
+						errs[cfg.Readers] = err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("bench: mutate reads goroutine %d: %w", i, err)
+			}
+		}
+		var all []float64
+		for c := range lats {
+			all = append(all, lats[c]...)
+		}
+		sort.Float64s(all)
+		row := &MutateReadResult{
+			Readers:    cfg.Readers,
+			Requests:   len(all),
+			FinalEpoch: e.Epoch(),
+			P50Ns:      all[len(all)/2],
+		}
+		p99i := (len(all) * 99) / 100
+		if p99i >= len(all) {
+			p99i = len(all) - 1
+		}
+		row.P99Ns = all[p99i]
+		if burst {
+			row.Scenario = "mutation-burst"
+			row.MutBatches = cfg.BurstBatches
+		} else {
+			row.Scenario = "read-only"
+		}
+		return row, nil
+	}
+	for _, burst := range []bool{false, true} {
+		var best *MutateReadResult
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			row, err := drive(burst)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || row.P50Ns < best.P50Ns {
+				best = row
+			}
+		}
+		wantEpoch := uint64(0)
+		if burst {
+			wantEpoch = uint64(cfg.BurstBatches)
+		}
+		if best.FinalEpoch != wantEpoch {
+			return nil, fmt.Errorf("bench: mutate reads burst=%v: final epoch %d, want %d", burst, best.FinalEpoch, wantEpoch)
+		}
+		s.Reads = append(s.Reads, *best)
+	}
+	if ro := s.Reads[0].P50Ns; ro > 0 {
+		s.Reads[1].BurstSlowdown = s.Reads[1].P50Ns / ro
+	}
+	return s, nil
+}
+
+// CanonicalMutate returns a copy with every timing-derived field
+// zeroed — the byte-comparable projection two same-seed runs must
+// agree on. GoMaxProcs describes the machine, not the workload, and is
+// cleared too.
+func CanonicalMutate(s *MutateSuite) *MutateSuite {
+	c := *s
+	c.GoMaxProcs = 0
+	c.Commit = append([]WALCommitResult(nil), s.Commit...)
+	c.Recovery = append([]RecoveryResult(nil), s.Recovery...)
+	c.Reads = append([]MutateReadResult(nil), s.Reads...)
+	for i := range c.Commit {
+		c.Commit[i].NsPerRecord = 0
+	}
+	for i := range c.Recovery {
+		c.Recovery[i].ReplayNs = 0
+		c.Recovery[i].NsPerBatch = 0
+	}
+	for i := range c.Reads {
+		c.Reads[i].P50Ns = 0
+		c.Reads[i].P99Ns = 0
+		c.Reads[i].BurstSlowdown = 0
+	}
+	return &c
+}

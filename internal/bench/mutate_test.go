@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// smallMutateConfig keeps the durability suite fast enough for the
+// unit test loop while preserving its shape: both commit modes,
+// multiple WAL lengths, both read scenarios.
+func smallMutateConfig(t *testing.T) MutateBenchConfig {
+	cfg := DefaultMutateConfig()
+	cfg.N = 256
+	cfg.ShardRows = 64
+	cfg.CommitRecords = 24
+	cfg.Group = 8
+	cfg.WALLengths = []int{4, 12}
+	cfg.BurstBatches = 6
+	cfg.Readers = 2
+	cfg.ReadRequests = 8
+	cfg.Repeats = 1
+	cfg.Dir = t.TempDir()
+	return cfg
+}
+
+func TestRunMutateDeterministicBlock(t *testing.T) {
+	cfg := smallMutateConfig(t)
+	s1, err := RunMutate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RunMutate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := CanonicalMutate(s1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := CanonicalMutate(s2).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("canonical mutate suites differ:\n%s\n---\n%s", j1, j2)
+	}
+
+	if len(s1.Commit) != 2 {
+		t.Fatalf("got %d commit rows, want 2", len(s1.Commit))
+	}
+	if s1.Commit[0].Bytes != s1.Commit[1].Bytes || s1.Commit[0].Bytes == 0 {
+		t.Fatalf("commit rows wrote different logs: %d vs %d bytes", s1.Commit[0].Bytes, s1.Commit[1].Bytes)
+	}
+	for _, r := range s1.Commit {
+		if r.NsPerRecord <= 0 {
+			t.Fatalf("commit row %q has no timing: %+v", r.Mode, r)
+		}
+	}
+
+	if len(s1.Recovery) != len(cfg.WALLengths) {
+		t.Fatalf("got %d recovery rows, want %d", len(s1.Recovery), len(cfg.WALLengths))
+	}
+	for i, r := range s1.Recovery {
+		if r.Batches != cfg.WALLengths[i] || r.Epoch != uint64(r.Batches) {
+			t.Fatalf("recovery row %d: %+v", i, r)
+		}
+		if r.WALBytes == 0 || r.ReplayNs <= 0 {
+			t.Fatalf("recovery row %d unfilled: %+v", i, r)
+		}
+	}
+
+	if len(s1.Reads) != 2 {
+		t.Fatalf("got %d read rows, want 2", len(s1.Reads))
+	}
+	ro, burst := s1.Reads[0], s1.Reads[1]
+	if ro.Scenario != "read-only" || ro.FinalEpoch != 0 || ro.MutBatches != 0 {
+		t.Fatalf("read-only row: %+v", ro)
+	}
+	if burst.Scenario != "mutation-burst" || burst.FinalEpoch != uint64(cfg.BurstBatches) {
+		t.Fatalf("burst row: %+v", burst)
+	}
+	if want := cfg.Readers * cfg.ReadRequests; ro.Requests != want || burst.Requests != want {
+		t.Fatalf("read rows issued %d/%d reads, want %d — reads did not stay live", ro.Requests, burst.Requests, want)
+	}
+	if burst.BurstSlowdown <= 0 {
+		t.Fatalf("burst slowdown not computed: %+v", burst)
+	}
+}
+
+func TestMutateConfigValidate(t *testing.T) {
+	bad := []func(*MutateBenchConfig){
+		func(c *MutateBenchConfig) { c.N = 1 },
+		func(c *MutateBenchConfig) { c.CommitRecords = 0 },
+		func(c *MutateBenchConfig) { c.Group = 0 },
+		func(c *MutateBenchConfig) { c.WALLengths = nil },
+		func(c *MutateBenchConfig) { c.WALLengths = []int{0} },
+		func(c *MutateBenchConfig) { c.OpsPerBatch = 0 },
+		func(c *MutateBenchConfig) { c.BurstBatches = 0 },
+		func(c *MutateBenchConfig) { c.Readers = 0 },
+		func(c *MutateBenchConfig) { c.ReadRequests = 0 },
+		func(c *MutateBenchConfig) { c.Repeats = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultMutateConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dyn"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// TestRecoveryEquivalence: the headline durability claim at workers
+// {1, 2, 4} — crash, torn tail, snapshot + WAL replay, and the
+// recovered run finishes the stream bit-identically (ModeCSR keeps
+// cross-worker bitwise strength).
+func TestRecoveryEquivalence(t *testing.T) {
+	g := graph.ErdosRenyi(256, 8.0/256, 42)
+	err := RecoveryEquivalence(g,
+		serve.EngineConfig{Seed: 7, ShardRows: 64, Mode: serve.ModeCSR},
+		10, 5, 3, t.TempDir(), []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryEquivalenceRebuilds: same claim through the hard case —
+// a hybrid engine whose staleness budget forces full re-reorders
+// mid-stream, so recovery must also reproduce the rebuild decisions
+// (the snapshot's persisted baseline is what makes this hold).
+func TestRecoveryEquivalenceRebuilds(t *testing.T) {
+	g, err := datasets.Family("community", 40, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RecoveryEquivalence(g,
+		serve.EngineConfig{Seed: 7, ShardRows: 64, Mode: serve.ModeHybrid, StalenessBudget: 1e-12},
+		8, 5, 5, t.TempDir(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryEquivalenceRejectsShortStream: the oracle's own guard
+// (nil workers exercises the WorkerCounts default before the guard).
+func TestRecoveryEquivalenceRejectsShortStream(t *testing.T) {
+	g := graph.ErdosRenyi(64, 0.1, 1)
+	if err := RecoveryEquivalence(g, serve.EngineConfig{Seed: 1}, 2, 4, 1, t.TempDir(), nil); err == nil {
+		t.Fatal("nBatches=2 accepted")
+	}
+}
+
+// TestRecoveryEquivalenceGuards: the oracle must fail loudly — not
+// hang or mis-verify — when its inputs are broken: a graph too small
+// to script against, an engine config that cannot build, a scratch
+// dir that cannot hold the WAL, a snapshot path that collides with a
+// directory, and a leftover WAL from a previous run (a fresh crashed
+// run must start from an empty log, or the twin and the recovered
+// engine would disagree on the stream).
+func TestRecoveryEquivalenceGuards(t *testing.T) {
+	g := graph.ErdosRenyi(64, 0.1, 1)
+	cfg := serve.EngineConfig{Seed: 1, ShardRows: 32, Mode: serve.ModeCSR}
+
+	if err := RecoveryEquivalence(graph.ErdosRenyi(1, 0, 1), cfg, 4, 2, 1, t.TempDir(), []int{1}); err == nil {
+		t.Error("1-node graph accepted")
+	}
+	if err := RecoveryEquivalence(g, serve.EngineConfig{Hops: -1}, 4, 2, 1, t.TempDir(), []int{1}); err == nil {
+		t.Error("unbuildable engine config accepted")
+	}
+	if err := RecoveryEquivalence(g, cfg, 4, 2, 1, filepath.Join(t.TempDir(), "missing"), []int{1}); err == nil {
+		t.Error("unwritable WAL path accepted")
+	}
+
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "recovery-w1.snapshot"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecoveryEquivalence(g, cfg, 4, 2, 1, dir, []int{1}); err == nil {
+		t.Error("snapshot path colliding with a directory accepted")
+	}
+
+	dir = t.TempDir()
+	ec := cfg
+	ec.Mutable = true
+	eng, err := serve.NewEngine(g, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := serve.OpenWAL(eng, filepath.Join(dir, "recovery-w1.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(wal.EncodeBatch([]dyn.Mutation{{Op: dyn.OpInsert, U: 0, V: 5}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RecoveryEquivalence(g, cfg, 4, 2, 1, dir, []int{1}); err == nil {
+		t.Error("stale pre-existing WAL accepted")
+	}
+}
+
+// TestAppendBytesErrors: the torn-tail helper surfaces both the open
+// and the short-write failure (the latter via the kernel's /dev/full).
+func TestAppendBytesErrors(t *testing.T) {
+	if err := appendBytes(filepath.Join(t.TempDir(), "missing", "x"), []byte{1}); err == nil {
+		t.Error("append to a missing directory succeeded")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full unavailable")
+	}
+	if err := appendBytes("/dev/full", []byte{1}); err == nil {
+		t.Error("append to /dev/full succeeded")
+	}
+}

@@ -1,0 +1,232 @@
+package dyn
+
+import "sort"
+
+// Batch mutation application (ROADMAP item 2 follow-up): where
+// ApplyStream rescoring pays the edge-region scan per mutation,
+// ApplyBatch validates the whole batch first, applies the net edge
+// flips at once, and rescores each touched segment vector and
+// meta-block exactly once — the amortization BENCH_dynamic's batch
+// rows measure. Repair and the staleness rebuild run once at the end
+// instead of per mutation.
+//
+// Semantics differ from ApplyStream in one deliberate way: a batch
+// skips-and-counts invalid mutations (duplicate insert, missing
+// delete, vertex out of range) instead of stopping at the first error,
+// because the serving layer's mutation endpoint wants per-op outcomes,
+// not an all-or-nothing transaction. Validation is sequential against
+// a pending-flip overlay, so "duplicate" means duplicate *at that
+// point of the batch* — an insert followed by a delete of the same
+// edge is two accepted ops and a net no-op, exactly as ApplyStream
+// would see them.
+
+// BatchReject records one skipped mutation and why.
+type BatchReject struct {
+	// Index is the mutation's position in the submitted batch.
+	Index    int
+	Mutation Mutation
+	Err      error
+}
+
+// BatchOutcome reports what one applied batch did.
+type BatchOutcome struct {
+	// Applied counts accepted mutations (== len(Accepted)).
+	Applied int
+	// Accepted lists the accepted mutations in submission order.
+	Accepted []Mutation
+	// Rejected lists the skipped mutations with their typed errors.
+	Rejected []BatchReject
+	// DeltaPScore/DeltaMBScore are the net score changes of the whole
+	// batch including repair swaps (before any rebuild).
+	DeltaPScore  int
+	DeltaMBScore int
+	// Repairs counts repair invocations; RepairSwaps accepted swaps.
+	Repairs     int
+	RepairSwaps int
+	// Rebuilt reports that the staleness budget was exceeded after the
+	// batch and a full re-reorder ran.
+	Rebuilt bool
+}
+
+// ApplyBatch applies a batch of mutations with one rescore per touched
+// region. Invalid mutations are skipped and reported in
+// Outcome.Rejected; the valid remainder applies. With repair disabled,
+// the resulting matrix and scores are bit-identical to applying the
+// accepted mutations sequentially (TestApplyBatchBitIdentity) — the
+// edge-region deltas telescope, since cells outside the touched union
+// never change. An empty or fully-rejected batch leaves the Mutable
+// bit-identical to before the call.
+func (d *Mutable) ApplyBatch(muts []Mutation) (BatchOutcome, error) {
+	var out BatchOutcome
+	n := d.m.N()
+
+	// Phase 1 — validate sequentially against a pending-flip overlay:
+	// an edge is "present" at op k if the matrix bit XOR the overlay
+	// says so, which is exactly the state sequential application would
+	// observe (no repair has run yet, so positions are stable).
+	flipped := make(map[[2]int]bool)
+	ckey := func(i, j int) [2]int {
+		if i > j {
+			i, j = j, i
+		}
+		return [2]int{i, j}
+	}
+	for k, mut := range muts {
+		var err error
+		switch {
+		case n == 0:
+			err = ErrEmptyGraph
+		case mut.Op != OpInsert && mut.Op != OpDelete:
+			err = ErrUnknownOp
+		case mut.U < 0 || mut.U >= n || mut.V < 0 || mut.V >= n:
+			err = ErrVertexRange
+		default:
+			i, j := d.inv[mut.U], d.inv[mut.V]
+			key := ckey(i, j)
+			present := d.m.Get(i, j) != flipped[key]
+			if mut.Op == OpInsert && present {
+				err = ErrEdgeExists
+			} else if mut.Op == OpDelete && !present {
+				err = ErrEdgeMissing
+			} else {
+				flipped[key] = !flipped[key]
+				out.Accepted = append(out.Accepted, mut)
+			}
+		}
+		if err != nil {
+			out.Rejected = append(out.Rejected, BatchReject{Index: k, Mutation: mut, Err: err})
+		}
+	}
+	out.Applied = len(out.Accepted)
+	if out.Applied == 0 {
+		return out, nil
+	}
+
+	ob := d.opt.Obs
+	for _, mut := range out.Accepted {
+		ob.Counter("dyn/mutations").Inc()
+		d.stats.Mutations++
+		if mut.Op == OpInsert {
+			ob.Counter("dyn/inserts").Inc()
+			d.stats.Inserts++
+		} else {
+			ob.Counter("dyn/deletes").Inc()
+			d.stats.Deletes++
+		}
+	}
+
+	// Phase 2 — the batch's net effect is the set of odd-flip edges.
+	// Collect their touched regions, dedup, score the union once,
+	// flip, score again: the per-region before/after differences sum
+	// to the exact batch delta because any cell outside the union is
+	// untouched.
+	var flips [][2]int
+	for key, odd := range flipped {
+		if odd {
+			flips = append(flips, key)
+		}
+	}
+	// Map iteration is randomized; sort so region collection scans in a
+	// deterministic order (results are order-independent sums, but the
+	// deterministic-scan discipline is cheap to keep).
+	sort.Slice(flips, func(a, b int) bool {
+		if flips[a][0] != flips[b][0] {
+			return flips[a][0] < flips[b][0]
+		}
+		return flips[a][1] < flips[b][1]
+	})
+	cellSet := make(map[[2]int]bool)
+	blockSet := make(map[[2]int]bool)
+	var cells, blocks [][2]int
+	for _, e := range flips {
+		ec, eb := d.edgeRegion(e[0], e[1])
+		for _, c := range ec {
+			if !cellSet[c] {
+				cellSet[c] = true
+				cells = append(cells, c)
+			}
+		}
+		for _, b := range eb {
+			if !blockSet[b] {
+				blockSet[b] = true
+				blocks = append(blocks, b)
+			}
+		}
+	}
+	beforeP, beforeMB := d.regionScores(cells, blocks)
+	for _, e := range flips {
+		i, j := e[0], e[1]
+		if d.m.Get(i, j) {
+			d.m.Clear(i, j)
+			d.m.Clear(j, i)
+		} else {
+			d.m.Set(i, j)
+			d.m.Set(j, i)
+		}
+	}
+	afterP, afterMB := d.regionScores(cells, blocks)
+	d.pscore += afterP - beforeP
+	d.mbscore += afterMB - beforeMB
+	out.DeltaPScore = afterP - beforeP
+	out.DeltaMBScore = afterMB - beforeMB
+
+	// Phase 3 — repair each net-inserted edge whose region still
+	// violates, in submission order. Positions are re-derived through
+	// inv per repair because an accepted swap can move them. Deletes
+	// never repair (removing a nonzero cannot create a violation).
+	if !d.opt.DisableRepair {
+		for _, mut := range out.Accepted {
+			if mut.Op != OpInsert {
+				continue
+			}
+			i, j := d.inv[mut.U], d.inv[mut.V]
+			if !d.m.Get(i, j) {
+				continue // net-cancelled within the batch
+			}
+			rc, rb := d.edgeRegion(i, j)
+			if p, mb := d.regionScores(rc, rb); p+mb == 0 {
+				continue
+			}
+			sp := ob.Span("dyn/repair")
+			p0, mb0 := d.pscore, d.mbscore
+			swaps := d.repair(i, j)
+			sp.End()
+			d.stats.Repairs++
+			d.stats.RepairSwaps += swaps
+			ob.Counter("dyn/repairs").Inc()
+			ob.Counter("dyn/repair_swaps").Add(int64(swaps))
+			out.Repairs++
+			out.RepairSwaps += swaps
+			out.DeltaPScore += d.pscore - p0
+			out.DeltaMBScore += d.mbscore - mb0
+		}
+	}
+
+	rebuilt, err := d.maybeRebuild()
+	if err != nil {
+		return out, err
+	}
+	out.Rebuilt = rebuilt
+	return out, nil
+}
+
+// RestoreBaseline overwrites the staleness baseline with values saved
+// by an engine snapshot (serve's durable-mutation path). A restored
+// Mutable must price drift against the baseline of the run it is
+// resuming, not against its own construction state — otherwise a
+// replayed mutation stream makes different rebuild decisions than the
+// uninterrupted run it must stay bit-identical to
+// (check.RecoveryEquivalence).
+func (d *Mutable) RestoreBaseline(baseP, baseMB int, saved float64) {
+	d.baseP, d.baseMB = baseP, baseMB
+	d.saved = saved
+	driftP := d.pscore - d.baseP
+	if driftP < 0 {
+		driftP = 0
+	}
+	driftMB := d.mbscore - d.baseMB
+	if driftMB < 0 {
+		driftMB = 0
+	}
+	d.drift = d.cm.CSRSpMMCycles(driftP*d.pat.M+driftMB*d.pat.V*d.pat.M, 0, d.opt.H)
+}

@@ -1,0 +1,310 @@
+package dyn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// twinMutables builds two Mutables from the same reorder result so a
+// batch application and a sequential one start bit-identical.
+func twinMutables(t *testing.T, opt Options) (*Mutable, *Mutable) {
+	t.Helper()
+	g, err := datasets.Family("er", 48, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustReorder(t, g, pattern.NM(2, 8))
+	a, err := New(res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(res, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func assertTwinsEqual(t *testing.T, batch, seq *Mutable) {
+	t.Helper()
+	if !batch.Matrix().Equal(seq.Matrix()) {
+		t.Fatal("batch and sequential matrices differ")
+	}
+	bp, sp := batch.Perm(), seq.Perm()
+	for k := range bp {
+		if bp[k] != sp[k] {
+			t.Fatalf("perm[%d]: batch %d, sequential %d", k, bp[k], sp[k])
+		}
+	}
+	bv, sv := batch.Violations(), seq.Violations()
+	if bv.PScore != sv.PScore || bv.MBScore != sv.MBScore {
+		t.Fatalf("scores: batch (%d,%d), sequential (%d,%d)",
+			bv.PScore, bv.MBScore, sv.PScore, sv.MBScore)
+	}
+}
+
+// TestApplyBatchBitIdentity: with repair disabled, applying a batch is
+// bit-identical (matrix, perm, scores) to applying the same mutations
+// sequentially — the one-rescore-per-region amortization changes only
+// the work, not the result.
+func TestApplyBatchBitIdentity(t *testing.T) {
+	batchM, seqM := twinMutables(t, Options{StalenessBudget: 1e18, DisableRepair: true})
+	st := GenerateStream(graphOf(t, batchM), 64, 5)
+	out, err := batchM.ApplyBatch(st.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != len(st.Ops) || len(out.Rejected) != 0 {
+		t.Fatalf("valid stream: applied %d/%d, rejected %d",
+			out.Applied, len(st.Ops), len(out.Rejected))
+	}
+	if _, err := seqM.ApplyStream(st); err != nil {
+		t.Fatal(err)
+	}
+	assertTwinsEqual(t, batchM, seqM)
+	checkExact(t, batchM)
+}
+
+// graphOf reconstructs the ORIGINAL-numbering graph the twin fixtures
+// were built from (er 48/6/31) — a helper so streams are generated
+// against the same graph the Mutables wrap.
+func graphOf(t *testing.T, d *Mutable) *graph.Graph {
+	t.Helper()
+	g, err := datasets.Family("er", 48, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != d.N() {
+		t.Fatalf("fixture mismatch: graph n %d, mutable n %d", g.N(), d.N())
+	}
+	return g
+}
+
+// TestApplyBatchDeltas pins the exactness of the batch delta: the
+// reported DeltaPScore/DeltaMBScore equal final minus initial scores
+// when repair is disabled.
+func TestApplyBatchDeltas(t *testing.T) {
+	batchM, _ := twinMutables(t, Options{StalenessBudget: 1e18, DisableRepair: true})
+	v0 := batchM.Violations()
+	st := GenerateStream(graphOf(t, batchM), 48, 11)
+	out, err := batchM.ApplyBatch(st.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := batchM.Violations()
+	if out.DeltaPScore != v1.PScore-v0.PScore || out.DeltaMBScore != v1.MBScore-v0.MBScore {
+		t.Fatalf("deltas (%d,%d) != score changes (%d,%d)",
+			out.DeltaPScore, out.DeltaMBScore, v1.PScore-v0.PScore, v1.MBScore-v0.MBScore)
+	}
+}
+
+// TestApplyBatchDeleteOnlyBitIdentity: deletes never trigger repair
+// (removing a nonzero cannot create a violation), so delete-only
+// batches are bit-identical to sequential application even with repair
+// enabled.
+func TestApplyBatchDeleteOnlyBitIdentity(t *testing.T) {
+	batchM, seqM := twinMutables(t, Options{StalenessBudget: 1e18})
+	g := graphOf(t, batchM)
+	var dels []Mutation
+	for u := 0; u < g.N() && len(dels) < 20; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				dels = append(dels, Mutation{Op: OpDelete, U: u, V: int(v)})
+				break
+			}
+		}
+	}
+	if len(dels) < 8 {
+		t.Fatalf("fixture too sparse: %d deletable edges", len(dels))
+	}
+	out, err := batchM.ApplyBatch(dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != len(dels) || out.RepairSwaps != 0 || out.Repairs != 0 {
+		t.Fatalf("delete-only batch: applied %d, repairs %d/%d",
+			out.Applied, out.Repairs, out.RepairSwaps)
+	}
+	for _, m := range dels {
+		if _, err := seqM.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertTwinsEqual(t, batchM, seqM)
+	checkExact(t, batchM)
+}
+
+// TestApplyBatchRepairExact: with repair enabled the batch path is not
+// promised bit-identical to sequential (repairs run once at the end),
+// but the maintained scores must still exactly equal a from-scratch
+// recount, the matrix must stay symmetric, and the result must be
+// deterministic across repeated runs from the same start state.
+func TestApplyBatchRepairExact(t *testing.T) {
+	run := func() *Mutable {
+		d, _ := twinMutables(t, Options{StalenessBudget: 1e18})
+		st := GenerateStream(graphOf(t, d), 64, 17)
+		if _, err := d.ApplyBatch(st.Ops); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a := run()
+	checkExact(t, a)
+	if !a.Matrix().IsSymmetric() {
+		t.Fatal("batch left an asymmetric matrix")
+	}
+	b := run()
+	assertTwinsEqual(t, a, b)
+}
+
+// TestApplyBatchRejections pins skip-and-count semantics: invalid
+// mutations are reported with their typed errors and batch index, the
+// valid remainder applies, and a fully-rejected batch is a no-op.
+func TestApplyBatchRejections(t *testing.T) {
+	d, ref := twinMutables(t, Options{StalenessBudget: 1e18, DisableRepair: true})
+	g := graphOf(t, d)
+	// Find one present and one absent edge.
+	var present, absent Mutation
+	present = Mutation{Op: OpDelete, U: 0, V: int(g.Neighbors(0)[0])}
+	absent = Mutation{Op: OpInsert, U: 0, V: 0}
+	for v := 0; v < g.N(); v++ {
+		found := false
+		for _, w := range g.Neighbors(0) {
+			if int(w) == v {
+				found = true
+				break
+			}
+		}
+		if !found && v != 0 {
+			absent = Mutation{Op: OpInsert, U: 0, V: v}
+			break
+		}
+	}
+	batch := []Mutation{
+		absent,                                   // 0: ok
+		absent,                                   // 1: duplicate insert (pending overlay)
+		{Op: OpDelete, U: absent.U, V: absent.V}, // 2: ok — deletes the batch's own insert
+		{Op: OpDelete, U: absent.U, V: absent.V}, // 3: now missing
+		{Op: OpInsert, U: -1, V: 2},              // 4: out of range
+		{Op: Op(9), U: 0, V: 1},                  // 5: unknown op
+		present,                                  // 6: ok
+	}
+	out, err := d.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 3 {
+		t.Fatalf("applied %d, want 3", out.Applied)
+	}
+	wantRej := []struct {
+		idx  int
+		werr error
+	}{{1, ErrEdgeExists}, {3, ErrEdgeMissing}, {4, ErrVertexRange}, {5, ErrUnknownOp}}
+	if len(out.Rejected) != len(wantRej) {
+		t.Fatalf("rejected %d, want %d: %+v", len(out.Rejected), len(wantRej), out.Rejected)
+	}
+	for k, w := range wantRej {
+		r := out.Rejected[k]
+		if r.Index != w.idx || !errors.Is(r.Err, w.werr) {
+			t.Fatalf("rejection %d: index %d err %v, want index %d err %v",
+				k, r.Index, r.Err, w.idx, w.werr)
+		}
+	}
+	// Net effect: insert+delete of `absent` cancels; only `present` is
+	// gone. Sequential reference sees the same.
+	if _, err := ref.Apply(present); err != nil {
+		t.Fatal(err)
+	}
+	assertTwinsEqual(t, d, ref)
+	checkExact(t, d)
+
+	// Fully-rejected batch: bit-identical no-op.
+	v0 := d.Violations()
+	m0 := d.Matrix().Clone()
+	out, err = d.ApplyBatch([]Mutation{{Op: OpInsert, U: 99999, V: 0}, {Op: Op(7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 0 || len(out.Rejected) != 2 {
+		t.Fatalf("all-invalid batch: %+v", out)
+	}
+	if !d.Matrix().Equal(m0) || d.Violations() != v0 {
+		t.Fatal("all-invalid batch mutated state")
+	}
+}
+
+// TestApplyBatchEmpty: nil and empty batches are no-ops.
+func TestApplyBatchEmpty(t *testing.T) {
+	d, _ := twinMutables(t, Options{StalenessBudget: 1e18})
+	v0 := d.Violations()
+	for _, muts := range [][]Mutation{nil, {}} {
+		out, err := d.ApplyBatch(muts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Applied != 0 || len(out.Rejected) != 0 {
+			t.Fatalf("empty batch outcome: %+v", out)
+		}
+	}
+	if d.Violations() != v0 {
+		t.Fatal("empty batch changed scores")
+	}
+}
+
+// TestApplyBatchRebuild: a tight budget triggers exactly one rebuild at
+// the end of the batch, and the maintained scores stay a recount fixed
+// point afterwards.
+func TestApplyBatchRebuild(t *testing.T) {
+	g, err := datasets.Family("community", 40, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustReorder(t, g, pattern.NM(2, 8))
+	d, err := New(res, Options{StalenessBudget: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := GenerateStream(g, 48, 23)
+	out, err := d.ApplyBatch(st.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, d)
+	stats := d.Stats()
+	if out.Rebuilt && stats.Rebuilds != 1 {
+		t.Fatalf("Rebuilt set but stats.Rebuilds = %d", stats.Rebuilds)
+	}
+	if !out.Rebuilt && stats.Rebuilds != 0 {
+		t.Fatalf("Rebuilt unset but stats.Rebuilds = %d", stats.Rebuilds)
+	}
+}
+
+// TestRestoreBaseline: restoring a saved baseline reproduces the drift
+// pricing of the run that saved it.
+func TestRestoreBaseline(t *testing.T) {
+	a, b := twinMutables(t, Options{StalenessBudget: 1e18, DisableRepair: true})
+	st := GenerateStream(graphOf(t, a), 24, 29)
+	if _, err := a.ApplyBatch(st.Ops); err != nil {
+		t.Fatal(err)
+	}
+	sa := a.Stats()
+	// b replays the same stream, then adopts a's (identical) baseline —
+	// drift pricing must match exactly.
+	if _, err := b.ApplyBatch(st.Ops); err != nil {
+		t.Fatal(err)
+	}
+	b.RestoreBaseline(sa.BasePScore, sa.BaseMBScore, sa.SavedCyclesPerEpoch)
+	sb := b.Stats()
+	if sb.BasePScore != sa.BasePScore || sb.BaseMBScore != sa.BaseMBScore {
+		t.Fatalf("baseline: got (%d,%d), want (%d,%d)",
+			sb.BasePScore, sb.BaseMBScore, sa.BasePScore, sa.BaseMBScore)
+	}
+	if sb.DriftCycles != sa.DriftCycles || sb.SavedCyclesPerEpoch != sa.SavedCyclesPerEpoch {
+		t.Fatalf("drift pricing: got (%g,%g), want (%g,%g)",
+			sb.DriftCycles, sb.SavedCyclesPerEpoch, sa.DriftCycles, sa.SavedCyclesPerEpoch)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/csr"
 	"repro/internal/dense"
+	"repro/internal/dyn"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/pattern"
@@ -84,6 +85,15 @@ type EngineConfig struct {
 	// Inj fires fault sites ("serve/shard" at shard builds,
 	// "serve/batch" at coalesced dispatches). Nil disables injection.
 	Inj *resil.Injector
+
+	// Mutable wraps the reordered matrix in a dyn.Mutable so the
+	// engine accepts online edge mutations through Mutate (DESIGN.md
+	// §15). Costs one extra matrix clone plus the n×FeatureDim seeded
+	// feature matrix kept resident for epoch rebuilds.
+	Mutable bool
+	// StalenessBudget is the dyn rebuild trigger for mutable engines
+	// (zero = dyn.DefaultStalenessBudget); ignored when !Mutable.
+	StalenessBudget float64
 
 	// Perm, when set, is a precomputed reordering permutation (new
 	// position i holds original vertex Perm[i]) and skips the
@@ -184,6 +194,19 @@ type Engine struct {
 	inj        *resil.Injector
 	y, scratch *dense.Matrix // dispatch output + hybrid residual scratch
 	arena      plan.Arena
+
+	// Mutation state (nil/zero for read-only engines). muMut serializes
+	// mutators and is always acquired BEFORE mu (the epoch fence:
+	// derived state builds off-lock while reads drain on the old epoch,
+	// then swaps in under a brief mu hold). dyn is owned by the mutator
+	// — readers never touch it.
+	muMut     sync.Mutex
+	dyn       *dyn.Mutable
+	epoch     uint64
+	x0        *dense.Matrix // seeded features in ORIGINAL numbering
+	mpool     *sched.Pool   // dedicated pool for off-lock epoch builds
+	csrWindow bool          // post-rebuild degraded window (CSR dispatch)
+	warming   bool          // background handle warmer running
 }
 
 // NewEngine loads graph g: reorder (or adopt cfg.Perm), apply the
@@ -287,6 +310,27 @@ func NewEngine(g *graph.Graph, cfg EngineConfig) (*Engine, error) {
 	e.rowCache.onEvict = func(int, []float32) {
 		e.obs.Volatile("serve/cache/evict").Inc()
 	}
+	if cfg.Mutable {
+		budget := cfg.StalenessBudget
+		if budget == 0 {
+			budget = dyn.DefaultStalenessBudget
+		}
+		d, err := dyn.New(
+			&core.Result{Pattern: cfg.Pattern, Perm: perm, Matrix: rg.ToBitMatrix()},
+			dyn.Options{
+				StalenessBudget: budget,
+				H:               cfg.FeatureDim,
+				Workers:         cfg.Workers,
+				Reorder:         cfg.Reorder,
+				Obs:             cfg.Obs,
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%w: mutable: %v", ErrConfig, err)
+		}
+		e.dyn = d
+		e.x0 = x
+		e.mpool = sched.New(cfg.Workers)
+	}
 	if cfg.Mode == ModeAuto {
 		e.planner = &plan.Planner{Calib: cfg.Calib, Workers: pool.Workers()}
 	}
@@ -306,23 +350,34 @@ func (e *Engine) registerMetrics() {
 	for _, name := range []string{
 		"serve/requests", "serve/rows",
 		"serve/errors/invalid", "serve/errors/oversized", "serve/errors/parse",
+		"serve/epoch/applied", "serve/epoch/rejected",
+		"serve/epoch/repair_swaps", "serve/epoch/rebuilds",
+		"serve/wal/records", "serve/wal/bytes",
 	} {
 		e.obs.Counter(name)
 	}
+	// serve/epoch/seq is the current mutation epoch — deterministic for
+	// a fixed applied-batch sequence (and the value the recovery drill
+	// reads off /statz to find how many batches survived a crash).
+	e.obs.Gauge("serve/epoch/seq")
 	for _, name := range []string{
 		"serve/cache/hit", "serve/cache/miss", "serve/cache/fill", "serve/cache/evict",
 		"serve/shard/build", "serve/shard/evict",
 		"serve/degraded/shards", "serve/degraded/batches",
 		"serve/dispatch/csr", "serve/dispatch/hybrid", "serve/dispatch/planned",
 		"serve/rejected", "serve/batch_faults",
+		"serve/mutate/rejected", "serve/epoch/csr_window_batches",
+		"serve/wal/commits",
 	} {
 		e.obs.Volatile(name)
 	}
 	e.obs.VolatileHist("serve/batch_rows")
 	e.obs.VolatileHist("serve/batch_requests")
 	e.obs.VolatileHist("serve/queue_depth")
+	e.obs.VolatileHist("serve/mutate/queue_depth")
 	e.obs.VolatileSpan("serve/batch")
 	e.obs.VolatileSpan("serve/dispatch")
+	e.obs.VolatileSpan("serve/epoch/build")
 }
 
 // N returns the graph size.
@@ -358,6 +413,32 @@ func (e *Engine) ValidateRequest(r *Request) error {
 // shardOf maps a reordered row position to its shard index.
 func (e *Engine) shardOf(pos int) int { return pos / e.cfg.ShardRows }
 
+// bandCSR embeds shard s's row band of a as a square n-by-n CSR
+// sharing a's column/value storage (rows outside the band empty) — a
+// pure function, so the background warmer can build handles off-lock
+// from a captured Â.
+func bandCSR(a *csr.Matrix, n, shardRows, s int) *csr.Matrix {
+	lo := s * shardRows
+	hi := lo + shardRows
+	if hi > n {
+		hi = n
+	}
+	base := a.RowPtr[lo]
+	rp := make([]int32, n+1)
+	for i := lo; i < hi; i++ {
+		rp[i+1] = a.RowPtr[i+1] - base
+	}
+	for i := hi; i < n; i++ {
+		rp[i+1] = rp[hi]
+	}
+	return &csr.Matrix{
+		N:      n,
+		RowPtr: rp,
+		ColIdx: a.ColIdx[base:a.RowPtr[hi]],
+		Val:    a.Val[base:a.RowPtr[hi]],
+	}
+}
+
 // shardBounds returns shard s's row band [lo, hi).
 func (e *Engine) shardBounds(s int) (lo, hi int) {
 	lo = s * e.cfg.ShardRows
@@ -377,21 +458,7 @@ func (e *Engine) shardBounds(s int) (lo, hi int) {
 // for this shard (degradation rung 1, mirroring gnn.ValidateOperator).
 func (e *Engine) buildShard(s int) *shardHandle {
 	e.obs.Volatile("serve/shard/build").Inc()
-	lo, hi := e.shardBounds(s)
-	base := e.a.RowPtr[lo]
-	rp := make([]int32, e.n+1)
-	for i := lo; i < hi; i++ {
-		rp[i+1] = e.a.RowPtr[i+1] - base
-	}
-	for i := hi; i < e.n; i++ {
-		rp[i+1] = rp[hi]
-	}
-	h := &shardHandle{sub: &csr.Matrix{
-		N:      e.n,
-		RowPtr: rp,
-		ColIdx: e.a.ColIdx[base:e.a.RowPtr[hi]],
-		Val:    e.a.Val[base:e.a.RowPtr[hi]],
-	}}
+	h := &shardHandle{sub: bandCSR(e.a, e.n, e.cfg.ShardRows, s)}
 	if ev := e.inj.Fire("serve/shard"); ev != nil {
 		switch ev.Kind {
 		case resil.KindStraggler:
@@ -400,7 +467,10 @@ func (e *Engine) buildShard(s int) *shardHandle {
 			e.degradeShard(s)
 		}
 	}
-	if e.cfg.Mode == ModeCSR || e.csrOnly[s] {
+	if e.cfg.Mode == ModeCSR || e.csrOnly[s] || e.csrWindow {
+		// During the post-rebuild window the split is exactly the work
+		// being deferred to the background warmer — serve CSR now; the
+		// warmer's install overwrites this handle.
 		return h
 	}
 	comp, resid, err := venom.SplitToConform(h.sub, e.cfg.Pattern)
@@ -518,13 +588,16 @@ func (e *Engine) ServeBatch(reqs []*Request, degraded bool) []*Response {
 		e.obs.Volatile("serve/degraded/batches").Inc()
 		rows = e.gatherRows(positions)
 	} else {
+		if e.csrWindow {
+			e.obs.Volatile("serve/epoch/csr_window_batches").Inc()
+		}
 		rows = e.resolveRows(positions)
 	}
 
 	resps := make([]*Response, len(reqs))
 	total := 0
 	for i, r := range reqs {
-		resp := &Response{Op: r.Op}
+		resp := &Response{Op: r.Op, Epoch: e.epoch}
 		if r.Op == OpClassify {
 			resp.Classes = make([]int, len(r.Nodes))
 			for j, v := range r.Nodes {

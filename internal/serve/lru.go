@@ -74,6 +74,25 @@ func (c *lru[V]) put(key int, v V) {
 	}
 }
 
+// remove drops one entry if present, without firing onEvict — this is
+// invalidation (the value became wrong), not capacity eviction (the
+// value was right but cold).
+func (c *lru[V]) remove(key int) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, key)
+}
+
+// clear drops every entry without firing onEvict (whole-cache
+// invalidation after a permutation change).
+func (c *lru[V]) clear() {
+	c.entries = make(map[int]*lruEntry[V])
+	c.head, c.tail = nil, nil
+}
+
 func (c *lru[V]) promote(e *lruEntry[V]) {
 	if c.head == e {
 		return

@@ -1,0 +1,248 @@
+package serve
+
+// The server-side mutation path: POST /v1/mutate and its in-process
+// twin SubmitMutate feed an admission-bounded queue drained by one
+// mutator goroutine — the write-side mirror of the coalescer, with a
+// durability step spliced in. Per iteration the mutator takes
+// everything queued, appends each batch to the WAL, fsyncs ONCE
+// (group commit — the amortization BENCH_mutate measures), then
+// applies each batch through Engine.Mutate under resil.Protect and
+// acknowledges it. The ordering invariant is WAL-commit-before-ack:
+// no client ever observes an applied batch the log could lose. The
+// converse window (committed but not yet acknowledged when the
+// process dies) replays on restart — mutation durability is
+// at-least-once on unacknowledged batches, exactly once on
+// acknowledged ones.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dyn"
+	"repro/internal/resil"
+	"repro/internal/wal"
+)
+
+// mutPending is one admitted mutation batch waiting for durability
+// and application.
+type mutPending struct {
+	ops  []dyn.Mutation
+	out  MutateOutcome
+	err  error
+	done chan struct{}
+}
+
+// mutator is the single-goroutine mutation dispatcher.
+type mutator struct {
+	eng   *Engine
+	log   *wal.Log // nil = volatile mutations (no durability)
+	limit int
+
+	mu      sync.Mutex
+	queue   []*mutPending
+	closed  bool
+	faulted bool
+	kick    chan struct{}
+	wg      sync.WaitGroup
+
+	inj *resil.Injector
+}
+
+func newMutator(eng *Engine, log *wal.Log, limit int) *mutator {
+	m := &mutator{
+		eng: eng, log: log, limit: limit,
+		kick: make(chan struct{}, 1),
+		inj:  eng.Injector(),
+	}
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+// submit admits one batch and blocks until it is durable and applied.
+func (m *mutator) submit(ops []dyn.Mutation) (MutateOutcome, error) {
+	if len(ops) == 0 {
+		return MutateOutcome{}, ErrEmptyMutations
+	}
+	r := m.eng.Obs()
+	p := &mutPending{ops: ops, done: make(chan struct{})}
+	m.mu.Lock()
+	switch {
+	case m.closed:
+		m.mu.Unlock()
+		return MutateOutcome{}, ErrClosed
+	case m.faulted:
+		m.mu.Unlock()
+		return MutateOutcome{}, ErrMutateFaulted
+	case m.limit > 0 && len(m.queue) >= m.limit:
+		m.mu.Unlock()
+		r.Volatile("serve/mutate/rejected").Inc()
+		return MutateOutcome{}, ErrMutateQueueFull
+	}
+	m.queue = append(m.queue, p)
+	m.mu.Unlock()
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+	<-p.done
+	return p.out, p.err
+}
+
+func (m *mutator) run() {
+	defer m.wg.Done()
+	for {
+		_, ok := <-m.kick
+		for {
+			batch := m.take()
+			if batch == nil {
+				break
+			}
+			m.exec(batch)
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// take removes everything queued — the group whose WAL appends share
+// one fsync.
+func (m *mutator) take() []*mutPending {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil
+	}
+	batch := m.queue
+	m.queue = nil
+	return batch
+}
+
+// exec makes a group of batches durable under one commit, then
+// applies and acknowledges each in order.
+func (m *mutator) exec(group []*mutPending) {
+	r := m.eng.Obs()
+	r.VolatileHist("serve/mutate/queue_depth").Observe(int64(len(group)))
+
+	// Durability first. A failed append or commit fails the WHOLE
+	// group without applying anything: none of these batches reached
+	// stable storage, so none may mutate the engine.
+	if m.log != nil {
+		var werr error
+		for _, p := range group {
+			payload := wal.EncodeBatch(p.ops)
+			if _, err := m.log.Append(payload); err != nil {
+				werr = err
+				break
+			}
+			r.Counter("serve/wal/records").Inc()
+			r.Counter("serve/wal/bytes").Add(int64(len(payload)))
+		}
+		if werr == nil {
+			werr = m.log.Commit()
+			r.Volatile("serve/wal/commits").Inc()
+		}
+		if werr != nil {
+			for _, p := range group {
+				p.err = fmt.Errorf("%w: %v", ErrWALFault, werr)
+				close(p.done)
+			}
+			return
+		}
+	}
+
+	// Apply in order. A fault here (injected crash at "serve/mutate",
+	// or a genuine apply error) happens AFTER the commit: the log is
+	// now ahead of the engine, so the mutation path latches — reads
+	// stay live, later mutations are refused, and a restart replays
+	// the log back into sync.
+	latched := false
+	for _, p := range group {
+		if latched {
+			p.err = ErrMutateFaulted
+			close(p.done)
+			continue
+		}
+		err := resil.Protect(func() error {
+			m.inj.Exec("serve/mutate")
+			out, merr := m.eng.Mutate(p.ops)
+			if merr != nil {
+				return merr
+			}
+			p.out = out
+			return nil
+		})
+		if err != nil {
+			p.err = fmt.Errorf("%w: %v", ErrBatchFault, err)
+			r.Volatile("serve/batch_faults").Inc()
+			if m.log != nil {
+				latched = true
+				m.mu.Lock()
+				m.faulted = true
+				m.mu.Unlock()
+			}
+		}
+		close(p.done)
+	}
+}
+
+// close stops the mutator; queued batches not yet taken fail with
+// ErrClosed.
+func (m *mutator) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	waiting := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	for _, p := range waiting {
+		p.err = ErrClosed
+		close(p.done)
+	}
+	close(m.kick)
+	m.wg.Wait()
+}
+
+// OpenWAL opens (or creates) the write-ahead log at path for engine e
+// and replays every record beyond the engine's current epoch —
+// boot-time crash recovery. Record sequence numbers must continue the
+// epoch exactly: records at or below the epoch are already inside the
+// snapshot the engine restored from and are skipped; the first record
+// beyond it must be epoch+1 (ErrWALGap otherwise — a log from a
+// different history). Returns the log positioned for appending and
+// the number of batches replayed. The caller owns closing the log.
+func OpenWAL(e *Engine, path string) (*wal.Log, int, error) {
+	if !e.Mutable() {
+		return nil, 0, ErrNotMutable
+	}
+	log, recs, err := wal.Open(path, e.Fingerprint())
+	if err != nil {
+		return nil, 0, err
+	}
+	replayed := 0
+	for _, rec := range recs {
+		epoch := e.Epoch()
+		if rec.Seq <= epoch {
+			continue
+		}
+		if rec.Seq != epoch+1 {
+			log.Close()
+			return nil, replayed, fmt.Errorf("%w: record seq %d, engine epoch %d", ErrWALGap, rec.Seq, epoch)
+		}
+		ops, err := wal.DecodeBatch(rec.Payload)
+		if err != nil {
+			log.Close()
+			return nil, replayed, fmt.Errorf("serve: WAL replay: record %d: %w", rec.Seq, err)
+		}
+		if _, err := e.Mutate(ops); err != nil {
+			log.Close()
+			return nil, replayed, fmt.Errorf("serve: WAL replay: record %d: %w", rec.Seq, err)
+		}
+		replayed++
+	}
+	return log, replayed, nil
+}

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/dyn"
 	"repro/internal/obs"
 	"repro/internal/resil"
 )
@@ -98,5 +100,110 @@ func TestRaceHammer(t *testing.T) {
 	}
 	if s.Counters["resil/injected/straggler"] == 0 {
 		t.Error("injected straggler never fired")
+	}
+}
+
+// TestMutationHammer drives 8 concurrent readers against 1 mutator
+// under -race: the epoch-fence correctness claim. Because ServeBatch
+// stamps Response.Epoch under the same lock hold that picks the
+// operands, every response must be a pure function of some PREFIX of
+// the mutation stream — its checksum must equal the twin-precomputed
+// checksum for exactly the epoch it reports, and no query may error
+// while mutations land.
+func TestMutationHammer(t *testing.T) {
+	const n = 256
+	g := testGraph(t, n)
+	cfg := EngineConfig{Seed: 11, ShardRows: 64, CacheRows: 24, ShardCap: 2, Mode: ModeCSR}
+
+	script, err := GenerateMixedScript(MixedScriptConfig{
+		Seed: 5, Clients: 1, Requests: 12, N: n, WriteRatio: 1, MutOps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := make([][]dyn.Mutation, len(script[0]))
+	for i, slot := range script[0] {
+		bs[i] = slot.Muts
+	}
+	probe := &Request{Op: OpEmbed, Nodes: []int{0, 3, 17, 63, n / 2, n - 1}}
+
+	// Twin: the expected probe checksum at EVERY epoch, applied
+	// batch by batch on an identical engine.
+	twin := mutableEngine(t, g, cfg)
+	expected := make([]uint64, len(bs)+1)
+	expected[0] = twin.ServeBatch([]*Request{probe}, false)[0].Checksum()
+	for i, b := range bs {
+		if _, err := twin.Mutate(b); err != nil {
+			t.Fatal(err)
+		}
+		twin.WaitWarm()
+		expected[i+1] = twin.ServeBatch([]*Request{probe}, false)[0].Checksum()
+	}
+	cfg.Perm = twin.Perm() // skip the (identical) re-reorder
+
+	live := mutableEngine(t, g, cfg)
+	srv, err := NewServer(live, ServerConfig{QueueLimit: 64, DegradeDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const readers, iters = 8, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := srv.Submit(probe)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d iter %d: %v", r, i, err)
+					return
+				}
+				ep := resp.Epoch
+				if ep > uint64(len(bs)) {
+					errs <- fmt.Errorf("reader %d iter %d: epoch %d beyond stream", r, i, ep)
+					return
+				}
+				if got := resp.Checksum(); got != expected[ep] {
+					errs <- fmt.Errorf("reader %d iter %d: epoch %d checksum %x, want %x — response is not a pure function of the stream prefix", r, i, ep, got, expected[ep])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, b := range bs {
+			mr, err := srv.SubmitMutate(b)
+			if err != nil {
+				errs <- fmt.Errorf("mutator batch %d: %v", i, err)
+				return
+			}
+			if mr.Epoch != uint64(i+1) {
+				errs <- fmt.Errorf("mutator batch %d: epoch %d", i, mr.Epoch)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Settled state: the final epoch's bits, exactly.
+	live.WaitWarm()
+	resp, err := srv.Submit(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != uint64(len(bs)) {
+		t.Fatalf("final epoch %d, want %d", resp.Epoch, len(bs))
+	}
+	if got := resp.Checksum(); got != expected[len(bs)] {
+		t.Fatalf("final checksum %x, want %x", got, expected[len(bs)])
 	}
 }

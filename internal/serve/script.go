@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/dyn"
 )
 
 // ScriptConfig seeds a deterministic request script — the shared
@@ -85,6 +87,128 @@ func GenerateScript(cfg ScriptConfig) ([][]*Request, error) {
 			reqs[i] = &Request{Op: op, Nodes: nodes}
 		}
 		clients[c] = reqs
+	}
+	return clients, nil
+}
+
+// MixedScriptConfig seeds a deterministic read/write workload for
+// mutable engines. It is a SEPARATE generator from GenerateScript —
+// GenerateScript's draw sequence is pinned by checked-in bench
+// digests and must never change.
+type MixedScriptConfig struct {
+	// Seed pins every draw.
+	Seed int64
+	// Clients is the number of closed-loop client streams.
+	Clients int
+	// Requests is the per-client slot count; each slot is a query or a
+	// mutation batch.
+	Requests int
+	// N is the graph size node and vertex ids are drawn from.
+	N int
+	// MaxNodes / MinNodes / ClassifyEvery shape query slots exactly as
+	// in ScriptConfig.
+	MaxNodes      int
+	MinNodes      int
+	ClassifyEvery int
+	// WriteRatio in [0, 1] is the probability a slot is a mutation
+	// batch. 1 gives a pure mutation stream (the ci.sh crash drill's
+	// shape); 0 is a valid read-only mixed script.
+	WriteRatio float64
+	// MutOps is the op count per mutation batch (zero = 4).
+	MutOps int
+}
+
+// MixedOp is one slot of a mixed script: exactly one of Req (a query)
+// or Muts (a mutation batch) is set.
+type MixedOp struct {
+	Req  *Request
+	Muts []dyn.Mutation
+}
+
+// GenerateMixedScript produces per-client mixed streams — a pure
+// function of the config, with the PREFIX PROPERTY the crash drill
+// leans on: the same config with a smaller Requests yields exactly the
+// first slots of the longer script, client by client. Mutation ops are
+// drawn blind (insert-heavy, uniform endpoints) — the engine's
+// skip-and-count batch semantics absorb duplicates and misses, so
+// validity needs no edge-set tracking here. Cross-run checksum
+// comparability of the READ slots requires either WriteRatio 0 or a
+// single client (with concurrent clients the read/write interleaving
+// is scheduling-dependent).
+func GenerateMixedScript(cfg MixedScriptConfig) ([][]MixedOp, error) {
+	if cfg.Clients < 1 || cfg.Requests < 1 || cfg.N < 2 {
+		return nil, fmt.Errorf("%w: mixed script needs clients, requests >= 1 and n >= 2", ErrConfig)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return nil, fmt.Errorf("%w: write ratio %v outside [0, 1]", ErrConfig, cfg.WriteRatio)
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 8
+	}
+	if maxNodes > cfg.N {
+		maxNodes = cfg.N
+	}
+	minNodes := cfg.MinNodes
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	if minNodes > maxNodes {
+		minNodes = maxNodes
+	}
+	mutOps := cfg.MutOps
+	if mutOps == 0 {
+		mutOps = 4
+	}
+	hot := cfg.N / 16
+	if hot < 1 {
+		hot = 1
+	}
+	clients := make([][]MixedOp, cfg.Clients)
+	for c := range clients {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*104729))
+		slots := make([]MixedOp, cfg.Requests)
+		for i := range slots {
+			if rng.Float64() < cfg.WriteRatio {
+				muts := make([]dyn.Mutation, mutOps)
+				for k := range muts {
+					op := dyn.OpInsert
+					if rng.Intn(4) == 0 {
+						op = dyn.OpDelete
+					}
+					u := rng.Intn(cfg.N)
+					v := rng.Intn(cfg.N)
+					for v == u {
+						v = rng.Intn(cfg.N)
+					}
+					muts[k] = dyn.Mutation{Op: op, U: u, V: v}
+				}
+				slots[i] = MixedOp{Muts: muts}
+				continue
+			}
+			size := minNodes + rng.Intn(maxNodes-minNodes+1)
+			seen := make(map[int]struct{}, size)
+			nodes := make([]int, 0, size)
+			for len(nodes) < size {
+				var v int
+				if rng.Intn(5) < 4 {
+					v = rng.Intn(hot)
+				} else {
+					v = rng.Intn(cfg.N)
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				nodes = append(nodes, v)
+			}
+			op := OpEmbed
+			if cfg.ClassifyEvery > 0 && (i+1)%cfg.ClassifyEvery == 0 {
+				op = OpClassify
+			}
+			slots[i] = MixedOp{Req: &Request{Op: op, Nodes: nodes}}
+		}
+		clients[c] = slots
 	}
 	return clients, nil
 }

@@ -71,4 +71,25 @@ const (
 	// dispatch failed irrecoverably (an injected crash the dispatcher
 	// captured); the server stays serviceable for later requests.
 	ErrBatchFault = serveError("serve: batch dispatch fault")
+	// ErrNotMutable is returned for a mutation against an engine built
+	// without EngineConfig.Mutable (HTTP 501).
+	ErrNotMutable = serveError("serve: engine is not mutable")
+	// ErrEmptyMutations is returned for a mutation request carrying no
+	// operations.
+	ErrEmptyMutations = serveError("serve: empty mutation batch")
+	// ErrMutateQueueFull is the mutation path's admission rejection:
+	// the bounded mutation queue is at MutateQueueLimit (HTTP 429).
+	ErrMutateQueueFull = serveError("serve: mutation queue full")
+	// ErrWALFault reports a write-ahead-log append or commit failure —
+	// the batch was NOT made durable and was NOT applied.
+	ErrWALFault = serveError("serve: WAL commit failed")
+	// ErrWALGap reports a log whose record sequence does not continue
+	// the engine's epoch during recovery (snapshot and WAL from
+	// different histories).
+	ErrWALGap = serveError("serve: WAL sequence does not continue snapshot epoch")
+	// ErrMutateFaulted latches the mutation path after a batch faulted
+	// AFTER its WAL commit: the log is ahead of the engine, so further
+	// in-process mutation would desync epoch from sequence. Reads stay
+	// live; a restart replays the log and recovers (HTTP 503).
+	ErrMutateFaulted = serveError("serve: mutation path faulted; restart recovers from the WAL")
 )

@@ -3,9 +3,13 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/dyn"
+	"repro/internal/wal"
 )
 
 // ServerConfig sizes the serving frontend: coalescing, admission
@@ -36,30 +40,51 @@ type ServerConfig struct {
 	// MaxRequestNodes rejects single requests above this node count
 	// with ErrOversized / HTTP 413. 0 = unbounded.
 	MaxRequestNodes int
+
+	// MutateQueueLimit bounds the mutation admission queue; a batch
+	// arriving at a full queue is rejected with ErrMutateQueueFull /
+	// HTTP 429. 0 = unbounded. Ignored on non-mutable engines.
+	MutateQueueLimit int
+	// WAL, when set, makes mutations durable: each accepted batch is
+	// appended and fsynced (group commit) BEFORE its response, so a
+	// crashed process replays the log and recovers every acknowledged
+	// batch (serve.OpenWAL). Requires a mutable engine. The caller
+	// owns closing the log after Server.Close.
+	WAL *wal.Log
 }
 
 func (c ServerConfig) validate() error {
 	if c.Window < 0 || c.MaxBatchRequests < 0 || c.MaxBatchRows < 0 ||
-		c.QueueLimit < 0 || c.DegradeDepth < 0 || c.MaxRequestNodes < 0 {
+		c.QueueLimit < 0 || c.DegradeDepth < 0 || c.MaxRequestNodes < 0 ||
+		c.MutateQueueLimit < 0 {
 		return ErrConfig
 	}
 	return nil
 }
 
 // Server is the serving frontend: the engine plus the coalescing
-// dispatcher, exposed both in-process (Submit) and over HTTP
-// (Handler). Safe for concurrent use.
+// dispatcher (and, on mutable engines, the WAL-backed mutation
+// dispatcher), exposed both in-process (Submit / SubmitMutate) and
+// over HTTP (Handler). Safe for concurrent use.
 type Server struct {
 	eng *Engine
 	co  *coalescer
+	mut *mutator // nil on read-only engines
 }
 
-// NewServer starts the dispatcher over an engine.
+// NewServer starts the dispatchers over an engine.
 func NewServer(eng *Engine, cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Server{eng: eng, co: newCoalescer(eng, cfg)}, nil
+	if cfg.WAL != nil && !eng.Mutable() {
+		return nil, fmt.Errorf("%w: WAL requires a mutable engine", ErrConfig)
+	}
+	s := &Server{eng: eng, co: newCoalescer(eng, cfg)}
+	if eng.Mutable() {
+		s.mut = newMutator(eng, cfg.WAL, cfg.MutateQueueLimit)
+	}
+	return s, nil
 }
 
 // Engine returns the underlying engine.
@@ -72,8 +97,23 @@ func (s *Server) Submit(req *Request) (*Response, error) {
 	return s.co.submit(req)
 }
 
-// Close stops the dispatcher; queued requests fail with ErrClosed.
-func (s *Server) Close() { s.co.close() }
+// SubmitMutate runs one mutation batch through the WAL-backed
+// mutation dispatcher (identical semantics to POST /v1/mutate minus
+// the wire codec). Blocks until the batch is durable and applied.
+func (s *Server) SubmitMutate(ops []dyn.Mutation) (MutateOutcome, error) {
+	if s.mut == nil {
+		return MutateOutcome{}, ErrNotMutable
+	}
+	return s.mut.submit(ops)
+}
+
+// Close stops the dispatchers; queued requests fail with ErrClosed.
+func (s *Server) Close() {
+	if s.mut != nil {
+		s.mut.close()
+	}
+	s.co.close()
+}
 
 // StatusOf maps a Submit error to its HTTP status.
 func StatusOf(err error) int {
@@ -83,12 +123,16 @@ func StatusOf(err error) int {
 	case errors.Is(err, ErrBadOp), errors.Is(err, ErrEmptyNodes),
 		errors.Is(err, ErrDuplicateNode), errors.Is(err, ErrNodeRange):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrEmptyMutations):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrOversized):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrMutateQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrMutateFaulted):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotMutable):
+		return http.StatusNotImplemented
 	default:
 		return http.StatusInternalServerError
 	}
@@ -100,12 +144,15 @@ const maxBodyBytes = 1 << 20
 // Handler returns the HTTP surface:
 //
 //	POST /v1/query   one Request in, one Response out
+//	POST /v1/mutate  one MutateRequest in, one MutateResponse out
+//	                 (501 on read-only engines)
 //	GET  /healthz    liveness
 //	GET  /statz      obs snapshot (?canonical=1 for the deterministic
 //	                 projection)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/mutate", s.handleMutate)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		io.WriteString(w, "ok\n")
@@ -134,6 +181,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, StatusOf(err), err.Error())
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(resp.Render(), '\n'))
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "serve: POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "serve: body too large")
+		return
+	}
+	_, ops, err := ParseMutateRequest(body)
+	if err != nil {
+		s.eng.Obs().Counter("serve/errors/parse").Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out, err := s.SubmitMutate(ops)
+	if err != nil {
+		writeError(w, StatusOf(err), err.Error())
+		return
+	}
+	resp := &MutateResponse{
+		Epoch:       out.Epoch,
+		Applied:     out.Batch.Applied,
+		Rejected:    len(out.Batch.Rejected),
+		RepairSwaps: out.Batch.RepairSwaps,
+		Rebuilt:     out.Batch.Rebuilt,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(resp.Render(), '\n'))

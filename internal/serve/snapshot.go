@@ -9,11 +9,22 @@ package serve
 // rebuilds the engine with the permutation adopted — skipping the
 // reorder — and, because construction is deterministic, the restored
 // engine answers every query with bits identical to the original.
+//
+// A MUTABLE engine snapshots its CURRENT state, not its construction
+// state: the graph as mutated so far (reconstructed in original
+// numbering, so the stored form is permutation-independent), the
+// maintained permutation, the mutation epoch, and the dyn staleness
+// baseline. The baseline matters for bit-identity: a restored engine
+// replaying a WAL must make the same rebuild decisions the
+// uninterrupted run made, and those price drift against the baseline
+// of the last full reorder — which may predate the snapshot
+// (check.RecoveryEquivalence).
 
 import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/graph"
 	"repro/internal/shard"
 )
 
@@ -31,6 +42,15 @@ type snapshotMeta struct {
 	Classes    int    `json:"classes"`
 	Seed       int64  `json:"seed"`
 	ShardRows  int    `json:"shard_rows"`
+
+	// Mutation state (zero for read-only engines and pre-mutation
+	// snapshots; absent in older snapshot files, which decode to zero
+	// and restore exactly as before).
+	Mutable     bool    `json:"mutable,omitempty"`
+	Epoch       uint64  `json:"epoch,omitempty"`
+	BasePScore  int     `json:"base_pscore,omitempty"`
+	BaseMBScore int     `json:"base_mbscore,omitempty"`
+	SavedCycles float64 `json:"saved_cycles,omitempty"`
 }
 
 // snapshotFormat names the meta payload schema.
@@ -40,19 +60,40 @@ const snapshotFormat = "sogre-serve-snapshot/v1"
 // restoring config.
 const ErrSnapshot = serveError("serve: snapshot/config mismatch")
 
-// Snapshot writes the engine's warm state to path: the source graph,
-// the reordering permutation, and the response-space fingerprint.
+// SnapshotMismatch reports WHICH fingerprint field contradicted the
+// snapshot, as a typed detail: errors.As extracts the field and both
+// values, and errors.Is(err, ErrSnapshot) still matches through
+// Unwrap.
+type SnapshotMismatch struct {
+	// Field names the mismatched fingerprint field (e.g. "pattern V",
+	// "seed").
+	Field string
+	// Have is the restoring config's value, Want the snapshot's.
+	Have, Want int64
+}
+
+func (m *SnapshotMismatch) Error() string {
+	return fmt.Sprintf("%s: %s: config has %d, snapshot has %d",
+		ErrSnapshot.Error(), m.Field, m.Have, m.Want)
+}
+
+func (m *SnapshotMismatch) Unwrap() error { return ErrSnapshot }
+
+// Snapshot writes the engine's warm state to path: the (current)
+// graph, the reordering permutation, and the response-space
+// fingerprint — plus, on mutable engines, the epoch and staleness
+// baseline. Safe against concurrent queries and mutations; the
+// snapshot is a consistent cut at one epoch.
 func (e *Engine) Snapshot(path string) error {
+	if e.dyn != nil {
+		// Lock order: muMut before mu, same as Mutate — the snapshot
+		// must not interleave with a half-applied batch.
+		e.muMut.Lock()
+		defer e.muMut.Unlock()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	w := shard.NewWriter()
-	if err := w.AddGraph(e.src); err != nil {
-		return err
-	}
-	if err := w.AddPerm(e.perm); err != nil {
-		return err
-	}
-	meta, err := json.Marshal(snapshotMeta{
+	meta := snapshotMeta{
 		Format:     snapshotFormat,
 		V:          e.cfg.Pattern.V,
 		N:          e.cfg.Pattern.N,
@@ -62,11 +103,39 @@ func (e *Engine) Snapshot(path string) error {
 		Classes:    e.cfg.Classes,
 		Seed:       e.cfg.Seed,
 		ShardRows:  e.cfg.ShardRows,
-	})
+	}
+	g := e.src
+	if e.dyn != nil {
+		// Reconstruct the current graph in ORIGINAL numbering: the
+		// maintained matrix lives in position space; pulling it back
+		// through the inverse permutation puts vertex v at node v, so
+		// restore re-derives the identical reordered matrix by applying
+		// the stored permutation again.
+		rg := graph.FromBitMatrix(e.dyn.Matrix())
+		var err error
+		g, err = rg.ApplyPermutation(e.inv)
+		if err != nil {
+			return fmt.Errorf("serve: snapshot: %w", err)
+		}
+		st := e.dyn.Stats()
+		meta.Mutable = true
+		meta.Epoch = e.epoch
+		meta.BasePScore = st.BasePScore
+		meta.BaseMBScore = st.BaseMBScore
+		meta.SavedCycles = st.SavedCyclesPerEpoch
+	}
+	w := shard.NewWriter()
+	if err := w.AddGraph(g); err != nil {
+		return err
+	}
+	if err := w.AddPerm(e.perm); err != nil {
+		return err
+	}
+	rawMeta, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
-	if err := w.AddRaw(shard.TagMeta, meta); err != nil {
+	if err := w.AddRaw(shard.TagMeta, rawMeta); err != nil {
 		return err
 	}
 	return shard.WriteFile(path, w)
@@ -75,8 +144,12 @@ func (e *Engine) Snapshot(path string) error {
 // RestoreEngine rebuilds an engine from a snapshot, adopting the
 // stored permutation (no reordering run). cfg plays the same role as
 // in NewEngine; its response-space fields must agree with the
-// snapshot's fingerprint (zero values adopt the snapshot's), and any
-// Perm it carries is rejected — the snapshot owns the permutation.
+// snapshot's fingerprint (zero values adopt the snapshot's; a
+// mismatch is a *SnapshotMismatch naming the field), and any Perm it
+// carries is rejected — the snapshot owns the permutation. A snapshot
+// taken mid-mutation-stream restores at its recorded epoch with the
+// dyn staleness baseline re-adopted, ready for WAL replay
+// (serve.OpenWAL).
 func RestoreEngine(path string, cfg EngineConfig) (*Engine, error) {
 	if cfg.Perm != nil {
 		return nil, fmt.Errorf("%w: RestoreEngine derives Perm from the snapshot", ErrConfig)
@@ -123,7 +196,7 @@ func RestoreEngine(path string, cfg EngineConfig) (*Engine, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = meta.Seed
 	} else if cfg.Seed != meta.Seed {
-		return nil, fmt.Errorf("%w: seed %d, snapshot has %d", ErrSnapshot, cfg.Seed, meta.Seed)
+		return nil, &SnapshotMismatch{Field: "seed", Have: cfg.Seed, Want: meta.Seed}
 	}
 	g, err := f.Graph(0)
 	if err != nil {
@@ -134,7 +207,18 @@ func RestoreEngine(path string, cfg EngineConfig) (*Engine, error) {
 		return nil, err
 	}
 	cfg.Perm = perm
-	return NewEngine(g, cfg)
+	e, err := NewEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Epoch > 0 || meta.Mutable {
+		e.epoch = meta.Epoch
+		e.obs.Gauge("serve/epoch/seq").Set(float64(meta.Epoch))
+	}
+	if meta.Mutable && e.dyn != nil {
+		e.dyn.RestoreBaseline(meta.BasePScore, meta.BaseMBScore, meta.SavedCycles)
+	}
+	return e, nil
 }
 
 func adoptInt(field *int, snap int, name string) error {
@@ -143,7 +227,7 @@ func adoptInt(field *int, snap int, name string) error {
 		return nil
 	}
 	if *field != snap {
-		return fmt.Errorf("%w: %s %d, snapshot has %d", ErrSnapshot, name, *field, snap)
+		return &SnapshotMismatch{Field: name, Have: int64(*field), Want: int64(snap)}
 	}
 	return nil
 }

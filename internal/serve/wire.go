@@ -7,6 +7,8 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+
+	"repro/internal/dyn"
 )
 
 // Op names a query operation.
@@ -114,6 +116,11 @@ type Response struct {
 	Op      string      `json:"op"`
 	Rows    [][]float32 `json:"rows,omitempty"`
 	Classes []int       `json:"classes,omitempty"`
+	// Epoch is the mutation epoch the response was computed against
+	// (0 on read-only engines, omitted on the wire). Deliberately
+	// EXCLUDED from Checksum: the digest compares response content
+	// across engines whose epochs may legitimately differ.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Render returns the response's JSON wire form.
@@ -164,6 +171,69 @@ func (r *Response) Checksum() uint64 {
 		h.Write(buf[:])
 	}
 	return h.Sum64()
+}
+
+// MutateRequest is one mutation batch: the wire format POST
+// /v1/mutate accepts. Ops carries the dyn stream grammar
+// ("add@u-v; del@u-v", original vertex ids) so the same textual form
+// flows from -mutate flags, load scripts and the HTTP surface.
+type MutateRequest struct {
+	Ops string `json:"ops"`
+}
+
+// ParseMutateRequest decodes a mutation request: strict and total
+// like ParseRequest. The ops string must parse under the dyn grammar
+// and carry at least one mutation; vertex upper bounds are validated
+// engine-side (skip-and-count, reported per op in the response).
+func ParseMutateRequest(data []byte) (*MutateRequest, []dyn.Mutation, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r MutateRequest
+	if err := dec.Decode(&r); err != nil {
+		return nil, nil, fmt.Errorf("serve: malformed mutation request: %w", err)
+	}
+	if err := trailingContent(dec); err != nil {
+		return nil, nil, err
+	}
+	st, err := dyn.ParseMutations(r.Ops)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: malformed mutation request: %w", err)
+	}
+	if st == nil || len(st.Ops) == 0 {
+		return nil, nil, ErrEmptyMutations
+	}
+	return &r, st.Ops, nil
+}
+
+// MutateResponse is the answer to one mutation batch.
+type MutateResponse struct {
+	// Epoch is the mutation epoch this batch created.
+	Epoch uint64 `json:"epoch"`
+	// Applied/Rejected count the batch's accepted and skipped ops.
+	Applied  int `json:"applied"`
+	Rejected int `json:"rejected"`
+	// RepairSwaps counts accepted localized repair swaps; Rebuilt
+	// reports a staleness-budget full re-reorder.
+	RepairSwaps int  `json:"repair_swaps"`
+	Rebuilt     bool `json:"rebuilt,omitempty"`
+}
+
+// Render returns the response's JSON wire form.
+func (r *MutateResponse) Render() []byte {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("serve: render mutate response: %v", err))
+	}
+	return data
+}
+
+// ParseMutateResponse decodes a mutation response (the loadgen path).
+func ParseMutateResponse(data []byte) (*MutateResponse, error) {
+	var r MutateResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("serve: malformed mutate response: %w", err)
+	}
+	return &r, nil
 }
 
 // wireError is the JSON error body the HTTP surface returns.

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/dyn"
+)
+
+// Record payloads carry one mutation batch each:
+//
+//	count uint32
+//	ops   count × { op uint8, u uint32, v uint32 }
+//
+// op is the dyn.Op value (0 insert, 1 delete). Vertex ids are in
+// ORIGINAL numbering, matching dyn's stream semantics, so a replayed
+// batch means the same graph change regardless of how repairs and
+// rebuilds permuted positions in the meantime.
+
+const opSize = 9
+
+const (
+	// ErrBatchTruncated reports a payload shorter than its declared op
+	// count.
+	ErrBatchTruncated = walError("wal: truncated mutation batch")
+	// ErrBatchTrailing reports bytes after the declared ops — the
+	// decoder is total, same as the shard container's.
+	ErrBatchTrailing = walError("wal: trailing bytes after mutation batch")
+	// ErrBatchOp reports an op byte that is neither insert nor delete.
+	ErrBatchOp = walError("wal: unknown op in mutation batch")
+)
+
+// EncodeBatch renders a mutation batch as a record payload.
+// EncodeBatch and DecodeBatch are a fixed point:
+// DecodeBatch(EncodeBatch(ops)) == ops for any valid batch.
+func EncodeBatch(ops []dyn.Mutation) []byte {
+	buf := make([]byte, 4+opSize*len(ops))
+	putU32(buf, uint32(len(ops)))
+	for k, m := range ops {
+		off := 4 + opSize*k
+		buf[off] = byte(m.Op)
+		putU32(buf[off+1:], uint32(m.U))
+		putU32(buf[off+5:], uint32(m.V))
+	}
+	return buf
+}
+
+// DecodeBatch parses a record payload. Total: every malformed input
+// yields a typed error, never a panic or partial batch.
+func DecodeBatch(payload []byte) ([]dyn.Mutation, error) {
+	if len(payload) < 4 {
+		return nil, ErrBatchTruncated
+	}
+	count := int(getU32(payload))
+	if count < 0 || count > (len(payload)-4)/opSize {
+		return nil, fmt.Errorf("%w: %d ops declared, %d bytes", ErrBatchTruncated, count, len(payload))
+	}
+	if len(payload) != 4+opSize*count {
+		return nil, ErrBatchTrailing
+	}
+	ops := make([]dyn.Mutation, count)
+	for k := range ops {
+		off := 4 + opSize*k
+		op := dyn.Op(payload[off])
+		if op != dyn.OpInsert && op != dyn.OpDelete {
+			return nil, fmt.Errorf("%w: byte %d", ErrBatchOp, payload[off])
+		}
+		ops[k] = dyn.Mutation{
+			Op: op,
+			U:  int(getU32(payload[off+1:])),
+			V:  int(getU32(payload[off+5:])),
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,301 @@
+// Package wal implements sogre-wal/v1, the append-only write-ahead
+// log that makes online graph mutations durable: every mutation batch
+// the serving layer accepts is appended as one checksummed record and
+// fsynced before the client is acknowledged, so a crashed process
+// recovers by replaying the log over its last engine snapshot and
+// reaches a state bit-identical to an uninterrupted run
+// (check.RecoveryEquivalence).
+//
+// Layout (all integers little-endian, mirroring the sogre-shard/v1
+// discipline of per-payload FNV-1a checksums and total decoders):
+//
+//	header  24 bytes:
+//	          magic       [8]byte  "sogrewal"
+//	          version     uint32   (1)
+//	          reserved    uint32   (0)
+//	          fingerprint uint64   engine identity the log belongs to
+//	records, back to back:
+//	          length uint32   payload bytes
+//	          seq    uint64   1-based record sequence number
+//	          crc    uint64   FNV-1a 64 over the payload bytes
+//	          payload [length]byte
+//
+// The tail of the log is untrusted by construction: a crash can leave
+// a half-written record (torn tail). Open scans forward verifying
+// structure, sequence continuity and checksums, keeps the longest
+// valid prefix, and truncates the file back to it — recovery never
+// fails on a torn tail, it just loses the unacknowledged suffix,
+// which is exactly what unacknowledged means.
+//
+// Append buffers; Commit flushes and fsyncs. Batching many Appends
+// under one Commit is the group-commit path the serving layer uses to
+// amortize fsync latency across queued mutation batches.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FormatName identifies the format+version this package reads and
+// writes.
+const FormatName = "sogre-wal/v1"
+
+// magic is the 8-byte file signature.
+const magic = "sogrewal"
+
+// Version is the format version written and the only one accepted.
+const Version = 1
+
+const (
+	headerSize = 24
+	recHdrSize = 20
+)
+
+// MaxRecordBytes bounds a single record's payload — a structural
+// sanity limit so a corrupt length field cannot drive a giant
+// allocation during replay.
+const MaxRecordBytes = 1 << 26
+
+// walError is a typed constant error: the package keeps sentinel
+// errors as consts (not package-level vars) to satisfy the kernel
+// purity lint in scripts/ci.sh.
+type walError string
+
+func (e walError) Error() string { return string(e) }
+
+const (
+	// ErrMagic reports a file that does not start with the format
+	// signature.
+	ErrMagic = walError("wal: bad magic (not a sogre-wal file)")
+	// ErrVersion reports a version this reader does not speak.
+	ErrVersion = walError("wal: unsupported format version")
+	// ErrFingerprint reports a log written for a different engine
+	// identity (graph/config fingerprint mismatch).
+	ErrFingerprint = walError("wal: fingerprint mismatch")
+	// ErrTruncatedHeader reports a file shorter than the fixed header —
+	// not even a torn tail, just not a log.
+	ErrTruncatedHeader = walError("wal: truncated header")
+	// ErrClosed reports use of a closed log.
+	ErrClosed = walError("wal: log closed")
+	// ErrOversized reports an Append payload above MaxRecordBytes.
+	ErrOversized = walError("wal: record exceeds size bound")
+)
+
+// checksum returns the FNV-1a 64 hash of b (offset basis and prime
+// shared with the shard container).
+func checksum(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Log is an open write-ahead log positioned for appending. Not safe
+// for concurrent use; the serving layer's single mutation dispatcher
+// serializes access.
+type Log struct {
+	f      *os.File
+	buf    []byte // appended since the last Commit
+	seq    uint64 // last durable-or-buffered sequence number
+	closed bool
+}
+
+// Open opens (or creates) the log at path for the engine identified
+// by fingerprint, replays every valid record, truncates any torn
+// tail, and returns the log positioned for appending plus the
+// replayed records in order. A fresh file gets the header written and
+// synced immediately, so even an empty log identifies its engine.
+func Open(path string, fingerprint uint64) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		hdr := make([]byte, headerSize)
+		copy(hdr, magic)
+		putU32(hdr[8:], Version)
+		putU64(hdr[16:], fingerprint)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Log{f: f}, nil, nil
+	}
+	data := make([]byte, st.Size())
+	if _, err := io.ReadFull(f, data); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %v", ErrTruncatedHeader, err)
+	}
+	recs, validLen, err := scan(data, fingerprint)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if validLen < int64(len(data)) {
+		// Torn tail: a crash mid-write left a suffix the checksum walk
+		// rejects. Truncate back to the last valid record so appends
+		// continue from a clean boundary.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f}
+	if n := len(recs); n > 0 {
+		l.seq = recs[n-1].Seq
+	}
+	return l, recs, nil
+}
+
+// Replay parses an in-memory encoding and returns the longest valid
+// record prefix — the pure-function core of Open, total over
+// arbitrary bytes (check.FuzzWALReplay). A fingerprint of 0 skips the
+// identity check.
+func Replay(data []byte, fingerprint uint64) ([]Record, error) {
+	recs, _, err := scan(data, fingerprint)
+	return recs, err
+}
+
+// scan validates the header and walks records forward, returning the
+// valid records and the byte length of the valid prefix. Header
+// damage is an error (the file is not this engine's log); record
+// damage just ends the walk (torn tail).
+func scan(data []byte, fingerprint uint64) ([]Record, int64, error) {
+	if len(data) < headerSize {
+		return nil, 0, ErrTruncatedHeader
+	}
+	if string(data[:8]) != magic {
+		return nil, 0, ErrMagic
+	}
+	if v := getU32(data[8:]); v != Version {
+		return nil, 0, fmt.Errorf("%w: %d (reader speaks %d)", ErrVersion, v, Version)
+	}
+	if fp := getU64(data[16:]); fingerprint != 0 && fp != fingerprint {
+		return nil, 0, fmt.Errorf("%w: log has %016x, engine is %016x", ErrFingerprint, fp, fingerprint)
+	}
+	var recs []Record
+	off := int64(headerSize)
+	seq := uint64(0)
+	for {
+		if off+recHdrSize > int64(len(data)) {
+			break
+		}
+		h := data[off : off+recHdrSize]
+		length := int64(getU32(h))
+		rseq := getU64(h[4:])
+		crc := getU64(h[12:])
+		if length > MaxRecordBytes || rseq != seq+1 {
+			break
+		}
+		if off+recHdrSize+length > int64(len(data)) {
+			break
+		}
+		payload := data[off+recHdrSize : off+recHdrSize+length]
+		if checksum(payload) != crc {
+			break
+		}
+		recs = append(recs, Record{Seq: rseq, Payload: append([]byte(nil), payload...)})
+		seq = rseq
+		off += recHdrSize + length
+	}
+	return recs, off, nil
+}
+
+// Append buffers one record and returns its sequence number. The
+// record is NOT durable until Commit returns — callers must not
+// acknowledge the batch before then.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrOversized, len(payload))
+	}
+	l.seq++
+	h := make([]byte, recHdrSize)
+	putU32(h, uint32(len(payload)))
+	putU64(h[4:], l.seq)
+	putU64(h[12:], checksum(payload))
+	l.buf = append(l.buf, h...)
+	l.buf = append(l.buf, payload...)
+	return l.seq, nil
+}
+
+// Commit writes every buffered record and fsyncs — the durability
+// point. One Commit covering many Appends is the group-commit path;
+// on error the buffered records are NOT acknowledged durable and the
+// caller must fail their batches.
+func (l *Log) Commit() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// Seq returns the last appended (possibly not yet committed) sequence
+// number; 0 for an empty log.
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Close commits any buffered records and releases the file.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	err := l.Commit()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// -- little-endian helpers (shared discipline with internal/shard) --
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dyn"
+)
+
+func openFresh(t *testing.T, fp uint64) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, recs, err := Open(path, fp)
+	if err != nil {
+		t.Fatalf("Open fresh: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	return l, path
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	l, path := openFresh(t, 42)
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	for k, p := range payloads {
+		seq, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", k, err)
+		}
+		if seq != uint64(k+1) {
+			t.Fatalf("Append %d: seq %d", k, seq)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, recs, err := Open(path, 42)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(recs) != len(payloads) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(payloads))
+	}
+	for k, r := range recs {
+		if r.Seq != uint64(k+1) || !bytes.Equal(r.Payload, payloads[k]) {
+			t.Fatalf("record %d: seq %d payload %q", k, r.Seq, r.Payload)
+		}
+	}
+	if l2.Seq() != 3 {
+		t.Fatalf("reopened Seq() = %d", l2.Seq())
+	}
+	// Appends continue the sequence after reopen.
+	if seq, err := l2.Append([]byte("delta")); err != nil || seq != 4 {
+		t.Fatalf("post-reopen Append: seq %d err %v", seq, err)
+	}
+}
+
+func TestUncommittedNotDurable(t *testing.T) {
+	l, path := openFresh(t, 1)
+	if _, err := l.Append([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("buffered-only")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the log without Commit/Close. The buffered
+	// record never reached the file.
+	l.closed = true
+	l.f.Close()
+	_, recs, err := Open(path, 1)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "committed" {
+		t.Fatalf("replayed %v, want only the committed record", recs)
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	l, path := openFresh(t, 7)
+	for _, p := range []string{"one", "two", "three"} {
+		if _, err := l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file at every byte length from just-past-header to full:
+	// replay must recover the longest valid record prefix and reopen
+	// must truncate the file back to exactly that prefix.
+	wantAt := func(size int) int {
+		recs, _, err := scan(full[:size], 7)
+		if err != nil {
+			t.Fatalf("scan at %d: %v", size, err)
+		}
+		return len(recs)
+	}
+	for size := headerSize; size <= len(full); size++ {
+		p := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(p, full[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs, err := Open(p, 7)
+		if err != nil {
+			t.Fatalf("Open torn@%d: %v", size, err)
+		}
+		want := wantAt(size)
+		if len(recs) != want {
+			t.Fatalf("torn@%d: replayed %d records, want %d", size, len(recs), want)
+		}
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After truncation the file is exactly the valid prefix: reopening
+		// again replays the same records and the file length is stable.
+		l2.Close()
+		l3, recs2, err := Open(p, 7)
+		if err != nil {
+			t.Fatalf("re-Open torn@%d: %v", size, err)
+		}
+		st2, _ := os.Stat(p)
+		if st2.Size() != st.Size() {
+			t.Fatalf("torn@%d: truncation not stable (%d then %d)", size, st.Size(), st2.Size())
+		}
+		if len(recs2) != want {
+			t.Fatalf("torn@%d second replay: %d records", size, len(recs2))
+		}
+		l3.Close()
+	}
+	// A corrupted byte inside the last record's payload drops only that
+	// record.
+	p := filepath.Join(t.TempDir(), "flip.wal")
+	data := append([]byte(nil), full...)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l4, recs, err := Open(p, 7)
+	if err != nil {
+		t.Fatalf("Open flipped: %v", err)
+	}
+	defer l4.Close()
+	if len(recs) != 2 {
+		t.Fatalf("flipped tail: replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestAppendAfterTornTail(t *testing.T) {
+	l, path := openFresh(t, 9)
+	if _, err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn half-record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x08, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, recs, err := Open(path, 9)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	if _, err := l2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = Open(path, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1].Payload) != "after" || recs[1].Seq != 2 {
+		t.Fatalf("post-torn append replay: %v", recs)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	hdr := func(fp uint64, version uint32) []byte {
+		b := make([]byte, headerSize)
+		copy(b, magic)
+		putU32(b[8:], version)
+		putU64(b[16:], fp)
+		return b
+	}
+	cases := []struct {
+		path string
+		want error
+	}{
+		{write("short", []byte("sogre")), ErrTruncatedHeader},
+		{write("magic", bytes.Repeat([]byte{0xaa}, headerSize)), ErrMagic},
+		{write("ver", hdr(5, 99)), ErrVersion},
+		{write("fp", hdr(5, Version)), ErrFingerprint},
+	}
+	for _, c := range cases {
+		if _, _, err := Open(c.path, 123); !errors.Is(err, c.want) {
+			t.Errorf("Open(%s): err %v, want %v", c.path, err, c.want)
+		}
+	}
+	// Fingerprint 0 skips the identity check.
+	if _, err := Replay(hdr(5, Version), 0); err != nil {
+		t.Errorf("Replay with fingerprint 0: %v", err)
+	}
+}
+
+func TestAppendOversized(t *testing.T) {
+	l, _ := openFresh(t, 1)
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrOversized) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	if l.Seq() != 0 {
+		t.Fatalf("rejected append advanced seq to %d", l.Seq())
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, _ := openFresh(t, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := l.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestCloseCommitsBuffered(t *testing.T) {
+	l, path := openFresh(t, 3)
+	if _, err := l.Append([]byte("flushed-by-close")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "flushed-by-close" {
+		t.Fatalf("replay after Close: %v", recs)
+	}
+}
+
+func TestBatchCodecFixedPoint(t *testing.T) {
+	batches := [][]dyn.Mutation{
+		nil,
+		{{Op: dyn.OpInsert, U: 0, V: 0}},
+		{
+			{Op: dyn.OpInsert, U: 3, V: 17},
+			{Op: dyn.OpDelete, U: 1000000, V: 2},
+			{Op: dyn.OpInsert, U: 5, V: 5},
+		},
+	}
+	for k, ops := range batches {
+		enc := EncodeBatch(ops)
+		dec, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("batch %d: decode: %v", k, err)
+		}
+		if len(dec) != len(ops) {
+			t.Fatalf("batch %d: %d ops round-tripped to %d", k, len(ops), len(dec))
+		}
+		for i := range ops {
+			if dec[i] != ops[i] {
+				t.Fatalf("batch %d op %d: %v != %v", k, dec[i], i, ops[i])
+			}
+		}
+	}
+}
+
+func TestBatchCodecTotal(t *testing.T) {
+	cases := []struct {
+		payload []byte
+		want    error
+	}{
+		{nil, ErrBatchTruncated},
+		{[]byte{1, 0}, ErrBatchTruncated},
+		{[]byte{2, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0}, ErrBatchTruncated},
+		{append(EncodeBatch([]dyn.Mutation{{Op: dyn.OpInsert}}), 0), ErrBatchTrailing},
+		{[]byte{1, 0, 0, 0, 9, 1, 0, 0, 0, 2, 0, 0, 0}, ErrBatchOp},
+	}
+	for k, c := range cases {
+		if _, err := DecodeBatch(c.payload); !errors.Is(err, c.want) {
+			t.Errorf("case %d: err %v, want %v", k, err, c.want)
+		}
+	}
+}
+
+func TestWALEndToEndWithBatches(t *testing.T) {
+	l, path := openFresh(t, 0xfeed)
+	want := [][]dyn.Mutation{
+		{{Op: dyn.OpInsert, U: 1, V: 2}},
+		{{Op: dyn.OpDelete, U: 1, V: 2}, {Op: dyn.OpInsert, U: 3, V: 4}},
+	}
+	for _, b := range want {
+		if _, err := l.Append(EncodeBatch(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, err := Open(path, 0xfeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d batches", len(recs))
+	}
+	for k, r := range recs {
+		got, err := DecodeBatch(r.Payload)
+		if err != nil {
+			t.Fatalf("batch %d: %v", k, err)
+		}
+		for i := range got {
+			if got[i] != want[k][i] {
+				t.Fatalf("batch %d op %d mismatch", k, i)
+			}
+		}
+	}
+}

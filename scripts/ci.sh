@@ -18,7 +18,7 @@ echo "== kernel-package purity lint (no package-level vars) =="
 # mutable state (a data race under the parallel engine) or avoidable
 # global configuration. Test files are exempt.
 lint_fail=0
-for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn serve shard; do
+for pkg in spmm csr bsr sptc venom sched dense bitmat obs resil plan predictor/cycle dyn serve shard wal; do
     hits=$(grep -Hn '^var ' "internal/$pkg"/*.go 2>/dev/null | grep -v '_test\.go:' || true)
     if [ -n "$hits" ]; then
         echo "FAIL: package-level var in kernel package internal/$pkg:" >&2
@@ -41,7 +41,7 @@ echo "== go test -race (GOMAXPROCS=2 matrix entry) =="
 GOMAXPROCS=2 go test -race ./internal/sched/ ./internal/spmm/ \
     ./internal/check/ ./internal/gnn/ ./internal/core/ \
     ./internal/distributed/ ./internal/obs/ ./internal/resil/ \
-    ./internal/plan/ ./internal/dyn/ ./internal/serve/
+    ./internal/plan/ ./internal/dyn/ ./internal/serve/ ./internal/wal/
 
 if [ "$FUZZTIME" != "0" ]; then
     echo "== fuzz smoke ($FUZZTIME per target) =="
@@ -50,7 +50,7 @@ if [ "$FUZZTIME" != "0" ]; then
                   FuzzMatrixMarketRoundTrip FuzzReorderLargeParallelSerial \
                   FuzzFaultPlanParse FuzzCalibrationParse \
                   FuzzMutationStreamParse FuzzIncrementalVsScratch \
-                  FuzzServeRequestParse FuzzShardFormat; do
+                  FuzzServeRequestParse FuzzShardFormat FuzzWALReplay; do
         echo "-- $target"
         go test ./internal/check/ -run "^$target\$" -fuzz "^$target\$" \
             -fuzztime "$FUZZTIME"
@@ -195,6 +195,65 @@ if ! cmp -s "$obs_tmp/bs1.json" "$obs_tmp/bs2.json"; then
     exit 1
 fi
 echo "serve replays byte-identical (reports, snapshots, bench rows)"
+
+echo "== durable mutation crash drill (kill -9 mid-stream, WAL recovery, twin digest) =="
+# The durability contract (DESIGN.md §15): every acked mutation batch
+# is fsynced into the WAL before its ack, and boot-time replay
+# reconstructs the serving state bit-identically. SIGKILL the server
+# mid-mutation-stream, restart it on the same WAL, read the recovered
+# epoch E from the boot replay line, then drive an unfaulted twin with
+# exactly the first E batches of the same seeded stream (the mixed
+# script's prefix property) — the recovered and twin servers' canonical
+# read-only loadgen reports must be byte-identical.
+drill_args=(-gen er -n 1024 -shard-rows 128 -queue-limit 0)
+drill_boot() { # $1=extra-flag... ; boots a server, sets drill_pid
+    rm -f "$obs_tmp/addr"
+    "$obs_tmp/sogre-serve" "${drill_args[@]}" "$@" \
+        -ready-file "$obs_tmp/addr" &
+    drill_pid=$!
+    for _ in $(seq 1 100); do [ -s "$obs_tmp/addr" ] && break; sleep 0.1; done
+    # stdout, not stderr: the caller may have redirected this call's
+    # stderr into the replay-line scratch file.
+    [ -s "$obs_tmp/addr" ] || { echo "FAIL: drill server never became ready"; exit 1; }
+}
+drill_boot -wal "$obs_tmp/drill.wal" 2> /dev/null
+"$obs_tmp/sogre-loadgen" -addr "$(cat "$obs_tmp/addr")" -n 1024 \
+    -clients 1 -requests 4000 -seed 31 -write-ratio 1.0 \
+    -out /dev/null 2> /dev/null &
+drill_load=$!
+# Let committed batches accumulate, then die mid-stream.
+for _ in $(seq 1 100); do
+    [ -s "$obs_tmp/drill.wal" ] && [ "$(wc -c < "$obs_tmp/drill.wal")" -ge 200 ] && break
+    sleep 0.1
+done
+kill -9 "$drill_pid"
+wait "$drill_load" 2> /dev/null || true  # dies with the connection
+wait "$drill_pid" 2> /dev/null || true
+drill_boot -wal "$obs_tmp/drill.wal" 2> "$obs_tmp/drill-replay.err"
+E=$(grep -o 'epoch [0-9]*' "$obs_tmp/drill-replay.err" | awk '{print $2}')
+[ -n "${E:-}" ] && [ "$E" -ge 1 ] || {
+    echo "FAIL: drill recovered no batches (epoch ${E:-unset}):" >&2
+    cat "$obs_tmp/drill-replay.err" >&2
+    exit 1
+}
+"$obs_tmp/sogre-loadgen" -addr "$(cat "$obs_tmp/addr")" -n 1024 \
+    -clients 4 -requests 15 -canonical -out "$obs_tmp/drill-rec.json" 2> /dev/null
+kill -TERM "$drill_pid"; wait "$drill_pid" 2> /dev/null || true
+# Unfaulted twin: fresh server, same config, no WAL, the first E
+# batches of the same seeded mutation stream, same read probe.
+drill_boot -mutable 2> /dev/null
+"$obs_tmp/sogre-loadgen" -addr "$(cat "$obs_tmp/addr")" -n 1024 \
+    -clients 1 -requests "$E" -seed 31 -write-ratio 1.0 \
+    -out /dev/null 2> /dev/null
+"$obs_tmp/sogre-loadgen" -addr "$(cat "$obs_tmp/addr")" -n 1024 \
+    -clients 4 -requests 15 -canonical -out "$obs_tmp/drill-twin.json" 2> /dev/null
+kill -TERM "$drill_pid"; wait "$drill_pid" 2> /dev/null || true
+if ! cmp -s "$obs_tmp/drill-rec.json" "$obs_tmp/drill-twin.json"; then
+    echo "FAIL: recovered query digest differs from the unfaulted twin (epoch $E):" >&2
+    diff "$obs_tmp/drill-rec.json" "$obs_tmp/drill-twin.json" >&2 || true
+    exit 1
+fi
+echo "kill -9 WAL recovery digest byte-identical to the unfaulted twin (epoch $E)"
 
 echo "== multi-process distribution smoke (kill -9 a worker, bit-identical recovery) =="
 # The distribution contract (DESIGN.md §14): partition placement and
